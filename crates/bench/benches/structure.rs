@@ -1,0 +1,65 @@
+//! Criterion bench for the Section 4–6 machinery: GenProt client and
+//! certificates, composed-RR sampling, exact grouposition tails.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_freq::randomizers::GeneralizedRandomizedResponse;
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::rng::seeded_rng;
+use hh_structure::grouposition::rr_group_epsilon_exact;
+use hh_structure::rr_compose::ApproxComposedRr;
+use hh_structure::GenProt;
+
+fn bench_genprot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure/genprot");
+    let base = GeneralizedRandomizedResponse::new(8, 0.25);
+    for &t in &[16usize, 64] {
+        let gp = GenProt::new(base.clone(), 0.25, t, 1);
+        let mut rng = seeded_rng(2);
+        group.bench_with_input(BenchmarkId::new("respond", t), &t, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                gp.respond(i, i % 8, &mut rng)
+            });
+        });
+        let ys = gp.public_samples(0);
+        group.bench_with_input(BenchmarkId::new("exact_distribution", t), &t, |b, _| {
+            b.iter(|| gp.report_distribution(3, &ys));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rr_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure/rr_compose");
+    let mt = ApproxComposedRr::new(32, 0.05, 0.05);
+    let mut rng = seeded_rng(3);
+    group.bench_function("sample_k32", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            mt.sample(RandomizerInput::Value(x & 0xFFFF_FFFF), &mut rng)
+        });
+    });
+    group.bench_function("log_density_k32", |b| {
+        let mut y = 0u64;
+        b.iter(|| {
+            y += 12345;
+            mt.log_density(RandomizerInput::Value(7), y & 0xFFFF_FFFF)
+        });
+    });
+    group.finish();
+}
+
+fn bench_grouposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure/grouposition");
+    for &k in &[256u64, 4096] {
+        group.bench_with_input(BenchmarkId::new("exact_rr_epsilon", k), &k, |b, _| {
+            b.iter(|| rr_group_epsilon_exact(k, 0.1, 1e-4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_genprot, bench_rr_compose, bench_grouposition);
+criterion_main!(benches);

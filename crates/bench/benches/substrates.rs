@@ -1,0 +1,130 @@
+//! Criterion bench for the substrate layers: hashing, WHT,
+//! Reed–Solomon, ULRC encode/decode, expander construction, clustering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_codes::ulrc::{UlrcParams, UniqueListCode};
+use hh_codes::ReedSolomon;
+use hh_graph::cluster::{spectral_clusters, ClusterParams};
+use hh_graph::expander::expander;
+use hh_hash::{KWiseHash, PairwiseHash};
+use hh_math::rng::seeded_rng;
+use hh_math::wht::fwht;
+use rand::Rng;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/hash");
+    let pairwise = PairwiseHash::new(1, 1 << 20);
+    group.bench_function("pairwise_eval", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            pairwise.hash(x)
+        });
+    });
+    for &k in &[8usize, 32, 64] {
+        let h = KWiseHash::new(2, k, 1 << 20);
+        group.bench_with_input(BenchmarkId::new("kwise_eval", k), &k, |b, _| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x += 1;
+                h.hash(x)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/wht");
+    group.sample_size(20);
+    for &logw in &[16u32, 20] {
+        let w = 1usize << logw;
+        let mut rng = seeded_rng(3);
+        let data: Vec<f64> = (0..w).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                fwht(&mut v);
+                v[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/reed_solomon");
+    let rs = ReedSolomon::new(4, 14, 6);
+    let msg: Vec<u16> = vec![1, 5, 9, 0, 15, 7];
+    let cw = rs.encode(&msg);
+    group.bench_function("encode_14_6", |b| b.iter(|| rs.encode(&msg)));
+    let mut corrupted: Vec<Option<u16>> = cw.iter().map(|&v| Some(v)).collect();
+    corrupted[2] = Some(cw[2] ^ 1);
+    corrupted[9] = None;
+    group.bench_function("decode_1err_1erasure", |b| b.iter(|| rs.decode(&corrupted)));
+    group.finish();
+}
+
+fn bench_ulrc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/ulrc");
+    group.sample_size(20);
+    let code = UniqueListCode::new(UlrcParams::for_domain_bits(24), 5);
+    group.bench_function("encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 7919) & 0xFF_FFFF;
+            code.encode(x)
+        });
+    });
+    // A realistic decode instance: 3 messages, light junk.
+    let xs = [0xF00Du64, 0xBEEF, 0x1234];
+    let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); code.params().num_coords];
+    for m in 0..code.params().num_coords {
+        for &x in &xs {
+            let y = code.coord_hash(m, x);
+            if lists[m].iter().all(|&(yy, _)| yy != y) {
+                lists[m].push((y, code.enc_tilde(x, m)));
+            }
+        }
+    }
+    group.bench_function("decode_3_messages", |b| b.iter(|| code.decode(&lists)));
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/graph");
+    group.sample_size(10);
+    group.bench_function("expander_14_4_las_vegas", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            expander(14, 4, 2.3 * 3f64.sqrt(), seed)
+        });
+    });
+    let e = expander(24, 4, 2.3 * 3f64.sqrt(), 1);
+    let mut g = hh_graph::Graph::new(96);
+    for c0 in 0..4 {
+        let off = (c0 * 24) as u32;
+        for v in 0..24u32 {
+            for &u in e.neighbors(v as usize) {
+                if v < u {
+                    g.add_edge(off + v, off + u);
+                }
+            }
+        }
+    }
+    group.bench_function("spectral_clusters_4x24", |b| {
+        b.iter(|| spectral_clusters(&g, &ClusterParams::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_wht,
+    bench_rs,
+    bench_ulrc,
+    bench_graph
+);
+criterion_main!(benches);

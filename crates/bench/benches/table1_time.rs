@@ -1,0 +1,68 @@
+//! Criterion bench for Table 1's time rows: client (user) work and
+//! server aggregation for PrivateExpanderSketch and baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_core::baselines::{Bitstogram, BitstogramParams};
+use hh_core::traits::HeavyHitterProtocol;
+use hh_core::{ExpanderSketch, SketchParams};
+use hh_math::rng::seeded_rng;
+use hh_sim::Workload;
+
+fn bench_client(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/user_time");
+    for &logn in &[14u32, 16] {
+        let n = 1u64 << logn;
+        let sketch = ExpanderSketch::new(SketchParams::optimal(n, 24, 2.0, 0.1), 1);
+        let bits = Bitstogram::new(BitstogramParams::optimal(n, 24, 2.0, 0.1), 2);
+        let mut rng = seeded_rng(3);
+        group.bench_with_input(BenchmarkId::new("expander_sketch", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % n;
+                sketch.respond(i, 0xBEEF, &mut rng)
+            });
+        });
+        let mut rng2 = seeded_rng(4);
+        group.bench_with_input(BenchmarkId::new("bitstogram", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % n;
+                bits.respond(i, 0xBEEF, &mut rng2)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/server_full_run");
+    group.sample_size(10);
+    let n = 1u64 << 14;
+    let data = Workload::planted(1 << 24, vec![(0xBEEF, 0.4)]).generate(n as usize, 5);
+    group.bench_function("expander_sketch", |b| {
+        b.iter(|| {
+            let mut server = ExpanderSketch::new(SketchParams::optimal(n, 24, 2.0, 0.1), 6);
+            let mut rng = seeded_rng(7);
+            for (i, &x) in data.iter().enumerate() {
+                let rep = server.respond(i as u64, x, &mut rng);
+                server.collect(i as u64, rep);
+            }
+            server.finish()
+        });
+    });
+    group.bench_function("bitstogram", |b| {
+        b.iter(|| {
+            let mut server = Bitstogram::new(BitstogramParams::optimal(n, 24, 2.0, 0.1), 8);
+            let mut rng = seeded_rng(9);
+            for (i, &x) in data.iter().enumerate() {
+                let rep = server.respond(i as u64, x, &mut rng);
+                server.collect(i as u64, rep);
+            }
+            server.finish()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_client, bench_server);
+criterion_main!(benches);

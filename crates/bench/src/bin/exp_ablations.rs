@@ -1,0 +1,166 @@
+//! Ablations AB.1–AB.3 — the design choices DESIGN.md calls out.
+//!
+//! * AB.1: per-coordinate independent hashes (the §3.1.2 idea) vs a
+//!   single shared hash (the \[3\] design): per-message failure
+//!   concentration vs all-or-nothing collisions.
+//! * AB.2: spectral clustering vs naive connected components in the
+//!   ULRC decoder's graph as cross-cluster noise grows.
+//! * AB.3: the ε split between the coordinate report and the final
+//!   oracle report.
+
+use hh_bench::{banner, fmt, Table};
+use hh_core::SketchParams;
+use hh_graph::cluster::{spectral_clusters, ClusterParams};
+use hh_graph::expander::expander;
+use hh_graph::Graph;
+use hh_hash::PairwiseHash;
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// AB.1: probability that a heavy element becomes unrecoverable due to
+/// hash collisions with other heavy mass — a single shared hash fails
+/// with constant probability no matter how many coordinates exist, while
+/// independent per-coordinate hashes drive the failure exponentially to
+/// zero in M (the §3.1.2 insight that removes \[3\]'s repetitions).
+fn ab1() {
+    println!("\n— AB.1: single shared hash vs per-coordinate hashes —\n");
+    let y_range = 64u64;
+    let alpha = 0.25;
+    let others = 4usize; // competing heavy elements in the same bucket
+    let trials = 30_000u64;
+    println!("Y = {y_range}, {others} competing heavies, alpha = {alpha}:\n");
+    let mut t = Table::new(&[
+        "M",
+        "single hash: Pr[fail]",
+        "per-coordinate: Pr[fail]",
+    ]);
+    for &m_coords in &[4usize, 8, 12, 16] {
+        let budget = (alpha * m_coords as f64).floor() as usize;
+        // Single shared hash: one collision kills every coordinate at
+        // once — M is irrelevant.
+        let mut fail_single = 0u64;
+        for trial in 0..trials {
+            let h = PairwiseHash::new(derive_seed(1, trial), y_range);
+            let target = h.hash(0);
+            if (1..=others as u64).any(|x| h.hash(x) == target) {
+                fail_single += 1;
+            }
+        }
+        // Per-coordinate hashes: failures are independent per coordinate;
+        // the message dies only when more than alpha*M coordinates fail.
+        let mut fail_multi = 0u64;
+        for trial in 0..trials {
+            let mut bad = 0usize;
+            for m in 0..m_coords {
+                let h = PairwiseHash::new(
+                    derive_seed(derive_seed(2, trial), m as u64),
+                    y_range,
+                );
+                let target = h.hash(0);
+                if (1..=others as u64).any(|x| h.hash(x) == target) {
+                    bad += 1;
+                }
+            }
+            if bad > budget {
+                fail_multi += 1;
+            }
+        }
+        t.row(&[
+            m_coords.to_string(),
+            fmt(fail_single as f64 / trials as f64),
+            fmt(fail_multi as f64 / trials as f64),
+        ]);
+    }
+    t.print();
+    println!("\nsingle-hash failure is flat in M — [3] must amplify with sqrt(log 1/beta)");
+    println!("independent repetitions; per-coordinate failure decays exponentially in M,");
+    println!("which is exactly how PrivateExpanderSketch earns its optimal beta dependence.");
+}
+
+/// AB.2: clustering robustness as cross-cluster noise edges grow.
+fn ab2() {
+    println!("\n— AB.2: spectral clustering vs connected components under noise —\n");
+    let (k, m, d) = (4usize, 24usize, 4usize);
+    let base = expander(m, d, 2.3 * ((d - 1) as f64).sqrt(), 3);
+    let mut t = Table::new(&[
+        "noise edges",
+        "spectral: clusters found",
+        "spectral: exact recoveries",
+        "conn-comp: clusters found",
+    ]);
+    for &noise in &[0usize, 4, 8, 16, 32] {
+        let mut g = Graph::new(k * m);
+        for c in 0..k {
+            let off = (c * m) as u32;
+            for v in 0..m as u32 {
+                for &u in base.neighbors(v as usize) {
+                    if v < u {
+                        g.add_edge(off + v, off + u);
+                    }
+                }
+            }
+        }
+        let mut rng = seeded_rng(derive_seed(4, noise as u64));
+        let mut added = 0;
+        while added < noise {
+            let a = rng.gen_range(0..(k * m) as u32);
+            let b = rng.gen_range(0..(k * m) as u32);
+            if a / m as u32 != b / m as u32 {
+                g.add_edge(a, b);
+                added += 1;
+            }
+        }
+        let spectral = spectral_clusters(&g, &ClusterParams::default());
+        let exact = (0..k)
+            .filter(|&c| {
+                let truth: std::collections::HashSet<u32> =
+                    ((c * m) as u32..((c + 1) * m) as u32).collect();
+                spectral.iter().any(|f| {
+                    let fs: std::collections::HashSet<u32> = f.iter().copied().collect();
+                    fs.intersection(&truth).count() as f64 >= 0.9 * m as f64
+                        && fs.len() <= (1.2 * m as f64) as usize
+                })
+            })
+            .count();
+        let cc = g.connected_components().len();
+        t.row(&[
+            noise.to_string(),
+            spectral.len().to_string(),
+            format!("{exact}/{k}"),
+            cc.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nconnected components collapse to 1 once any noise bridges clusters;");
+    println!("sweep-cut clustering keeps recovering them (the Theorem B.3 property).");
+}
+
+/// AB.3: the ε split between inner and outer reports.
+fn ab3() {
+    println!("\n— AB.3: privacy-budget split between coordinate and estimate reports —\n");
+    let n = 1u64 << 18;
+    let mut t = Table::new(&[
+        "inner fraction",
+        "detection Delta",
+        "estimation error bound",
+    ]);
+    for &frac in &[0.25f64, 0.4, 0.5, 0.6, 0.75] {
+        let mut p = SketchParams::optimal(n, 24, 2.0, 0.05);
+        p.inner_eps_fraction = frac;
+        t.row(&[
+            fmt(frac),
+            fmt(p.detection_threshold()),
+            fmt(p.estimation_error_bound()),
+        ]);
+    }
+    t.print();
+    println!("\nthe paper's 1/2 split is near-balanced; detection favors larger");
+    println!("inner budgets while estimate accuracy favors the outer oracle.");
+}
+
+fn main() {
+    banner("AB.1–AB.3 — ablations", "design choices called out in DESIGN.md");
+    ab1();
+    ab2();
+    ab3();
+}

@@ -1,0 +1,107 @@
+//! Experiments F3.13a/b — Theorem 3.13's error scaling in n, ε and |X|.
+//!
+//! Prints the protocol's calibrated detection threshold and *measured*
+//! estimation error across each parameter sweep, with the fitted log-log
+//! growth exponents next to the theory (1/2 in n, −1 in ε, and the
+//! sqrt-log growth in |X|).
+
+use hh_bench::{banner, fmt, Table};
+use hh_core::{ExpanderSketch, SketchParams};
+use hh_math::rng::derive_seed;
+use hh_math::stats::loglog_slope;
+use hh_sim::{run_heavy_hitter, Workload};
+
+fn measured_error(params: &SketchParams, seed: u64) -> (f64, bool) {
+    let n = params.n as usize;
+    let heavy = 0xCAFEu64 & ((1u64 << params.domain_bits) - 1);
+    let frac = (1.5 * params.detection_threshold() / n as f64).min(0.45);
+    let data =
+        Workload::planted(1u64 << params.domain_bits, vec![(heavy, frac)]).generate(n, seed);
+    let mut server = ExpanderSketch::new(params.clone(), derive_seed(seed, 1));
+    let run = run_heavy_hitter(&mut server, &data, derive_seed(seed, 2));
+    let truth = data.iter().filter(|&&x| x == heavy).count() as f64;
+    let found = run.estimates.iter().find(|&&(x, _)| x == heavy);
+    match found {
+        Some(&(_, est)) => ((est - truth).abs(), true),
+        None => (f64::NAN, false),
+    }
+}
+
+fn main() {
+    banner(
+        "F3.13a/b — Theorem 3.13",
+        "Delta = O((1/eps) sqrt(n log(|X|/beta))): growth 1/2 in n, -1 in eps, sqrt-log in |X|",
+    );
+    let beta = 0.1;
+
+    // Sweep n.
+    println!("\n— sweep n (|X| = 2^16, eps = 4) —\n");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut t = Table::new(&["n", "Delta", "Delta/sqrt(n)", "measured |est-true|", "recovered"]);
+    for &logn in &[15u32, 16, 17, 18] {
+        let n = 1u64 << logn;
+        let p = SketchParams::optimal(n, 16, 4.0, beta);
+        let d = p.detection_threshold();
+        let (err, ok) = measured_error(&p, 1000 + u64::from(logn));
+        xs.push(n as f64);
+        ys.push(d);
+        t.row(&[
+            format!("2^{logn}"),
+            fmt(d),
+            fmt(d / (n as f64).sqrt()),
+            fmt(err),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "log-log slope of Delta vs n: {:.3} (theory: 0.5)",
+        loglog_slope(&xs, &ys)
+    );
+
+    // Sweep eps.
+    println!("\n— sweep eps (n = 2^17, |X| = 2^16) —\n");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut t = Table::new(&["eps", "Delta", "Delta*eps", "measured |est-true|", "recovered"]);
+    for &eps in &[2.0f64, 3.0, 4.0, 6.0] {
+        let p = SketchParams::optimal(1 << 17, 16, eps, beta);
+        let d = p.detection_threshold();
+        let (err, ok) = measured_error(&p, 2000 + eps as u64);
+        xs.push(eps);
+        ys.push(d);
+        t.row(&[
+            fmt(eps),
+            fmt(d),
+            fmt(d * eps),
+            fmt(err),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "log-log slope of Delta vs eps: {:.3} (theory: ~-1 for small eps; flattens as c_eps -> 1)",
+        loglog_slope(&xs, &ys)
+    );
+
+    // Sweep |X|.
+    println!("\n— sweep |X| (n = 2^17, eps = 4) —\n");
+    let mut t = Table::new(&["|X|", "M", "Delta", "Delta/sqrt(n log X)", "measured", "recovered"]);
+    for &bits in &[16u32, 24, 32, 40] {
+        let p = SketchParams::optimal(1 << 17, bits, 4.0, beta);
+        let d = p.detection_threshold();
+        let (err, ok) = measured_error(&p, 3000 + u64::from(bits));
+        let shape = d / ((1u64 << 17) as f64 * f64::from(bits)).sqrt();
+        t.row(&[
+            format!("2^{bits}"),
+            p.num_coords.to_string(),
+            fmt(d),
+            fmt(shape),
+            fmt(err),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(4th column roughly constant = sqrt(log|X|) growth as claimed)");
+}

@@ -1,0 +1,109 @@
+//! Experiment T1.err — the headline claim (Table 1, "Worst-case error").
+//!
+//! `PrivateExpanderSketch`'s detection threshold is
+//! `Θ((1/ε)√(n·log(|X|/β)))` while prior work (Theorem 3.3 / Bitstogram)
+//! pays an extra `√(log(1/β))`. This experiment prints both protocols'
+//! calibrated thresholds across β (the deterministic quantity the
+//! theorems bound) and then *measures* recovery at a workload sized
+//! between the two thresholds — where our protocol must succeed and the
+//! baseline must fail.
+
+use hh_bench::{banner, fmt, Table};
+use hh_core::baselines::{Bitstogram, BitstogramParams};
+use hh_core::{ExpanderSketch, SketchParams};
+use hh_math::rng::derive_seed;
+use hh_sim::{metrics, run_heavy_hitter, Workload};
+
+fn main() {
+    banner(
+        "T1.err / Theorem 3.13 vs Theorem 3.3",
+        "error optimal in beta: ours ~ sqrt(n log(|X|/beta)), prior work x sqrt(log(1/beta))",
+    );
+    let n = 1u64 << 18;
+    let bits = 24u32;
+    let eps = 4.0;
+
+    println!("\ncalibrated detection thresholds, n = 2^18, |X| = 2^{bits}, eps = {eps}:\n");
+    let mut t = Table::new(&[
+        "beta",
+        "ours",
+        "bitstogram",
+        "ratio",
+        "ours/sqrt(n ln(X/b))",
+        "theirs/extra sqrt(ln 1/b)",
+    ]);
+    for &beta in &[0.25f64, 0.1, 1e-2, 1e-4, 1e-6, 1e-9, 1e-12] {
+        let ours = SketchParams::optimal(n, bits, eps, beta).detection_threshold();
+        let theirs = BitstogramParams::optimal(n, bits, eps, beta).detection_threshold();
+        let shape_ours = ours
+            / ((n as f64 * (f64::from(bits) * std::f64::consts::LN_2 + (1.0 / beta).ln())).sqrt()
+                / eps);
+        let shape_theirs = theirs / (ours * (1.0 / beta).ln().max(1.0).sqrt());
+        t.row(&[
+            format!("{beta:.0e}"),
+            fmt(ours),
+            fmt(theirs),
+            fmt(theirs / ours),
+            fmt(shape_ours),
+            fmt(shape_theirs),
+        ]);
+    }
+    t.print();
+    println!("\n(constant 4th/5th columns = the claimed functional forms hold)");
+
+    // Measured recovery between the thresholds.
+    println!("\nmeasured recovery at planted frequency between the two thresholds:");
+    let beta = 0.05;
+    let ours_params = SketchParams::optimal(n, bits, eps, beta);
+    let theirs_params = BitstogramParams::optimal(n, bits, eps, beta);
+    let d_ours = ours_params.detection_threshold();
+    let d_theirs = theirs_params.detection_threshold();
+    // Between the operating points: above our detection threshold but
+    // below the baseline's keep level (half its threshold).
+    let planted = (1.25 * d_ours)
+        .min(0.85 * d_theirs / 2.0)
+        .min(0.45 * n as f64);
+    assert!(planted > d_ours, "no gap to demonstrate at these parameters");
+    println!(
+        "  ours Δ = {:.0}, theirs Δ = {:.0} (keep level {:.0}), planted count ≈ {:.0}\n",
+        d_ours,
+        d_theirs,
+        d_theirs / 2.0,
+        planted
+    );
+    let heavy = 0xF00Du64;
+    let workload = Workload::planted(1u64 << bits, vec![(heavy, planted / n as f64)]);
+    let trials = 3u64;
+    let mut t = Table::new(&["protocol", "trial", "recovered", "max err", "list len"]);
+    for trial in 0..trials {
+        let data = workload.generate(n as usize, derive_seed(9000, trial));
+        let run = {
+            let mut s = ExpanderSketch::new(ours_params.clone(), derive_seed(1, trial));
+            run_heavy_hitter(&mut s, &data, derive_seed(2, trial))
+        };
+        let sum = metrics::summarize(&data, &run.estimates, planted);
+        t.row(&[
+            "ours".into(),
+            trial.to_string(),
+            format!("{}", run.estimates.iter().any(|&(x, _)| x == heavy)),
+            fmt(sum.max_error),
+            sum.list_len.to_string(),
+        ]);
+        let run = {
+            let mut s = Bitstogram::new(theirs_params.clone(), derive_seed(3, trial));
+            run_heavy_hitter(&mut s, &data, derive_seed(4, trial))
+        };
+        let sum = metrics::summarize(&data, &run.estimates, planted);
+        t.row(&[
+            "bitstogram".into(),
+            trial.to_string(),
+            format!("{}", run.estimates.iter().any(|&(x, _)| x == heavy)),
+            fmt(sum.max_error),
+            sum.list_len.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nexpected shape: ours recovers (planted > our Δ) with accurate estimates;");
+    println!("bitstogram cannot certify the element (planted sits below its keep level,");
+    println!("which its sqrt(log(1/beta))-inflated threshold forces) — the headline gap.");
+}

@@ -1,0 +1,140 @@
+//! Experiment F3.6 — the unique-list-recoverable code (Theorem 3.6 /
+//! Appendix B).
+//!
+//! Contract: every message present in at least `(1−α)M` lists is
+//! recovered, while adversarial junk entries never produce spurious
+//! codewords. Sweeps the corruption rate and the number of simultaneous
+//! messages, reporting recovery rates and output list sizes.
+
+use hh_bench::{banner, fmt, Table};
+use hh_codes::ulrc::{UlrcParams, UniqueListCode};
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// Build lists for `xs` with `corrupt` coordinates removed per message
+/// (plus unavoidable y-collision drops); returns (lists, per-message drop
+/// counts).
+fn build_lists(
+    c: &UniqueListCode,
+    xs: &[u64],
+    corrupt: usize,
+    junk_per_list: usize,
+    rng: &mut impl Rng,
+) -> (Vec<Vec<(u64, u64)>>, Vec<usize>) {
+    let m_coords = c.params().num_coords;
+    let mut drops: Vec<std::collections::HashSet<usize>> = xs
+        .iter()
+        .map(|_| {
+            let mut s = std::collections::HashSet::new();
+            while s.len() < corrupt {
+                s.insert(rng.gen_range(0..m_coords));
+            }
+            s
+        })
+        .collect();
+    let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m_coords];
+    for m in 0..m_coords {
+        let mut used: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if drops[i].contains(&m) {
+                continue;
+            }
+            let y = c.coord_hash(m, x);
+            if let Some(&other) = used.get(&y) {
+                lists[m].retain(|&(yy, _)| yy != y);
+                drops[other].insert(m);
+                drops[i].insert(m);
+                continue;
+            }
+            used.insert(y, i);
+            lists[m].push((y, c.enc_tilde(x, m)));
+        }
+        // Adversarial junk on fresh y values.
+        let mut added = 0;
+        while added < junk_per_list {
+            let y = rng.gen_range(0..c.params().y_range);
+            if lists[m].iter().all(|&(yy, _)| yy != y) {
+                lists[m].push((y, rng.gen_range(0..c.params().z_cardinality())));
+                added += 1;
+            } else if lists[m].len() >= c.params().y_range as usize {
+                break;
+            }
+        }
+    }
+    (lists, drops.iter().map(|d| d.len()).collect())
+}
+
+fn main() {
+    banner(
+        "F3.6 — unique-list-recoverable code (Theorem 3.6 / Appendix B)",
+        "recover all x present in >= (1-alpha)M lists; junk never decodes",
+    );
+    let mut params = UlrcParams::for_domain_bits(24);
+    params.y_range = 64; // multi-message sweep needs collision room
+    let code = UniqueListCode::new(params, 4242);
+    let m_coords = code.params().num_coords;
+    let alpha = code.params().alpha;
+    println!(
+        "\nM = {m_coords}, Y = {}, d = {}, GF(2^{}), alpha = {alpha}\n",
+        code.params().y_range,
+        code.params().degree,
+        code.params().gf_bits
+    );
+
+    println!("— recovery vs corrupted coordinates (8 messages, 20 trials each) —\n");
+    let mut t = Table::new(&[
+        "corrupt/M",
+        "in-contract msgs",
+        "recovered",
+        "rate",
+        "spurious",
+    ]);
+    for corrupt in 0..=(m_coords / 2) {
+        let mut rng = seeded_rng(derive_seed(1, corrupt as u64));
+        let (mut contract, mut recovered, mut spurious) = (0u64, 0u64, 0u64);
+        for _ in 0..20 {
+            let xs: Vec<u64> = (0..8).map(|_| rng.gen_range(0..1u64 << 24)).collect();
+            let (lists, drops) = build_lists(&code, &xs, corrupt, 4, &mut rng);
+            let got = code.decode(&lists);
+            let budget = (alpha * m_coords as f64).floor() as usize;
+            for (i, &x) in xs.iter().enumerate() {
+                if drops[i] <= budget {
+                    contract += 1;
+                    if got.contains(&x) {
+                        recovered += 1;
+                    }
+                }
+            }
+            spurious += got.iter().filter(|g| !xs.contains(g)).count() as u64;
+        }
+        t.row(&[
+            format!("{corrupt}/{m_coords}"),
+            contract.to_string(),
+            recovered.to_string(),
+            fmt(recovered as f64 / contract.max(1) as f64),
+            spurious.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nexpected: rate ~1 well inside the alpha*M = {:.0} budget, degrading only at",
+        alpha * m_coords as f64
+    );
+    println!("the boundary (a message at exactly the budget can lose further cluster");
+    println!("vertices to degree pruning); spurious decodes = 0 at every corruption level.");
+
+    println!("\n— list-size scaling (Definition 3.5's L <= C*ell) —\n");
+    let mut t = Table::new(&["messages", "recovered", "output size L"]);
+    for &count in &[1usize, 4, 8, 16] {
+        let mut rng = seeded_rng(derive_seed(2, count as u64));
+        let xs: Vec<u64> = (0..count).map(|_| rng.gen_range(0..1u64 << 24)).collect();
+        let (lists, _) = build_lists(&code, &xs, 0, 2, &mut rng);
+        let got = code.decode(&lists);
+        t.row(&[
+            count.to_string(),
+            got.iter().filter(|g| xs.contains(g)).count().to_string(),
+            got.len().to_string(),
+        ]);
+    }
+    t.print();
+}

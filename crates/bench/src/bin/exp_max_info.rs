@@ -1,0 +1,65 @@
+//! Experiment F4.5 — max-information of LDP protocols (Theorem 4.5).
+//!
+//! `I^β_∞(A, n) <= nε²/2 + ε√(2n ln(1/β))` for **arbitrary** input
+//! distributions. Computes the exact β-approximate max-information of
+//! randomized-response protocols on small n for maximally correlated and
+//! product input distributions, against the bound.
+
+use hh_bench::{banner, fmt, Table};
+use hh_freq::randomizers::BinaryRandomizedResponse;
+use hh_structure::max_info::{exact_joint, exact_max_information, max_information_bound};
+
+fn correlated(n: usize) -> Vec<(f64, Vec<u64>)> {
+    vec![(0.5, vec![0; n]), (0.5, vec![1; n])]
+}
+
+fn product(n: usize) -> Vec<(f64, Vec<u64>)> {
+    let count = 1usize << n;
+    (0..count)
+        .map(|mask| {
+            (
+                1.0 / count as f64,
+                (0..n).map(|i| (mask >> i) as u64 & 1).collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "F4.5 — max-information (Theorem 4.5)",
+        "I^beta <= n eps^2/2 + eps sqrt(2n ln(1/beta)), even for non-product inputs",
+    );
+    let eps = 0.4;
+    println!("\neps = {eps}; exact computation over all transcripts:\n");
+    let mut t = Table::new(&[
+        "n",
+        "beta",
+        "exact I (correlated D)",
+        "exact I (product D)",
+        "Thm 4.5 bound",
+    ]);
+    for &n in &[2usize, 4, 6, 8] {
+        for &beta in &[0.01f64, 0.1] {
+            let rr = BinaryRandomizedResponse::new(eps);
+            let ic = exact_max_information(&exact_joint(&rr, &correlated(n)), beta);
+            let ip = if n <= 6 {
+                exact_max_information(&exact_joint(&rr, &product(n)), beta)
+            } else {
+                f64::NAN
+            };
+            let bound = max_information_bound(n as u64, eps, beta);
+            t.row(&[
+                n.to_string(),
+                fmt(beta),
+                fmt(ic),
+                if ip.is_nan() { "-".into() } else { fmt(ip) },
+                fmt(bound),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nexpected: every exact value below the bound; the correlated");
+    println!("distribution (which breaks the central-model analyses the paper");
+    println!("cites) is capped by its one-bit secret, far under the bound.");
+}

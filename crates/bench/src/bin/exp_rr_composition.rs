@@ -1,0 +1,78 @@
+//! Experiment F5.1 — composition for randomized response (Theorem 5.1).
+//!
+//! `M̃` is pure `ε̃ = 6ε√(k ln(1/β))`-DP yet equals the k-fold ε-RR
+//! composition `M` outside an event of probability β. Prints, across k:
+//! the basic-composition level kε, ε̃, the *audited exact* pure-DP level
+//! of `M̃`, and the exact TV distance to `M` — everything computed from
+//! closed-form densities.
+
+use hh_bench::{banner, fmt, Table};
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::info::tv_distance;
+use hh_structure::rr_compose::ApproxComposedRr;
+
+fn main() {
+    banner(
+        "F5.1 — pure-LDP composition for randomized response (Theorem 5.1)",
+        "M~ is 6 eps sqrt(k ln 1/beta)-pure-DP and TV(M~, M) <= beta",
+    );
+    let eps = 0.04;
+    let beta = 0.05;
+    println!("\nper-bit eps = {eps}, beta = {beta}:\n");
+    let mut t = Table::new(&[
+        "k",
+        "basic k*eps",
+        "eps~ (Thm 5.1)",
+        "audited eps(M~)",
+        "exact TV(M~, M)",
+        "escape Pr",
+    ]);
+    for &k in &[16u32, 25, 36, 49] {
+        let mt = ApproxComposedRr::new(k, eps, beta);
+        // Audited epsilon over distance-extremal inputs (density depends
+        // only on Hamming distances).
+        let x0 = 0u64;
+        let x1 = (1u64 << k) - 1;
+        let mut audited: f64 = 0.0;
+        for d in 0..=k {
+            let y = (1u64 << d) - 1;
+            let l0 = mt.log_density(RandomizerInput::Value(x0), y);
+            let l1 = mt.log_density(RandomizerInput::Value(x1), y);
+            audited = audited.max((l0 - l1).abs());
+        }
+        let tv = if k <= 25 {
+            let p = mt.distribution(RandomizerInput::Value(0x155 & ((1 << k) - 1)));
+            let q = mt
+                .inner()
+                .distribution(RandomizerInput::Value(0x155 & ((1 << k) - 1)));
+            tv_distance(&p, &q)
+        } else {
+            f64::NAN
+        };
+        t.row(&[
+            k.to_string(),
+            fmt(f64::from(k) * eps),
+            fmt(mt.epsilon_tilde()),
+            fmt(audited),
+            if tv.is_nan() { "-".into() } else { fmt(tv) },
+            fmt(mt.escape_probability()),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: audited <= eps~; TV = escape <= beta; for k >> 36·ln(1/beta)");
+    println!("the pure level eps~ undercuts basic composition k*eps — approximate-DP");
+    println!("composition rates, from a pure mechanism (the Section 5 phenomenon).");
+
+    println!("\n— the sqrt(k) separation at scale (formula level) —\n");
+    let mut t = Table::new(&["k", "basic k*eps", "eps~", "ratio"]);
+    for &k in &[256u32, 1024, 4096, 16384] {
+        let eps_tilde = 6.0 * eps * (f64::from(k) * (1.0f64 / beta).ln()).sqrt();
+        t.row(&[
+            k.to_string(),
+            fmt(f64::from(k) * eps),
+            fmt(eps_tilde),
+            fmt(f64::from(k) * eps / eps_tilde),
+        ]);
+    }
+    t.print();
+}

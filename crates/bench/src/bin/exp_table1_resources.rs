@@ -1,0 +1,99 @@
+//! Experiments T1.time / T1.mem / T1.comm — the resource rows of Table 1.
+//!
+//! Measures server time, per-user time, server memory, per-user
+//! communication and public-randomness size for `PrivateExpanderSketch`,
+//! Bitstogram (\[3\]) and the Bassily–Smith-style projection oracle (\[4\],
+//! with its heavy-hitter search realized as the domain scan the paper
+//! deems impractical), across n. Expected shapes per Table 1: ours/\[3\]
+//! near-linear server time and O~(1) user cost with O~(√n) memory;
+//! \[4\] linear-in-n memory and a per-query cost that makes domain scans
+//! explode.
+
+use hh_bench::{banner, fmt_dur, Table};
+use hh_core::baselines::{Bitstogram, BitstogramParams};
+use hh_core::{ExpanderSketch, SketchParams};
+use hh_freq::bassily_smith::BassilySmithOracle;
+use hh_math::rng::derive_seed;
+use hh_sim::{run_heavy_hitter, run_oracle, Workload};
+
+fn main() {
+    banner(
+        "T1.time / T1.mem / T1.comm — Table 1 resource rows",
+        "ours,[3]: O~(n) server, O~(1) user, O~(sqrt n) memory, O(1) comm; [4]: O(n) memory, O(n) per query",
+    );
+    let bits = 20u32;
+    let eps = 4.0;
+    let beta = 0.1;
+
+    let mut t = Table::new(&[
+        "protocol",
+        "n",
+        "server",
+        "user(mean)",
+        "memory",
+        "report bits",
+        "pub rand",
+    ]);
+    for &logn in &[14u32, 16, 18] {
+        let n = 1u64 << logn;
+        let workload = Workload::zipf(1u64 << bits, 1.2);
+        let data = workload.generate(n as usize, derive_seed(7, u64::from(logn)));
+
+        let p = SketchParams::optimal(n, bits, eps, beta);
+        let mut s = ExpanderSketch::new(p, 1);
+        let run = run_heavy_hitter(&mut s, &data, 2);
+        t.row(&[
+            "ours".into(),
+            format!("2^{logn}"),
+            fmt_dur(run.server_time()),
+            fmt_dur(run.user_time()),
+            format!("{} KiB", run.memory_bytes / 1024),
+            run.report_bits.to_string(),
+            "64 bits (one seed)".into(),
+        ]);
+
+        let p = BitstogramParams::optimal(n, bits, eps, beta);
+        let mut s = Bitstogram::new(p, 3);
+        let run = run_heavy_hitter(&mut s, &data, 4);
+        t.row(&[
+            "bitstogram [3]".into(),
+            format!("2^{logn}"),
+            fmt_dur(run.server_time()),
+            fmt_dur(run.user_time()),
+            format!("{} KiB", run.memory_bytes / 1024),
+            run.report_bits.to_string(),
+            "64 bits (one seed)".into(),
+        ]);
+
+        // Bassily–Smith FO with w = n rows; query cost O(n) each. A
+        // full heavy-hitter scan would be n·|X| — measure a 512-query
+        // slice and extrapolate.
+        let mut o = BassilySmithOracle::new(1u64 << bits, eps, n, 5);
+        let queries: Vec<u64> = (0..512u64).collect();
+        let run = run_oracle(&mut o, &data, &queries, 6);
+        let full_scan = run.query_total.as_secs_f64() / 512.0 * (1u64 << bits) as f64;
+        t.row(&[
+            "bassily-smith [4]".into(),
+            format!("2^{logn}"),
+            format!(
+                "{} (+{} scan-extrapolated)",
+                fmt_dur(run.server_build),
+                fmt_dur(std::time::Duration::from_secs_f64(full_scan))
+            ),
+            fmt_dur(std::time::Duration::from_nanos(
+                (run.client_total.as_nanos() as u64) / n,
+            )),
+            format!("{} KiB", run.memory_bytes / 1024),
+            run.report_bits.to_string(),
+            "64 bits (hash-compressed Phi)".into(),
+        ]);
+    }
+    t.print();
+    println!("\nnotes:");
+    println!("  - [4]'s Table-1 entries (n^1.5 user, n^2.5 server, n^1.5 public coins)");
+    println!("    assume explicitly materialized public randomness; our implementation");
+    println!("    hash-compresses Phi (the option their footnote 2 concedes), so the");
+    println!("    measured gap shows in memory (linear in n) and the scan-extrapolated");
+    println!("    heavy-hitter search time (linear in |X|), not in raw report cost.");
+    println!("  - ours/[3]: user time flat in n, memory ~sqrt(n) — the Table 1 shapes.");
+}

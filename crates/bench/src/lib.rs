@@ -1,0 +1,117 @@
+//! Shared utilities for the experiment harness.
+//!
+//! The binaries in `src/bin/exp_*.rs` regenerate every quantitative claim
+//! of the paper (see EXPERIMENTS.md for the index); this library holds
+//! the table-printing and sweep plumbing they share.
+
+/// A fixed-width text table writer for experiment output.
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            widths: headers.iter().map(|h| h.len().max(8)).collect(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        for (w, c) in self.widths.iter_mut().zip(cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&self.widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+        let rule: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", rule.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", cells.join("  "));
+        }
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2}us", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// Print an experiment banner with provenance info.
+pub fn banner(id: &str, claim: &str) {
+    println!("==================================================================");
+    println!("experiment {id}");
+    println!("  claim: {claim}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new(&["a", "beta"]);
+        t.row(&["1".into(), fmt(0.25)]);
+        t.row(&["200".into(), fmt(1e-9)]);
+        t.print();
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.25), "0.250");
+        assert_eq!(fmt(12345.0), "12345");
+        assert_eq!(fmt(1e9), "1.00e9");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,576 @@
+//! The `(α, ℓ, L)`-unique-list-recoverable code of Theorem 3.6.
+//!
+//! Encoding (Appendix B): fix pairwise-independent hashes
+//! `h_1, …, h_M : X → [Y]` and a d-regular expander `F` on `[M]`. Then
+//!
+//! ```text
+//! Enc(x)_m   = ( h_m(x), E~nc(x)_m )
+//! E~nc(x)_m  = ( rs(x)_m, h_{Γ(m)_1}(x), …, h_{Γ(m)_d}(x) )
+//! ```
+//!
+//! where `rs(x)` is an outer Reed–Solomon codeword over the bits of `x`
+//! and `Γ(m)_k` is the k-th expander neighbor of coordinate `m`. The
+//! second component is packed into a single integer `z < Z` so protocol
+//! layers can treat coordinates as elements of `[Y]×[Z]`.
+//!
+//! Decoding: lists `L_1, …, L_M` of `(y, z)` pairs (unique `y` per list)
+//! induce a layered graph on `[M]×[Y]` — an edge is kept only when *both*
+//! endpoints claim it, which is what defeats adversarial junk entries.
+//! Every codeword present in `(1−α)M` lists forms an `O(α)`-spectral
+//! cluster; spectral clustering plus low-degree pruning recovers the
+//! clusters, and the Reed–Solomon decoder (missing coordinates = erasures)
+//! recovers each codeword.
+
+use crate::rs::ReedSolomon;
+use hh_graph::cluster::{prune_low_degree, spectral_clusters, ClusterParams};
+use hh_graph::expander::{expander, ExpanderGraph};
+use hh_graph::Graph;
+use hh_hash::family::labels;
+use hh_hash::{HashFamily, PairwiseHash};
+
+/// Parameters of a [`UniqueListCode`].
+#[derive(Debug, Clone)]
+pub struct UlrcParams {
+    /// Number of coordinates `M` (outer-code block length).
+    pub num_coords: usize,
+    /// Range `Y` of the per-coordinate hashes.
+    pub y_range: u64,
+    /// Expander degree `d`.
+    pub degree: usize,
+    /// Outer-code symbol width in bits (`GF(2^gf_bits)` symbols).
+    pub gf_bits: u32,
+    /// Bits of the message domain `X` (codewords encode `x < 2^domain_bits`).
+    pub domain_bits: u32,
+    /// Advertised corruption tolerance `α`: every `x` whose encoding
+    /// appears in at least `(1−α)M` lists must be recovered.
+    pub alpha: f64,
+    /// Clustering configuration for the decoder.
+    pub cluster: ClusterParams,
+}
+
+impl UlrcParams {
+    /// A practical default profile for a given message-domain width.
+    ///
+    /// `M` is chosen so the Reed–Solomon code has rate ≤ 1/2 (pure-erasure
+    /// tolerance ≥ M/2, error-form tolerance ≥ M/4), mirroring the paper's
+    /// constant-rate constant-distance outer code.
+    pub fn for_domain_bits(domain_bits: u32) -> Self {
+        let gf_bits = 4u32;
+        let k = domain_bits.div_ceil(gf_bits) as usize;
+        // Rate <= 1/2 and even M (expander needs d*M even for odd d; we
+        // use even d, but keep M even anyway for symmetry with sweeps).
+        let num_coords = (2 * k).clamp(8, 14).max(k + 4);
+        assert!(
+            num_coords <= 15,
+            "domain of {domain_bits} bits needs block length > 15; use gf_bits = 5+"
+        );
+        Self {
+            num_coords,
+            y_range: 16,
+            degree: 4,
+            gf_bits,
+            domain_bits,
+            alpha: 0.25,
+            cluster: ClusterParams::default(),
+        }
+    }
+
+    /// Cardinality of the packed `z` component: `Z = 2^gf_bits · Y^d`.
+    pub fn z_cardinality(&self) -> u64 {
+        (1u64 << self.gf_bits) * self.y_range.pow(self.degree as u32)
+    }
+}
+
+/// An instantiated unique-list-recoverable code (Theorem 3.6).
+#[derive(Debug, Clone)]
+pub struct UniqueListCode {
+    params: UlrcParams,
+    rs: ReedSolomon,
+    graph: ExpanderGraph,
+    hashes: Vec<PairwiseHash>,
+    /// `neighbor_slot[m]` maps each neighbor `m'` of `m` to the slot index
+    /// of `m` in `neighbors(m')` — the back-pointer used for mutual edge
+    /// verification.
+    neighbor_slot: Vec<Vec<usize>>,
+}
+
+impl UniqueListCode {
+    /// Build the code from parameters and a public-randomness seed (which
+    /// fixes the hashes `h_m` and the expander).
+    pub fn new(params: UlrcParams, seed: u64) -> Self {
+        let k = params.domain_bits.div_ceil(params.gf_bits) as usize;
+        assert!(
+            k <= params.num_coords,
+            "domain ({} bits) does not fit: k = {k} > M = {}",
+            params.domain_bits,
+            params.num_coords
+        );
+        assert!(params.num_coords * params.degree % 2 == 0, "M*d must be even");
+        let max_alpha_erasures = (params.num_coords - k) as f64 / params.num_coords as f64;
+        assert!(
+            params.alpha <= max_alpha_erasures,
+            "alpha = {} exceeds the outer code's erasure budget {max_alpha_erasures}",
+            params.alpha
+        );
+        let rs = ReedSolomon::new(params.gf_bits, params.num_coords, k);
+        let family = HashFamily::new(seed);
+        let d = params.degree;
+        let lambda0 = (2.3 * ((d - 1) as f64).sqrt()).min(d as f64 * 0.98);
+        let graph = expander(
+            params.num_coords,
+            d,
+            lambda0,
+            family.component_seed(labels::EXPANDER, 0),
+        );
+        let hashes: Vec<PairwiseHash> = (0..params.num_coords as u64)
+            .map(|m| family.pairwise(labels::SKETCH_COORD_HASH, m, params.y_range))
+            .collect();
+        let neighbor_slot = (0..params.num_coords)
+            .map(|m| {
+                graph
+                    .neighbors(m)
+                    .iter()
+                    .map(|&mp| {
+                        graph
+                            .neighbors(mp as usize)
+                            .iter()
+                            .position(|&back| back as usize == m)
+                            .expect("expander adjacency must be symmetric")
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            params,
+            rs,
+            graph,
+            hashes,
+            neighbor_slot,
+        }
+    }
+
+    /// Code parameters.
+    pub fn params(&self) -> &UlrcParams {
+        &self.params
+    }
+
+    /// The underlying verified expander.
+    pub fn expander(&self) -> &ExpanderGraph {
+        &self.graph
+    }
+
+    /// `h_m(x)` — the coordinate hash (the `y` component of `Enc(x)_m`).
+    pub fn coord_hash(&self, m: usize, x: u64) -> u64 {
+        self.hashes[m].hash(x)
+    }
+
+    /// Message symbols of `x` (little-endian `gf_bits` chunks).
+    fn message_symbols(&self, x: u64) -> Vec<u16> {
+        assert!(
+            self.params.domain_bits == 64 || x < (1u64 << self.params.domain_bits),
+            "x = {x} outside the {}-bit domain",
+            self.params.domain_bits
+        );
+        let mask = (1u64 << self.params.gf_bits) - 1;
+        (0..self.rs.message_len())
+            .map(|i| ((x >> (i as u32 * self.params.gf_bits)) & mask) as u16)
+            .collect()
+    }
+
+    fn symbols_to_message(&self, syms: &[u16]) -> u64 {
+        syms.iter().enumerate().fold(0u64, |acc, (i, &s)| {
+            acc | (u64::from(s) << (i as u32 * self.params.gf_bits))
+        })
+    }
+
+    /// Pack `(rs symbol, neighbor hash values)` into `z < Z`.
+    pub fn pack_z(&self, sym: u16, neighbor_ys: &[u64]) -> u64 {
+        debug_assert_eq!(neighbor_ys.len(), self.params.degree);
+        let mut acc = 0u64;
+        for &y in neighbor_ys.iter().rev() {
+            debug_assert!(y < self.params.y_range);
+            acc = acc * self.params.y_range + y;
+        }
+        (acc << self.params.gf_bits) | u64::from(sym)
+    }
+
+    /// Inverse of [`UniqueListCode::pack_z`].
+    pub fn unpack_z(&self, z: u64) -> (u16, Vec<u64>) {
+        let sym = (z & ((1u64 << self.params.gf_bits) - 1)) as u16;
+        let mut acc = z >> self.params.gf_bits;
+        let ys = (0..self.params.degree)
+            .map(|_| {
+                let y = acc % self.params.y_range;
+                acc /= self.params.y_range;
+                y
+            })
+            .collect();
+        (sym, ys)
+    }
+
+    /// `E~nc(x)_m` packed as `z` (everything except the leading `h_m(x)`).
+    pub fn enc_tilde(&self, x: u64, m: usize) -> u64 {
+        let cw = self.rs.encode(&self.message_symbols(x));
+        self.enc_tilde_with_codeword(&cw, x, m)
+    }
+
+    fn enc_tilde_with_codeword(&self, cw: &[u16], x: u64, m: usize) -> u64 {
+        let neighbor_ys: Vec<u64> = self
+            .graph
+            .neighbors(m)
+            .iter()
+            .map(|&mp| self.coord_hash(mp as usize, x))
+            .collect();
+        self.pack_z(cw[m], &neighbor_ys)
+    }
+
+    /// Full encoding `Enc(x) = ((h_1(x), z_1), …, (h_M(x), z_M))`.
+    pub fn encode(&self, x: u64) -> Vec<(u64, u64)> {
+        let cw = self.rs.encode(&self.message_symbols(x));
+        (0..self.params.num_coords)
+            .map(|m| (self.coord_hash(m, x), self.enc_tilde_with_codeword(&cw, x, m)))
+            .collect()
+    }
+
+    /// Decode lists `L_1, …, L_M` of `(y, z)` pairs.
+    ///
+    /// Entries with duplicate `y` within a list are dropped beyond the
+    /// first (Definition 3.5 presumes `y`-uniqueness; the protocol's
+    /// argmax step guarantees it). Returns the recovered messages, deduped,
+    /// each verified to agree with its lists on `≥ (1−α)M` coordinates.
+    pub fn decode(&self, lists: &[Vec<(u64, u64)>]) -> Vec<u64> {
+        let m_coords = self.params.num_coords;
+        assert_eq!(lists.len(), m_coords, "need one list per coordinate");
+        let y_range = self.params.y_range;
+        // Per-coordinate maps y -> z with first-entry-wins dedup.
+        let mut entry: Vec<std::collections::HashMap<u64, u64>> =
+            vec![std::collections::HashMap::new(); m_coords];
+        for (m, list) in lists.iter().enumerate() {
+            for &(y, z) in list {
+                assert!(y < y_range, "list entry y = {y} out of range");
+                assert!(z < self.params.z_cardinality(), "list entry z out of range");
+                entry[m].entry(y).or_insert(z);
+            }
+        }
+        // Layered graph on [M]×[Y]; edge kept iff both endpoints claim it.
+        let vertex = |m: usize, y: u64| -> u32 { (m as u64 * y_range + y) as u32 };
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for m in 0..m_coords {
+            for (&y, &z) in &entry[m] {
+                let (_, neighbor_ys) = self.unpack_z(z);
+                for (k, &yp) in neighbor_ys.iter().enumerate() {
+                    let mp = self.graph.neighbor(m, k) as usize;
+                    // Only add each undirected edge from the lower side.
+                    if mp < m {
+                        continue;
+                    }
+                    if let Some(&zp) = entry[mp].get(&yp) {
+                        let (_, back_ys) = self.unpack_z(zp);
+                        let back_slot = self.neighbor_slot[m][k];
+                        if back_ys[back_slot] == y {
+                            edges.push((vertex(m, y), vertex(mp, yp)));
+                        }
+                    }
+                }
+            }
+        }
+        let g = Graph::from_edges(m_coords * y_range as usize, edges);
+        let clusters = spectral_clusters(&g, &self.params.cluster);
+        let mut out: Vec<u64> = Vec::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for cluster in clusters {
+            let pruned = prune_low_degree(&g, &cluster, self.params.degree / 2);
+            if pruned.is_empty() {
+                continue;
+            }
+            // Assemble the received word: one symbol per coordinate, with
+            // ambiguous/missing coordinates as erasures.
+            let mut received: Vec<Option<u16>> = vec![None; m_coords];
+            let mut ambiguous = vec![false; m_coords];
+            for &v in &pruned {
+                let m = (u64::from(v) / y_range) as usize;
+                let y = u64::from(v) % y_range;
+                if received[m].is_some() || ambiguous[m] {
+                    received[m] = None;
+                    ambiguous[m] = true;
+                    continue;
+                }
+                if let Some(&z) = entry[m].get(&y) {
+                    let (sym, _) = self.unpack_z(z);
+                    received[m] = Some(sym);
+                }
+            }
+            let Some(msg_syms) = self.rs.decode(&received) else {
+                continue;
+            };
+            let x = self.symbols_to_message(&msg_syms);
+            if self.params.domain_bits < 64 && x >= (1u64 << self.params.domain_bits) {
+                continue;
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            // Final Definition 3.5 filter: x must actually be present in
+            // enough lists.
+            let enc = self.encode(x);
+            let hits = enc
+                .iter()
+                .enumerate()
+                .filter(|(m, (y, z))| entry[*m].get(y) == Some(z))
+                .count();
+            if hits as f64 >= (1.0 - self.params.alpha) * m_coords as f64 {
+                out.push(x);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn code(domain_bits: u32, seed: u64) -> UniqueListCode {
+        UniqueListCode::new(UlrcParams::for_domain_bits(domain_bits), seed)
+    }
+
+    /// A wide-Y profile for tests that decode many messages at once: the
+    /// protocol's group hash `g` keeps messages-per-decode small (paper
+    /// events E1/E5 need `Y ≳ |H^b|²`), so multi-message tests must widen
+    /// `Y` accordingly to keep coordinate collisions within `α`.
+    fn wide_code(domain_bits: u32, seed: u64) -> UniqueListCode {
+        let mut params = UlrcParams::for_domain_bits(domain_bits);
+        params.y_range = 128;
+        UniqueListCode::new(params, seed)
+    }
+
+    /// Build honest lists for a set of messages, dropping coordinates where
+    /// two messages collide on `y` (those are "bad" coordinates for both, as
+    /// in the paper's analysis) and then corrupting `corrupt_per_x`
+    /// coordinates of each message (removal). Returns the lists and the
+    /// total number of dropped coordinates per message, so tests can check
+    /// the Definition 3.5 contract against the *actual* corruption level.
+    fn build_lists_with_drops(
+        c: &UniqueListCode,
+        xs: &[u64],
+        corrupt_per_x: usize,
+        rng: &mut SmallRng,
+    ) -> (Vec<Vec<(u64, u64)>>, Vec<usize>) {
+        let m_coords = c.params().num_coords;
+        let mut drops: Vec<std::collections::HashSet<usize>> = xs
+            .iter()
+            .map(|_| {
+                let mut s = std::collections::HashSet::new();
+                while s.len() < corrupt_per_x {
+                    s.insert(rng.gen_range(0..m_coords));
+                }
+                s
+            })
+            .collect();
+        let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m_coords];
+        for m in 0..m_coords {
+            let mut used: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+            for (i, &x) in xs.iter().enumerate() {
+                if drops[i].contains(&m) {
+                    continue;
+                }
+                let y = c.coord_hash(m, x);
+                if let Some(&other) = used.get(&y) {
+                    // y-collision: coordinate becomes bad for both messages.
+                    lists[m].retain(|&(yy, _)| yy != y);
+                    drops[other].insert(m);
+                    drops[i].insert(m);
+                    continue;
+                }
+                used.insert(y, i);
+                lists[m].push((y, c.enc_tilde(x, m)));
+            }
+        }
+        let drop_counts = drops.iter().map(|s| s.len()).collect();
+        (lists, drop_counts)
+    }
+
+    fn build_lists(
+        c: &UniqueListCode,
+        xs: &[u64],
+        corrupt_per_x: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<Vec<(u64, u64)>> {
+        build_lists_with_drops(c, xs, corrupt_per_x, rng).0
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = code(24, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let sym = rng.gen_range(0..16u16);
+            let ys: Vec<u64> = (0..c.params().degree)
+                .map(|_| rng.gen_range(0..c.params().y_range))
+                .collect();
+            let z = c.pack_z(sym, &ys);
+            assert!(z < c.params().z_cardinality());
+            let (s2, ys2) = c.unpack_z(z);
+            assert_eq!((sym, ys), (s2, ys2));
+        }
+    }
+
+    #[test]
+    fn encode_shape() {
+        let c = code(24, 3);
+        let enc = c.encode(0xABCDEF);
+        assert_eq!(enc.len(), c.params().num_coords);
+        for (m, &(y, z)) in enc.iter().enumerate() {
+            assert!(y < c.params().y_range);
+            assert!(z < c.params().z_cardinality());
+            assert_eq!(y, c.coord_hash(m, 0xABCDEF));
+        }
+    }
+
+    #[test]
+    fn decodes_single_clean_message() {
+        let c = code(24, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs = [0x00F00Du64];
+        let lists = build_lists(&c, &xs, 0, &mut rng);
+        let got = c.decode(&lists);
+        assert_eq!(got, vec![0x00F00D]);
+    }
+
+    #[test]
+    fn decodes_many_clean_messages() {
+        let c = wide_code(24, 6);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| rng.gen_range(0..1 << 24)).collect();
+        let lists = build_lists(&c, &xs, 0, &mut rng);
+        let mut got = c.decode(&lists);
+        got.sort_unstable();
+        let mut want = xs.clone();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn narrow_y_handles_few_messages() {
+        // The protocol-facing profile (Y = 16) is only asked to separate a
+        // handful of messages per decode; verify that contract directly.
+        let c = code(24, 61);
+        let mut rng = SmallRng::seed_from_u64(62);
+        let xs: Vec<u64> = (0..3).map(|_| rng.gen_range(0..1 << 24)).collect();
+        let lists = build_lists(&c, &xs, 0, &mut rng);
+        let got = c.decode(&lists);
+        for &x in &xs {
+            assert!(got.contains(&x), "lost {x:#x} with narrow Y");
+        }
+    }
+
+    #[test]
+    fn recovers_despite_alpha_fraction_corruption() {
+        let c = wide_code(24, 8);
+        let m_coords = c.params().num_coords;
+        let alpha_budget = (c.params().alpha * m_coords as f64).floor() as usize;
+        let corrupt = (alpha_budget - 1).max(1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let xs: Vec<u64> = (0..6).map(|_| rng.gen_range(0..1 << 24)).collect();
+        let (lists, drops) = build_lists_with_drops(&c, &xs, corrupt, &mut rng);
+        let got = c.decode(&lists);
+        let mut in_contract = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            // Definition 3.5 only promises recovery of messages present in
+            // at least (1−α)M lists; collisions may push some past that.
+            if drops[i] <= alpha_budget {
+                in_contract += 1;
+                assert!(
+                    got.contains(&x),
+                    "lost {x:#x} with {} <= {alpha_budget} drops",
+                    drops[i]
+                );
+            }
+        }
+        assert!(in_contract >= 4, "test degenerated: only {in_contract} in contract");
+    }
+
+    #[test]
+    fn adversarial_junk_entries_do_not_create_codewords() {
+        // Fill the lists with random junk that no honest encoder produced;
+        // mutual-edge verification must reject it.
+        let c = code(24, 10);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let m_coords = c.params().num_coords;
+        let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m_coords];
+        for list in lists.iter_mut() {
+            let mut ys: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            while ys.len() < 8 {
+                ys.insert(rng.gen_range(0..c.params().y_range));
+            }
+            for y in ys {
+                list.push((y, rng.gen_range(0..c.params().z_cardinality())));
+            }
+        }
+        let got = c.decode(&lists);
+        assert!(got.is_empty(), "junk produced outputs: {got:?}");
+    }
+
+    #[test]
+    fn honest_message_survives_surrounding_junk() {
+        let c = code(24, 12);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let x = 0x5A5A5Au64;
+        let mut lists = build_lists(&c, &[x], 0, &mut rng);
+        // Sprinkle junk entries with fresh y values.
+        for (m, list) in lists.iter_mut().enumerate() {
+            let honest_y = c.coord_hash(m, x);
+            for _ in 0..6 {
+                let y = rng.gen_range(0..c.params().y_range);
+                if y != honest_y && !list.iter().any(|&(yy, _)| yy == y) {
+                    list.push((y, rng.gen_range(0..c.params().z_cardinality())));
+                }
+            }
+        }
+        let got = c.decode(&lists);
+        assert!(got.contains(&x), "honest message lost among junk");
+    }
+
+    #[test]
+    fn duplicate_y_entries_are_deduped_not_fatal() {
+        let c = code(24, 14);
+        let mut rng = SmallRng::seed_from_u64(15);
+        let x = 0x123456u64;
+        let mut lists = build_lists(&c, &[x], 0, &mut rng);
+        // Duplicate the honest entries with junk z under the same y: the
+        // decoder keeps the first occurrence.
+        for list in lists.iter_mut() {
+            let dup: Vec<(u64, u64)> = list
+                .iter()
+                .map(|&(y, _)| (y, rng.gen_range(0..c.params().z_cardinality())))
+                .collect();
+            list.extend(dup);
+        }
+        let got = c.decode(&lists);
+        assert!(got.contains(&x));
+    }
+
+    #[test]
+    fn domain_bound_respected() {
+        let c = code(16, 16);
+        let enc = c.encode(0xFFFF);
+        assert_eq!(enc.len(), c.params().num_coords);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn rejects_out_of_domain_message() {
+        let c = code(16, 17);
+        let _ = c.encode(0x1_0000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = code(24, 99);
+        let b = code(24, 99);
+        assert_eq!(a.encode(12345), b.encode(12345));
+    }
+}

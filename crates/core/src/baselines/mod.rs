@@ -1,0 +1,9 @@
+//! Prior-work baselines `PrivateExpanderSketch` is measured against.
+
+pub mod bassily_smith_hh;
+pub mod bitstogram;
+pub mod scan;
+
+pub use bassily_smith_hh::{BassilySmithHeavyHitters, BsHhParams};
+pub use bitstogram::{Bitstogram, BitstogramParams};
+pub use scan::{ScanHeavyHitters, ScanParams};

@@ -1,0 +1,107 @@
+//! The reductions between heavy hitters and frequency oracles that §3 of
+//! the paper opens with.
+//!
+//! *"Observe that constructing a frequency oracle is an easier task than
+//! solving the heavy-hitters problem, as every heavy-hitters algorithm is
+//! in particular a frequency oracle. Specifically, given a solution `Est`
+//! to the heavy-hitters problem, we can estimate the frequency of every
+//! `x ∈ X` as `f̂_S(x) = a` if `(x, a) ∈ Est`, or `f̂_S(x) = 0`
+//! otherwise."*
+//!
+//! [`EstimateOracle`] is exactly that reduction: it turns any finished
+//! heavy-hitter output into a frequency oracle with worst-case error `Δ`
+//! (entries are `Δ`-accurate; absent elements have true count `< Δ`).
+//! The reverse reduction (oracle → heavy hitters by scanning) lives in
+//! [`crate::baselines::scan`].
+
+use std::collections::HashMap;
+
+/// A frequency oracle derived from a heavy-hitters output list
+/// (Definition 3.1 → Definition 3.2).
+#[derive(Debug, Clone)]
+pub struct EstimateOracle {
+    estimates: HashMap<u64, f64>,
+    /// The error level `Δ` the underlying protocol was run at.
+    delta: f64,
+}
+
+impl EstimateOracle {
+    /// Wrap a finished heavy-hitters list run at error `Δ`.
+    pub fn new(est: &[(u64, f64)], delta: f64) -> Self {
+        assert!(delta > 0.0);
+        Self {
+            estimates: est.iter().copied().collect(),
+            delta,
+        }
+    }
+
+    /// `f̂_S(x)`: the listed estimate, or 0 for unlisted elements.
+    pub fn estimate(&self, x: u64) -> f64 {
+        self.estimates.get(&x).copied().unwrap_or(0.0)
+    }
+
+    /// The worst-case error this oracle guarantees: `Δ` (listed entries
+    /// are `Δ`-accurate by item 1 of Definition 3.1; unlisted elements
+    /// have `f_S(x) < Δ` by item 2, so answering 0 errs by `< Δ`).
+    pub fn error(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of stored entries (`O(n/Δ)` by Definition 3.1).
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether the underlying list was empty.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+
+    #[test]
+    fn listed_and_unlisted_queries() {
+        let oracle = EstimateOracle::new(&[(7, 120.0), (9, 80.0)], 50.0);
+        assert_eq!(oracle.estimate(7), 120.0);
+        assert_eq!(oracle.estimate(9), 80.0);
+        assert_eq!(oracle.estimate(1000), 0.0);
+        assert_eq!(oracle.error(), 50.0);
+        assert_eq!(oracle.len(), 2);
+    }
+
+    #[test]
+    fn reduction_error_guarantee_holds_on_real_output() {
+        // Build an exact "protocol output" satisfying Definition 3.1 and
+        // check the induced oracle errs by < delta everywhere.
+        let data: Vec<u64> = (0..1000u64)
+            .map(|i| if i % 3 == 0 { 5 } else { i % 50 })
+            .collect();
+        let hist = verify::histogram(&data);
+        let delta = 100.0;
+        let est: Vec<(u64, f64)> = hist
+            .iter()
+            .filter(|&(_, &c)| c as f64 >= delta / 2.0)
+            .map(|(&x, &c)| (x, c as f64))
+            .collect();
+        let oracle = EstimateOracle::new(&est, delta);
+        for x in 0..60u64 {
+            let truth = *hist.get(&x).unwrap_or(&0) as f64;
+            assert!(
+                (oracle.estimate(x) - truth).abs() < delta,
+                "x={x}: {} vs {truth}",
+                oracle.estimate(x)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_list_is_the_zero_oracle() {
+        let oracle = EstimateOracle::new(&[], 10.0);
+        assert!(oracle.is_empty());
+        assert_eq!(oracle.estimate(3), 0.0);
+    }
+}

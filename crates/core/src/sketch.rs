@@ -1,0 +1,378 @@
+//! Algorithm `PrivateExpanderSketch` (paper §3.3).
+//!
+//! Public randomness (one seed): a random partition of users into
+//! `I_1, …, I_M`, pairwise hashes `h_m : X → [Y]` and the expander (owned
+//! by the [`UniqueListCode`]), and a `(C_g log|X|)`-wise hash
+//! `g : X → [B]`.
+//!
+//! Client (user `i ∈ I_m` holding `x`): one message carrying
+//!
+//! 1. an `ε/2` Hashtogram report of the cell
+//!    `(g(x), h_m(x), E~nc(x)_m) ∈ [B]×[Y]×[Z]` for the coordinate oracle
+//!    (step 1 of the algorithm), and
+//! 2. an `ε/2` Hashtogram report of `x` itself for the final estimates
+//!    (step 5).
+//!
+//! Both components are ε-LDP in total by basic composition, and the
+//! protocol is one-round and non-interactive.
+//!
+//! Server: per coordinate, reconstruct all cell estimates (one fast WHT),
+//! take the per-`(b, y)` argmax over `z` against the stand-out threshold
+//! (steps 2–3), decode each bucket's lists through the
+//! unique-list-recoverable code (step 4), and return the outer-oracle
+//! estimates of the decoded candidates (steps 5–6).
+
+use crate::params::SketchParams;
+use crate::traits::HeavyHitterProtocol;
+use hh_codes::ulrc::UniqueListCode;
+use hh_freq::hashtogram::{Hashtogram, HashtogramReport};
+use hh_freq::traits::FrequencyOracle;
+use hh_hash::family::labels;
+use hh_hash::{HashFamily, KWiseHash};
+use hh_math::rng::derive_seed;
+use rand::Rng;
+
+/// The single message a user sends: her coordinate report and her final
+/// frequency-oracle report.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchReport {
+    /// The user's coordinate `m` (a public function of her index,
+    /// included for transport convenience).
+    pub coord: u16,
+    /// Hashtogram report of the `(g(x), h_m(x), E~nc(x)_m)` cell.
+    pub inner: HashtogramReport,
+    /// Hashtogram report of `x` for the outer oracle.
+    pub outer: HashtogramReport,
+}
+
+/// `PrivateExpanderSketch`: public randomness + server state.
+pub struct ExpanderSketch {
+    params: SketchParams,
+    seed: u64,
+    ulrc: UniqueListCode,
+    group_hash: KWiseHash,
+    /// Prototype inner oracle (shared public randomness for all
+    /// coordinates; the per-coordinate accumulation happens at finish).
+    inner_proto: Hashtogram,
+    /// Buffered inner reports per coordinate (the coordinate oracles are
+    /// materialized one at a time at finish, so peak memory is one
+    /// `W_in`-sized accumulator plus these tiny reports).
+    inner_reports: Vec<Vec<(u64, HashtogramReport)>>,
+    outer: Hashtogram,
+    users_seen: u64,
+    finished: bool,
+}
+
+impl ExpanderSketch {
+    /// Instantiate from parameters and a public-randomness seed.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        let ulrc = UniqueListCode::new(params.ulrc_params(), derive_seed(seed, 0xC0DE));
+        let family = HashFamily::new(seed);
+        let group_hash = family.kwise(
+            labels::SKETCH_GROUP_HASH,
+            0,
+            params.g_independence,
+            params.num_buckets,
+        );
+        let inner_proto = Hashtogram::new(params.inner_oracle_params(), derive_seed(seed, 0x1222));
+        let outer = Hashtogram::new(params.outer_oracle_params(), derive_seed(seed, 0x0173));
+        let inner_reports = vec![Vec::new(); params.num_coords];
+        Self {
+            params,
+            seed,
+            ulrc,
+            group_hash,
+            inner_proto,
+            inner_reports,
+            outer,
+            users_seen: 0,
+            finished: false,
+        }
+    }
+
+    /// Protocol parameters.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// The public coordinate assignment `i ↦ m` (the random partition
+    /// `I_1, …, I_M`).
+    pub fn coord_of(&self, user_index: u64) -> usize {
+        (derive_seed(
+            derive_seed(self.seed, labels::SKETCH_PARTITION),
+            user_index,
+        ) % self.params.num_coords as u64) as usize
+    }
+
+    /// The group hash `g(x) ∈ [B]`.
+    pub fn bucket_of(&self, x: u64) -> u64 {
+        self.group_hash.hash(x)
+    }
+
+    /// The inner-oracle cell a user holding `x` in coordinate `m` reports.
+    pub fn cell_of(&self, m: usize, x: u64) -> u64 {
+        let b = self.bucket_of(x);
+        let y = self.ulrc.coord_hash(m, x);
+        let z = self.ulrc.enc_tilde(x, m);
+        self.params.cell_id(b, y, z)
+    }
+
+    /// The stand-out lists (step 3), exposed for inspection/ablation:
+    /// `lists[b][m]` = the `(y, z)` pairs whose estimate cleared τ.
+    fn build_standout_lists(&mut self) -> Vec<Vec<Vec<(u64, u64)>>> {
+        let p = &self.params;
+        let tau = p.standout_threshold();
+        let z_card = p.z_cardinality();
+        let mut lists =
+            vec![vec![Vec::new(); p.num_coords]; p.num_buckets as usize];
+        for m in 0..p.num_coords {
+            // Materialize coordinate m's oracle, ingest its reports, scan.
+            let mut oracle = self.inner_proto.clone();
+            for &(user, rep) in &self.inner_reports[m] {
+                oracle.collect(user, rep);
+            }
+            let n_m = self.inner_reports[m].len() as f64;
+            if n_m == 0.0 {
+                continue;
+            }
+            oracle.finalize();
+            for b in 0..p.num_buckets {
+                for y in 0..p.y_range {
+                    let base = p.cell_id(b, y, 0);
+                    let mut best_z = 0u64;
+                    let mut best_v = f64::NEG_INFINITY;
+                    for z in 0..z_card {
+                        let v = oracle.estimate(base + z);
+                        if v > best_v {
+                            best_v = v;
+                            best_z = z;
+                        }
+                    }
+                    if best_v >= tau && lists[b as usize][m].len() < p.list_cap {
+                        lists[b as usize][m].push((y, best_z));
+                    }
+                }
+            }
+        }
+        lists
+    }
+}
+
+impl HeavyHitterProtocol for ExpanderSketch {
+    type Report = SketchReport;
+
+    fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> SketchReport {
+        let m = self.coord_of(user_index);
+        let cell = self.cell_of(m, x);
+        let inner = self.inner_proto.respond(user_index, cell, rng);
+        let outer = self.outer.respond(user_index, x, rng);
+        SketchReport {
+            coord: m as u16,
+            inner,
+            outer,
+        }
+    }
+
+    fn collect(&mut self, user_index: u64, report: SketchReport) {
+        assert!(!self.finished, "collect after finish");
+        debug_assert_eq!(report.coord as usize, self.coord_of(user_index));
+        self.inner_reports[report.coord as usize].push((user_index, report.inner));
+        self.outer.collect(user_index, report.outer);
+        self.users_seen += 1;
+    }
+
+    fn finish(&mut self) -> Vec<(u64, f64)> {
+        assert!(!self.finished, "double finish");
+        self.finished = true;
+        // Steps 2–3: stand-out lists per (bucket, coordinate).
+        let lists = self.build_standout_lists();
+        // Step 4: decode each bucket; keep candidates that land in their
+        // own bucket under g.
+        let mut candidates: Vec<u64> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (b, bucket_lists) in lists.iter().enumerate() {
+            for x in self.ulrc.decode(bucket_lists) {
+                if self.bucket_of(x) == b as u64 && seen.insert(x) {
+                    candidates.push(x);
+                }
+            }
+        }
+        // Steps 5–6: final estimates from the outer oracle.
+        self.outer.finalize();
+        let keep = self.params.keep_threshold();
+        let mut est: Vec<(u64, f64)> = candidates
+            .into_iter()
+            .map(|x| (x, self.outer.estimate(x)))
+            .filter(|&(_, f)| f >= keep)
+            .collect();
+        est.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        est
+    }
+
+    fn report_bits(&self) -> usize {
+        self.inner_proto.report_bits() + self.outer.report_bits()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // One materialized coordinate accumulator (they are processed
+        // sequentially) + the outer oracle sketch + stand-out lists.
+        self.inner_proto.memory_bytes()
+            + self.outer.memory_bytes()
+            + self.params.num_buckets as usize
+                * self.params.num_coords
+                * self.params.list_cap
+                * std::mem::size_of::<(u64, u64)>()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.params.eps
+    }
+
+    fn detection_threshold(&self) -> f64 {
+        self.params.detection_threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_math::rng::seeded_rng;
+
+    /// Build a dataset with planted heavy elements (given as (value,
+    /// fraction)) over a light uniform tail.
+    fn planted(n: usize, domain_bits: u32, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+        let mut rng = seeded_rng(seed);
+        use rand::Rng;
+        let domain = 1u64 << domain_bits;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                for &(x, frac) in heavy {
+                    acc += frac;
+                    if u < acc {
+                        return x;
+                    }
+                }
+                rng.gen_range(0..domain)
+            })
+            .collect()
+    }
+
+    fn run_protocol(params: SketchParams, data: &[u64], seed: u64) -> Vec<(u64, f64)> {
+        let mut server = ExpanderSketch::new(params, seed);
+        let mut rng = seeded_rng(derive_seed(seed, 0xFACE));
+        for (i, &x) in data.iter().enumerate() {
+            let rep = server.respond(i as u64, x, &mut rng);
+            server.collect(i as u64, rep);
+        }
+        server.finish()
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let p = SketchParams::optimal(1 << 12, 16, 1.0, 0.1);
+        let server = ExpanderSketch::new(p.clone(), 7);
+        let mut counts = vec![0u64; p.num_coords];
+        for i in 0..(1u64 << 12) {
+            counts[server.coord_of(i)] += 1;
+        }
+        let expect = (1u64 << 12) as f64 / p.num_coords as f64;
+        for (m, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "coordinate {m}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_consistent_with_code() {
+        let p = SketchParams::optimal(1 << 12, 16, 1.0, 0.1);
+        let server = ExpanderSketch::new(p.clone(), 9);
+        for x in [0u64, 1, 12345, (1 << 16) - 1] {
+            for m in 0..p.num_coords {
+                let cell = server.cell_of(m, x);
+                assert!(cell < p.inner_cells());
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_planted_heavy_hitters_end_to_end() {
+        // Sized against the protocol's own detection threshold (see the
+        // params module docs on absolute constants).
+        let n = 1usize << 17;
+        let eps = 4.0;
+        let params = SketchParams::optimal(n as u64, 16, eps, 0.1);
+        let delta = params.detection_threshold();
+        assert!(
+            delta < 0.4 * n as f64,
+            "test sizing broken: delta = {delta} vs n = {n}"
+        );
+        let heavy_frac = (delta / n as f64) * 1.6;
+        let h1 = 0xBEEFu64 & 0xFFFF;
+        let h2 = 0x1234u64;
+        let data = planted(n, 16, &[(h1, heavy_frac), (h2, heavy_frac)], 21);
+        let est = run_protocol(params.clone(), &data, 22);
+        let found: Vec<u64> = est.iter().map(|&(x, _)| x).collect();
+        assert!(found.contains(&h1), "missed {h1:#x}: found {found:#x?}");
+        assert!(found.contains(&h2), "missed {h2:#x}: found {found:#x?}");
+        // Estimates within the advertised error of the truth.
+        let err_bound = params.estimation_error_bound();
+        for &(x, f) in &est {
+            let truth = data.iter().filter(|&&v| v == x).count() as f64;
+            assert!(
+                (f - truth).abs() <= err_bound,
+                "estimate for {x:#x}: {f} vs {truth} (bound {err_bound})"
+            );
+        }
+        // List stays small.
+        assert!(est.len() <= 2 + params.num_buckets as usize * params.list_cap);
+    }
+
+    #[test]
+    fn no_false_heavies_on_uniform_data() {
+        // Uniform data has no Δ/2-heavy elements; the output should be
+        // empty (or nearly so — the keep threshold guards this).
+        let n = 1usize << 15;
+        let params = SketchParams::optimal(n as u64, 16, 4.0, 0.1);
+        let data = planted(n, 16, &[], 31);
+        let est = run_protocol(params, &data, 32);
+        assert!(
+            est.len() <= 1,
+            "uniform data produced {} 'heavy hitters'",
+            est.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_public_randomness() {
+        let p = SketchParams::optimal(1 << 12, 16, 1.0, 0.1);
+        let a = ExpanderSketch::new(p.clone(), 5);
+        let b = ExpanderSketch::new(p, 5);
+        for x in [3u64, 999, 65535] {
+            assert_eq!(a.bucket_of(x), b.bucket_of(x));
+            for m in 0..a.params().num_coords {
+                assert_eq!(a.cell_of(m, x), b.cell_of(m, x));
+            }
+        }
+    }
+
+    #[test]
+    fn report_bits_are_logarithmic() {
+        let p = SketchParams::optimal(1 << 16, 24, 1.0, 0.05);
+        let server = ExpanderSketch::new(p, 3);
+        // Two Hadamard reports: well under 64 bits total payload.
+        assert!(server.report_bits() <= 64, "bits = {}", server.report_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "double finish")]
+    fn double_finish_panics() {
+        let p = SketchParams::optimal(1 << 10, 16, 1.0, 0.1);
+        let mut server = ExpanderSketch::new(p, 4);
+        let _ = server.finish();
+        let _ = server.finish();
+    }
+}

@@ -1,0 +1,39 @@
+//! The protocol interface shared by `PrivateExpanderSketch` and its
+//! baselines.
+
+use rand::Rng;
+
+/// A one-round LDP heavy-hitters protocol (Definition 3.1).
+///
+/// The object carries the public randomness and server state;
+/// [`HeavyHitterProtocol::respond`] is the client algorithm and reads only
+/// public state plus the user's own input.
+pub trait HeavyHitterProtocol {
+    /// The single message a user sends.
+    type Report;
+
+    /// Client: user `user_index` holding `x` produces her message.
+    fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
+
+    /// Server: ingest one message.
+    fn collect(&mut self, user_index: u64, report: Self::Report);
+
+    /// Server: run the aggregation/decoding pipeline; returns the
+    /// estimated heavy-hitter list `Est = {(x, f̂_S(x))}`, sorted by
+    /// decreasing estimate.
+    fn finish(&mut self) -> Vec<(u64, f64)>;
+
+    /// Communication per user in bits.
+    fn report_bits(&self) -> usize;
+
+    /// Server working-memory estimate in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Total per-user privacy budget consumed.
+    fn epsilon(&self) -> f64;
+
+    /// The protocol's detection threshold `Δ`: every element with
+    /// `f_S(x) >= Δ` should appear in the output (the quantity the
+    /// theorems bound).
+    fn detection_threshold(&self) -> f64;
+}

@@ -1,0 +1,138 @@
+//! Checkers for the Definition 3.1 heavy-hitters contract.
+//!
+//! Given the true dataset and a protocol's output list, measure exactly
+//! what the definition demands: (1) every estimate within `Δ` of the
+//! truth, (2) every `Δ`-heavy element present, and the list length
+//! `O(n/Δ)`. Used by integration tests and by the experiment harness to
+//! report *measured* failure rates next to the theorems' `β`.
+
+use std::collections::HashMap;
+
+/// The outcome of checking one protocol output against Definition 3.1.
+#[derive(Debug, Clone)]
+pub struct ContractReport {
+    /// `Δ`-heavy elements absent from the output (item 2 violations).
+    pub missed_heavy: Vec<u64>,
+    /// Worst `|f̂_S(x) − f_S(x)|` over the output list (item 1).
+    pub max_estimation_error: f64,
+    /// Number of entries in the output list.
+    pub list_len: usize,
+    /// The `n/Δ` budget the list length is compared against.
+    pub list_budget: f64,
+    /// True count of each output element (for inspection).
+    pub output_truths: Vec<(u64, f64, f64)>,
+}
+
+impl ContractReport {
+    /// Definition 3.1 satisfied at error `Δ` with list constant `c`.
+    pub fn satisfied(&self, delta: f64, list_constant: f64) -> bool {
+        self.missed_heavy.is_empty()
+            && self.max_estimation_error <= delta
+            && (self.list_len as f64) <= list_constant * self.list_budget.max(1.0)
+    }
+}
+
+/// Exact histogram of a dataset.
+pub fn histogram(data: &[u64]) -> HashMap<u64, u64> {
+    let mut h = HashMap::new();
+    for &x in data {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Check a protocol output against Definition 3.1 at error `Δ`.
+pub fn check_contract(data: &[u64], estimates: &[(u64, f64)], delta: f64) -> ContractReport {
+    let hist = histogram(data);
+    let est_map: HashMap<u64, f64> = estimates.iter().copied().collect();
+    let missed_heavy: Vec<u64> = hist
+        .iter()
+        .filter(|&(_, &c)| c as f64 >= delta)
+        .filter(|&(x, _)| !est_map.contains_key(x))
+        .map(|(&x, _)| x)
+        .collect();
+    let mut max_err = 0.0f64;
+    let mut output_truths = Vec::with_capacity(estimates.len());
+    for &(x, f_hat) in estimates {
+        let truth = *hist.get(&x).unwrap_or(&0) as f64;
+        max_err = max_err.max((f_hat - truth).abs());
+        output_truths.push((x, truth, f_hat));
+    }
+    ContractReport {
+        missed_heavy,
+        max_estimation_error: max_err,
+        list_len: estimates.len(),
+        list_budget: data.len() as f64 / delta.max(1.0),
+        output_truths,
+    }
+}
+
+/// Recall of `Δ`-heavy elements: fraction present in the output.
+pub fn heavy_recall(data: &[u64], estimates: &[(u64, f64)], delta: f64) -> f64 {
+    let hist = histogram(data);
+    let heavy: Vec<u64> = hist
+        .iter()
+        .filter(|&(_, &c)| c as f64 >= delta)
+        .map(|(&x, _)| x)
+        .collect();
+    if heavy.is_empty() {
+        return 1.0;
+    }
+    let est_set: std::collections::HashSet<u64> = estimates.iter().map(|&(x, _)| x).collect();
+    heavy.iter().filter(|x| est_set.contains(x)).count() as f64 / heavy.len() as f64
+}
+
+/// Precision of the output at level `Δ/2`: fraction of reported elements
+/// that are genuinely `Δ/2`-frequent (the keep-threshold contract).
+pub fn precision_at_half(data: &[u64], estimates: &[(u64, f64)], delta: f64) -> f64 {
+    if estimates.is_empty() {
+        return 1.0;
+    }
+    let hist = histogram(data);
+    let hits = estimates
+        .iter()
+        .filter(|&&(x, _)| *hist.get(&x).unwrap_or(&0) as f64 >= delta / 4.0)
+        .count();
+    hits as f64 / estimates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_detects_missed_heavy() {
+        let data = vec![1, 1, 1, 1, 2, 3];
+        let est = vec![(2u64, 1.0)];
+        let rep = check_contract(&data, &est, 3.0);
+        assert_eq!(rep.missed_heavy, vec![1]);
+        assert!(!rep.satisfied(3.0, 4.0));
+    }
+
+    #[test]
+    fn contract_checks_estimation_error() {
+        let data = vec![1, 1, 1, 1];
+        let est = vec![(1u64, 10.0)];
+        let rep = check_contract(&data, &est, 2.0);
+        assert!(rep.missed_heavy.is_empty());
+        assert_eq!(rep.max_estimation_error, 6.0);
+        assert!(!rep.satisfied(2.0, 4.0));
+        assert!(rep.satisfied(6.0, 4.0));
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let data = vec![1, 1, 1, 2, 2, 2, 3];
+        let est = vec![(1u64, 3.0), (9u64, 3.0)];
+        assert_eq!(heavy_recall(&data, &est, 3.0), 0.5);
+        assert_eq!(precision_at_half(&data, &est, 3.0), 0.5);
+        assert_eq!(heavy_recall(&data, &est, 100.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = histogram(&[5, 5, 7]);
+        assert_eq!(h[&5], 2);
+        assert_eq!(h[&7], 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Bassily–Smith (STOC 2015)-style frequency oracle — the Table 1
+//! comparison column.
+//!
+//! Their succinct-histogram protocol projects the one-hot vector of each
+//! input through a random ±1 matrix `Φ ∈ {±1}^{w×|X|}` with `w = Θ(n)`
+//! rows; each user 1-bit randomized-responds a single random row entry
+//! `Φ[j, x]`, and a frequency query correlates the debiased reports
+//! against the query's column of `Φ`.
+//!
+//! Resource shape (what the paper's Table 1 records and our benches
+//! measure): per-query server work `O(w) = O(n)`, so a heavy-hitter
+//! search by domain scan costs `Θ(n·|X|)` — the impractical baseline the
+//! paper improves on. The `O~(n^{1.5})`/`O~(n^{2.5})` user/server entries
+//! of Table 1 come from materializing the public matrix without shared
+//! randomness; we account for those analytically (the matrix here is
+//! hash-derived, the honest option footnote 2 of the paper mentions) and
+//! measure the rest.
+
+use crate::randomizers::BinaryRandomizedResponse;
+use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use hh_hash::family::labels;
+use hh_hash::{HashFamily, KWiseHash};
+use rand::Rng;
+
+/// Bassily–Smith-style JL projection oracle.
+#[derive(Debug, Clone)]
+pub struct BassilySmithOracle {
+    domain: u64,
+    eps: f64,
+    /// Projection dimension `w` (rows of Φ).
+    w: u64,
+    rr: BinaryRandomizedResponse,
+    /// Row-entry sign generator: Φ[j, x] = sign(h(j·|X| + x)); `k`-wise
+    /// independence across columns within a row suffices for the
+    /// concentration the analysis needs.
+    sign: KWiseHash,
+    /// Debiased projection accumulator ĝ (length w).
+    acc: Vec<f64>,
+    total: u64,
+    finalized: bool,
+}
+
+impl BassilySmithOracle {
+    /// Construct with projection dimension `w` (Bassily–Smith use
+    /// `w = Θ(n)`; pass `n` for the faithful profile).
+    pub fn new(domain: u64, eps: f64, w: u64, seed: u64) -> Self {
+        assert!(w >= 1);
+        let family = HashFamily::new(seed);
+        Self {
+            domain,
+            eps,
+            w,
+            rr: BinaryRandomizedResponse::new(eps),
+            sign: family.kwise(labels::BS_PROJECTION, 0, 20, 1 << 32),
+            acc: vec![0.0; w as usize],
+            total: 0,
+            finalized: false,
+        }
+    }
+
+    /// Φ[j, x] ∈ {±1}.
+    #[inline]
+    pub fn phi(&self, j: u64, x: u64) -> f64 {
+        // Mix row and column through the k-wise hash; take one bit.
+        let v = self.sign.hash(j.wrapping_mul(0x9E37_79B9).wrapping_add(x) % ((1 << 48) - 59));
+        if v & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A user's report: the sampled row and the randomized bit.
+#[derive(Debug, Clone, Copy)]
+pub struct BsReport {
+    /// Row index `j ∈ [w]`.
+    pub row: u64,
+    /// ε-RR of `Φ[j, x]` as ±1.
+    pub bit: i8,
+}
+
+impl FrequencyOracle for BassilySmithOracle {
+    type Report = BsReport;
+
+    fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> BsReport {
+        assert!(x < self.domain);
+        let j = rng.gen_range(0..self.w);
+        let true_bit = u64::from(self.phi(j, x) > 0.0);
+        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
+        BsReport {
+            row: j,
+            bit: if sent == 1 { 1 } else { -1 },
+        }
+    }
+
+    fn collect(&mut self, _user_index: u64, report: BsReport) {
+        assert!(!self.finalized);
+        // Each user contributes c_ε·(±1) to her sampled row; the factor w
+        // undoes the row subsampling.
+        self.acc[report.row as usize] += self.rr.debias_factor() * f64::from(report.bit);
+        self.total += 1;
+    }
+
+    fn finalize(&mut self) {
+        self.finalized = true;
+    }
+
+    fn estimate(&self, x: u64) -> f64 {
+        assert!(self.finalized, "estimate before finalize");
+        // f̂(x) = ⟨ĝ, Φ[:, x]⟩ / 1 — each user holding x contributes
+        // E[c_ε·bit·Φ[j,x]] = E_j[Φ[j,x]²] = 1; other users' signs are
+        // k-wise independent and cancel in expectation.
+        let mut dot = 0.0;
+        for j in 0..self.w {
+            dot += self.acc[j as usize] * self.phi(j, x);
+        }
+        dot
+    }
+
+    fn report_bits(&self) -> usize {
+        1 + (64 - (self.w - 1).leading_zeros()) as usize
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.acc.len() * std::mem::size_of::<f64>()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_math::rng::seeded_rng;
+
+    #[test]
+    fn recovers_heavy_element() {
+        let n = 30_000u64;
+        let domain = 1u64 << 20;
+        let mut oracle = BassilySmithOracle::new(domain, 1.0, n / 4, 1);
+        let mut rng = seeded_rng(2);
+        let heavy = 123_456u64;
+        for i in 0..n {
+            let x = if i % 4 == 0 { heavy } else { i % domain };
+            let rep = oracle.respond(i, x, &mut rng);
+            oracle.collect(i, rep);
+        }
+        oracle.finalize();
+        let est = oracle.estimate(heavy);
+        let truth = (n / 4) as f64;
+        assert!(
+            (est - truth).abs() < 0.5 * truth + 800.0,
+            "estimate {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let oracle = BassilySmithOracle::new(1 << 16, 1.0, 256, 3);
+        let mut sum = 0.0;
+        let trials = 40_000u64;
+        for t in 0..trials {
+            sum += oracle.phi(t % 256, t / 256);
+        }
+        assert!((sum / trials as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn query_cost_is_linear_in_w() {
+        // Structural check: memory (and hence per-query work) scales with
+        // w, unlike Hashtogram's sqrt(n).
+        let a = BassilySmithOracle::new(1 << 16, 1.0, 1024, 4);
+        let b = BassilySmithOracle::new(1 << 16, 1.0, 4096, 4);
+        assert_eq!(b.memory_bytes(), 4 * a.memory_bytes());
+    }
+}

@@ -1,0 +1,468 @@
+//! `Hashtogram` — the frequency oracle of Theorems 3.7 and 3.8
+//! (Bassily–Nissim–Stemmer–Thakurta, "Practical Locally Private Heavy
+//! Hitters").
+//!
+//! Structure (count-median-sketch + Hadamard response):
+//!
+//! * Users are split into `R = Θ(log(1/β))` groups by a public hash.
+//! * Group `r` holds a pairwise-independent bucket hash
+//!   `h_r : X → [W]` (`W = Θ(√n)`, a power of two) and a ±1 sign hash
+//!   `s_r` (count-sketch debiasing of bucket collisions).
+//! * A user in group `r` with input `x` computes `b = h_r(x)`, draws
+//!   `ℓ ~ U[W]`, and sends the single ε-randomized-response bit of
+//!   `s_r(x)·H[ℓ, b]` together with `ℓ` — `1 + log W` bits, `O~(1)` time.
+//! * The server accumulates debiased coefficients per group and applies
+//!   one fast Walsh–Hadamard transform at finalization; a query takes the
+//!   median across groups of the rescaled, sign-corrected bucket values.
+//!
+//! The **small-domain variant** (Theorem 3.8) sets `W >= |X|` with the
+//! identity bucket map and no signs — collisions are impossible, memory is
+//! `O~(|X|)`, and the error loses the `min{n, |X|}` union factor. That
+//! variant is what `PrivateExpanderSketch` runs on the `[B]×[Y]×[Z]`
+//! domain.
+//!
+//! Privacy: each user sends one bit through ε-RR (the pair `(ℓ, bit)` with
+//! input-independent `ℓ`), hence the protocol is ε-LDP; the claim is
+//! audited exactly in `hh-structure::audit` via
+//! [`crate::randomizers::HadamardResponse`].
+
+use crate::randomizers::BinaryRandomizedResponse;
+use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use hh_hash::family::labels;
+use hh_hash::{HashFamily, PairwiseHash, SignHash};
+use hh_math::stats::median;
+use hh_math::wht::{fwht, hadamard_entry};
+use rand::Rng;
+
+/// Configuration of a [`Hashtogram`] oracle.
+#[derive(Debug, Clone)]
+pub struct HashtogramParams {
+    /// Domain size `|X|` (elements are `0..domain`).
+    pub domain: u64,
+    /// Privacy parameter ε consumed by the single report.
+    pub eps: f64,
+    /// Number of user groups `R`.
+    pub groups: usize,
+    /// Buckets per group `W` (power of two).
+    pub buckets: u64,
+    /// `true` = Theorem 3.7 (hashed buckets + signs);
+    /// `false` = Theorem 3.8 (identity buckets, requires `buckets >= domain`).
+    pub hashed: bool,
+}
+
+impl HashtogramParams {
+    /// Theorem 3.7 profile: `W = Θ(√n)`, `R = Θ(log(1/β))`.
+    pub fn hashed(n: u64, domain: u64, eps: f64, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta < 1.0);
+        let buckets = ((n as f64).sqrt().ceil() as u64)
+            .next_power_of_two()
+            .max(16);
+        let groups = (((1.0 / beta).ln() / std::f64::consts::LN_2).ceil() as usize + 3) | 1;
+        Self {
+            domain,
+            eps,
+            groups,
+            buckets,
+            hashed: true,
+        }
+    }
+
+    /// Theorem 3.8 profile: direct histogram over a small domain.
+    pub fn direct(domain: u64, eps: f64, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta < 1.0);
+        let buckets = domain.next_power_of_two().max(2);
+        let groups = (((1.0 / beta).ln() / std::f64::consts::LN_2).ceil() as usize + 3) | 1;
+        Self {
+            domain,
+            eps,
+            groups,
+            buckets,
+            hashed: false,
+        }
+    }
+
+    /// The high-probability per-query error bound implied by the
+    /// parameters (the quantity Theorems 3.7/3.8 bound as
+    /// `O((1/ε)√(n log(1/β)))`).
+    ///
+    /// Derivation: one group's rescaled estimate deviates by more than
+    /// `D(p) = c_ε·sqrt(2·n·R·ln(2/p))` with probability at most `p`
+    /// (Hoeffding over `n/R` reports of magnitude `c_ε`, times the `R`
+    /// rescaling). The median over `R` groups fails only when `R/2`
+    /// groups deviate, i.e. with probability `≤ (4p)^{R/2}`; solving for
+    /// the caller's per-query budget gives `p = (β_q)^{2/R}/4` (or `β_q`
+    /// itself when `R = 1`).
+    pub fn error_bound(&self, n: u64, per_query_beta: f64) -> f64 {
+        assert!(per_query_beta > 0.0 && per_query_beta < 1.0);
+        let c_eps = (self.eps.exp() + 1.0) / (self.eps.exp() - 1.0);
+        let r = self.groups as f64;
+        let p = if self.groups == 1 {
+            per_query_beta
+        } else {
+            (per_query_beta.powf(2.0 / r) / 4.0).min(0.25)
+        };
+        c_eps * (2.0 * n as f64 * r * (2.0 / p).ln()).sqrt()
+    }
+}
+
+/// One user's report: her group, the sampled Hadamard row, and the
+/// randomized bit. `1 + log2(W)` payload bits (the group index is
+/// recomputable from the public randomness and the user index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashtogramReport {
+    /// The user's group (public function of her index; included for
+    /// transport convenience).
+    pub group: u32,
+    /// Sampled Hadamard row `ℓ ∈ [W]`.
+    pub ell: u64,
+    /// Randomized response of `s_r(x)·H[ℓ, h_r(x)]`, as ±1.
+    pub bit: i8,
+}
+
+/// The Hashtogram oracle: public randomness + server sketch state.
+#[derive(Debug, Clone)]
+pub struct Hashtogram {
+    params: HashtogramParams,
+    family: HashFamily,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<SignHash>,
+    rr: BinaryRandomizedResponse,
+    /// Per-group accumulators over Hadamard rows (before finalize) /
+    /// bucket estimates (after finalize).
+    acc: Vec<Vec<f64>>,
+    /// Users seen per group.
+    group_counts: Vec<u64>,
+    total_users: u64,
+    finalized: bool,
+}
+
+impl Hashtogram {
+    /// Instantiate from parameters and a public-randomness seed.
+    pub fn new(params: HashtogramParams, seed: u64) -> Self {
+        assert!(params.buckets.is_power_of_two(), "W must be a power of two");
+        assert!(params.groups >= 1);
+        if !params.hashed {
+            assert!(
+                params.buckets >= params.domain,
+                "direct variant needs W >= |X| ({} < {})",
+                params.buckets,
+                params.domain
+            );
+        }
+        let family = HashFamily::new(seed);
+        let bucket_hashes = (0..params.groups as u64)
+            .map(|r| family.pairwise(labels::HASHTOGRAM_BUCKET, r, params.buckets))
+            .collect();
+        let sign_hashes = (0..params.groups as u64)
+            .map(|r| family.sign(labels::HASHTOGRAM_BUCKET + 1000, r))
+            .collect();
+        let rr = BinaryRandomizedResponse::new(params.eps);
+        let acc = vec![vec![0.0; params.buckets as usize]; params.groups];
+        let group_counts = vec![0; params.groups];
+        Self {
+            params,
+            family,
+            bucket_hashes,
+            sign_hashes,
+            rr,
+            acc,
+            group_counts,
+            total_users: 0,
+            finalized: false,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &HashtogramParams {
+        &self.params
+    }
+
+    /// The public group assignment of a user (uniform via seed mixing).
+    pub fn group_of(&self, user_index: u64) -> u32 {
+        (hh_math::rng::derive_seed(
+            self.family.component_seed(labels::HASHTOGRAM_ASSIGN, 0),
+            user_index,
+        ) % self.params.groups as u64) as u32
+    }
+
+    /// Bucket of `x` in group `r`.
+    pub fn bucket(&self, r: u32, x: u64) -> u64 {
+        if self.params.hashed {
+            self.bucket_hashes[r as usize].hash(x)
+        } else {
+            x
+        }
+    }
+
+    /// Sign of `x` in group `r` (always +1 in the direct variant).
+    pub fn sign(&self, r: u32, x: u64) -> i64 {
+        if self.params.hashed {
+            self.sign_hashes[r as usize].sign(x)
+        } else {
+            1
+        }
+    }
+
+    /// Number of users ingested so far.
+    pub fn total_users(&self) -> u64 {
+        self.total_users
+    }
+
+    /// The randomizer a single user runs, for auditing: the report is one
+    /// ε-RR bit over an input-independent row choice.
+    pub fn randomizer(&self) -> crate::randomizers::HadamardResponse {
+        crate::randomizers::HadamardResponse::new(self.params.buckets, self.params.eps)
+    }
+}
+
+impl FrequencyOracle for Hashtogram {
+    type Report = HashtogramReport;
+
+    fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> HashtogramReport {
+        assert!(x < self.params.domain, "input {x} outside domain");
+        let group = self.group_of(user_index);
+        let b = self.bucket(group, x);
+        let s = self.sign(group, x);
+        let ell = rng.gen_range(0..self.params.buckets);
+        let true_pm = i64::from(hadamard_entry(ell, b)) * s;
+        let true_bit = u64::from(true_pm > 0);
+        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
+        HashtogramReport {
+            group,
+            ell,
+            bit: if sent == 1 { 1 } else { -1 },
+        }
+    }
+
+    fn collect(&mut self, user_index: u64, report: HashtogramReport) {
+        assert!(!self.finalized, "collect after finalize");
+        debug_assert_eq!(report.group, self.group_of(user_index));
+        let c = self.rr.debias_factor();
+        self.acc[report.group as usize][report.ell as usize] += c * f64::from(report.bit);
+        self.group_counts[report.group as usize] += 1;
+        self.total_users += 1;
+    }
+
+    fn finalize(&mut self) {
+        assert!(!self.finalized, "double finalize");
+        for row in self.acc.iter_mut() {
+            // WHT turns accumulated coefficients into per-bucket sums:
+            // each user contributes (in expectation) W * (1/W) * 1 to her
+            // bucket via the orthogonality of Hadamard rows.
+            fwht(row);
+        }
+        self.finalized = true;
+    }
+
+    fn estimate(&self, x: u64) -> f64 {
+        assert!(self.finalized, "estimate before finalize");
+        assert!(x < self.params.domain);
+        let n = self.total_users as f64;
+        let estimates: Vec<f64> = (0..self.params.groups)
+            .map(|r| {
+                let b = self.bucket(r as u32, x);
+                let s = self.sign(r as u32, x) as f64;
+                let raw = self.acc[r][b as usize] * s;
+                // Rescale the group subsample to the full population.
+                let m = self.group_counts[r].max(1) as f64;
+                raw * (n / m)
+            })
+            .collect();
+        median(&estimates)
+    }
+
+    fn report_bits(&self) -> usize {
+        1 + (self.params.buckets.trailing_zeros() as usize)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.params.groups * self.params.buckets as usize * std::mem::size_of::<f64>()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.params.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_math::rng::seeded_rng;
+
+    /// Run the full protocol on a dataset and return the oracle.
+    fn run(params: HashtogramParams, data: &[u64], seed: u64) -> Hashtogram {
+        let mut oracle = Hashtogram::new(params, seed);
+        let mut rng = seeded_rng(seed ^ 0x0BAC_CA0F);
+        for (i, &x) in data.iter().enumerate() {
+            let rep = oracle.respond(i as u64, x, &mut rng);
+            oracle.collect(i as u64, rep);
+        }
+        oracle.finalize();
+        oracle
+    }
+
+    fn planted_data(n: usize, domain: u64, heavy: &[(u64, f64)], seed: u64) -> Vec<u64> {
+        let mut rng = seeded_rng(seed);
+        use rand::Rng;
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                for &(x, frac) in heavy {
+                    acc += frac;
+                    if u < acc {
+                        return x;
+                    }
+                }
+                rng.gen_range(0..domain)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_variant_estimates_counts() {
+        let n = 20_000usize;
+        let domain = 64u64;
+        let data = planted_data(n, domain, &[(7, 0.3), (42, 0.1)], 1);
+        let true7 = data.iter().filter(|&&x| x == 7).count() as f64;
+        let true42 = data.iter().filter(|&&x| x == 42).count() as f64;
+        let oracle = run(HashtogramParams::direct(domain, 1.0, 0.05), &data, 2);
+        let tol = oracle.params().error_bound(n as u64, 0.01);
+        assert!(tol < n as f64 * 0.5, "bound uselessly large: {tol}");
+        assert!(
+            (oracle.estimate(7) - true7).abs() < tol,
+            "est {} vs {true7} (tol {tol})",
+            oracle.estimate(7)
+        );
+        assert!((oracle.estimate(42) - true42).abs() < tol);
+        assert!((oracle.estimate(13) - data.iter().filter(|&&x| x == 13).count() as f64).abs() < tol);
+    }
+
+    #[test]
+    fn hashed_variant_estimates_counts_large_domain() {
+        let n = 40_000usize;
+        let domain = 1u64 << 40;
+        let hx = 0x23_4567_89ABu64; // fits in 38 bits
+        let data = planted_data(n, domain, &[(hx, 0.25)], 3);
+        let truth = data.iter().filter(|&&x| x == hx).count() as f64;
+        let oracle = run(HashtogramParams::hashed(n as u64, domain, 1.0, 0.05), &data, 4);
+        let tol = oracle.params().error_bound(n as u64, 0.01);
+        let est = oracle.estimate(hx);
+        assert!((est - truth).abs() < tol, "est {est} vs {truth} (tol {tol})");
+        // A random absent element estimates near zero.
+        let est0 = oracle.estimate(999_999_999);
+        assert!(est0.abs() < tol, "absent element estimate {est0}");
+    }
+
+    #[test]
+    fn estimates_are_not_systematically_biased() {
+        // Average the estimator over protocol randomness: should approach
+        // the true count (sign hashes cancel collision mass).
+        let n = 4_000usize;
+        let domain = 1u64 << 20;
+        let data = planted_data(n, domain, &[(77, 0.2)], 5);
+        let truth = data.iter().filter(|&&x| x == 77).count() as f64;
+        let trials = 30;
+        let mut sum = 0.0;
+        for t in 0..trials {
+            let oracle = run(
+                HashtogramParams::hashed(n as u64, domain, 1.0, 0.1),
+                &data,
+                100 + t,
+            );
+            sum += oracle.estimate(77);
+        }
+        let mean = sum / trials as f64;
+        // Medians are only approximately unbiased; allow a generous band.
+        assert!(
+            (mean - truth).abs() < 0.25 * truth,
+            "mean estimate {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn error_scales_like_sqrt_n() {
+        // Measure the median (over seeds) of the max query error at two
+        // values of n; the ratio should be ~sqrt(4) = 2, certainly below 4
+        // (a single run is too noisy — heavy-element bucket collisions in
+        // a minority of groups fatten the max).
+        let domain = 1u64 << 16;
+        let mut errs = Vec::new();
+        for &n in &[4_000usize, 16_000] {
+            let mut trial_errs = Vec::new();
+            for t in 0..5u64 {
+                let data = planted_data(n, domain, &[(5, 0.2), (9, 0.1)], 7 + t);
+                let oracle = run(
+                    HashtogramParams::hashed(n as u64, domain, 1.0, 0.05),
+                    &data,
+                    8 + 31 * t,
+                );
+                let mut max_err = 0.0f64;
+                for q in [5u64, 9, 100, 2000] {
+                    let truth = data.iter().filter(|&&x| x == q).count() as f64;
+                    max_err = max_err.max((oracle.estimate(q) - truth).abs());
+                }
+                trial_errs.push(max_err.max(1.0));
+            }
+            errs.push(hh_math::stats::median(&trial_errs));
+        }
+        assert!(
+            errs[1] / errs[0] < 4.0,
+            "error grew faster than sqrt(n): {errs:?}"
+        );
+    }
+
+    #[test]
+    fn report_fits_claimed_bits() {
+        let oracle = Hashtogram::new(HashtogramParams::direct(64, 1.0, 0.1), 9);
+        let mut rng = seeded_rng(10);
+        let rep = oracle.respond(0, 5, &mut rng);
+        assert!(rep.ell < 64);
+        assert!(rep.bit == 1 || rep.bit == -1);
+        assert_eq!(oracle.report_bits(), 1 + 6);
+    }
+
+    #[test]
+    fn group_assignment_is_balanced() {
+        let oracle = Hashtogram::new(HashtogramParams::hashed(10_000, 1 << 20, 1.0, 0.05), 11);
+        let r = oracle.params().groups;
+        let mut counts = vec![0u64; r];
+        for i in 0..10_000u64 {
+            counts[oracle.group_of(i) as usize] += 1;
+        }
+        let expect = 10_000.0 / r as f64;
+        for (g, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "group {g}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate before finalize")]
+    fn estimate_requires_finalize() {
+        let oracle = Hashtogram::new(HashtogramParams::direct(16, 1.0, 0.1), 12);
+        let _ = oracle.estimate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "collect after finalize")]
+    fn collect_after_finalize_panics() {
+        let mut oracle = Hashtogram::new(HashtogramParams::direct(16, 1.0, 0.1), 13);
+        let mut rng = seeded_rng(14);
+        let rep = oracle.respond(0, 3, &mut rng);
+        oracle.finalize();
+        oracle.collect(0, rep);
+    }
+
+    #[test]
+    fn memory_matches_promise() {
+        // Theorem 3.7: O~(sqrt(n)) memory.
+        let n = 1u64 << 20;
+        let oracle = Hashtogram::new(HashtogramParams::hashed(n, 1 << 40, 1.0, 0.01), 15);
+        let mem = oracle.memory_bytes();
+        // R * W * 8 with W = 1024 = sqrt(n), R ~ 10: far below n bytes.
+        assert!(mem < (n as usize) / 8, "memory {mem} too large");
+    }
+}

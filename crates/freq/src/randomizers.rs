@@ -1,0 +1,587 @@
+//! Local randomizers with exactly computable output densities.
+//!
+//! These are the "atoms" of every protocol in the workspace, and the
+//! subjects of the structural results: GenProt (Section 6) consumes any
+//! of them through the [`LocalRandomizer`] trait, and the exact privacy
+//! auditor enumerates their outputs to *prove* (not just claim) their
+//! privacy parameters in tests.
+
+use crate::traits::{LocalRandomizer, RandomizerInput};
+use rand::Rng;
+
+/// Binary randomized response (Warner): keep the bit w.p. `e^ε/(e^ε+1)`.
+///
+/// `⊥` is the uniform input: `A(⊥)` outputs a fair coin.
+#[derive(Debug, Clone)]
+pub struct BinaryRandomizedResponse {
+    eps: f64,
+    keep: f64,
+}
+
+impl BinaryRandomizedResponse {
+    /// ε-DP binary randomized response.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        Self {
+            eps,
+            keep: eps.exp() / (eps.exp() + 1.0),
+        }
+    }
+
+    /// Probability of transmitting the true bit.
+    pub fn keep_probability(&self) -> f64 {
+        self.keep
+    }
+
+    /// The unbiasing factor `c_ε = (e^ε+1)/(e^ε−1)`: `c_ε·(±1 response)`
+    /// has expectation `±1`.
+    pub fn debias_factor(&self) -> f64 {
+        (self.eps.exp() + 1.0) / (self.eps.exp() - 1.0)
+    }
+}
+
+impl LocalRandomizer for BinaryRandomizedResponse {
+    fn output_cardinality(&self) -> u64 {
+        2
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
+        match x {
+            RandomizerInput::Value(v) => {
+                let bit = v & 1;
+                if rng.gen::<f64>() < self.keep {
+                    bit
+                } else {
+                    1 - bit
+                }
+            }
+            RandomizerInput::Null => rng.gen_range(0..2),
+        }
+    }
+
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
+        assert!(y < 2, "binary output expected");
+        match x {
+            RandomizerInput::Value(v) => {
+                if v & 1 == y {
+                    self.keep.ln()
+                } else {
+                    (1.0 - self.keep).ln()
+                }
+            }
+            RandomizerInput::Null => 0.5f64.ln(),
+        }
+    }
+
+    fn claimed_epsilon(&self) -> f64 {
+        self.eps
+    }
+}
+
+/// Generalized randomized response over `[k]`: report the truth w.p.
+/// `e^ε/(e^ε+k−1)`, otherwise a uniformly random *other* value.
+///
+/// `⊥` is the uniform distribution over `[k]`.
+#[derive(Debug, Clone)]
+pub struct GeneralizedRandomizedResponse {
+    k: u64,
+    eps: f64,
+    p_true: f64,
+    p_other: f64,
+}
+
+impl GeneralizedRandomizedResponse {
+    /// ε-DP response over a `k`-element domain.
+    pub fn new(k: u64, eps: f64) -> Self {
+        assert!(k >= 2, "domain must have at least 2 elements");
+        assert!(eps > 0.0);
+        let e = eps.exp();
+        Self {
+            k,
+            eps,
+            p_true: e / (e + k as f64 - 1.0),
+            p_other: 1.0 / (e + k as f64 - 1.0),
+        }
+    }
+
+    /// Unbiased count estimator helpers: `(count − n·p_other) / (p_true − p_other)`.
+    pub fn debias(&self, count: f64, n: f64) -> f64 {
+        (count - n * self.p_other) / (self.p_true - self.p_other)
+    }
+}
+
+impl LocalRandomizer for GeneralizedRandomizedResponse {
+    fn output_cardinality(&self) -> u64 {
+        self.k
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
+        match x {
+            RandomizerInput::Value(v) => {
+                assert!(v < self.k, "input {v} outside [k]");
+                if rng.gen::<f64>() < self.p_true {
+                    v
+                } else {
+                    // Uniform over the other k−1 values.
+                    let r = rng.gen_range(0..self.k - 1);
+                    if r >= v {
+                        r + 1
+                    } else {
+                        r
+                    }
+                }
+            }
+            RandomizerInput::Null => rng.gen_range(0..self.k),
+        }
+    }
+
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
+        assert!(y < self.k);
+        match x {
+            RandomizerInput::Value(v) => {
+                if v == y {
+                    self.p_true.ln()
+                } else {
+                    self.p_other.ln()
+                }
+            }
+            RandomizerInput::Null => -(self.k as f64).ln(),
+        }
+    }
+
+    fn claimed_epsilon(&self) -> f64 {
+        self.eps
+    }
+}
+
+/// Hadamard response: output `(ℓ, b)` where `ℓ ~ U[W]` and `b` is an ε-RR
+/// of the Hadamard entry `H[ℓ, x] ∈ {±1}` (encoded as `{0, 1}`).
+///
+/// Output encoding: `y = 2ℓ + b`. `⊥` sends a uniform `(ℓ, b)`.
+/// This is the per-user message of the Hashtogram oracle, exposed as a
+/// standalone randomizer so GenProt can wrap the *actual* protocol atom.
+#[derive(Debug, Clone)]
+pub struct HadamardResponse {
+    w: u64,
+    rr: BinaryRandomizedResponse,
+}
+
+impl HadamardResponse {
+    /// `W` must be a power of two; inputs are bucket indices `< W`.
+    pub fn new(w: u64, eps: f64) -> Self {
+        assert!(w.is_power_of_two(), "W must be a power of two");
+        Self {
+            w,
+            rr: BinaryRandomizedResponse::new(eps),
+        }
+    }
+
+    /// Decompose an output index into `(ℓ, bit)`.
+    pub fn split(&self, y: u64) -> (u64, u64) {
+        (y >> 1, y & 1)
+    }
+
+    fn entry_bit(&self, ell: u64, x: u64) -> u64 {
+        // +1 ↦ 1, −1 ↦ 0.
+        if hh_math::wht::hadamard_entry(ell, x) == 1 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl LocalRandomizer for HadamardResponse {
+    fn output_cardinality(&self) -> u64 {
+        2 * self.w
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
+        let ell = rng.gen_range(0..self.w);
+        match x {
+            RandomizerInput::Value(v) => {
+                assert!(v < self.w, "bucket {v} outside [W]");
+                let true_bit = self.entry_bit(ell, v);
+                let bit = self.rr.sample(RandomizerInput::Value(true_bit), rng);
+                2 * ell + bit
+            }
+            RandomizerInput::Null => 2 * ell + rng.gen_range(0..2),
+        }
+    }
+
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
+        assert!(y < 2 * self.w);
+        let (ell, bit) = self.split(y);
+        let l_uniform = -(self.w as f64).ln();
+        match x {
+            RandomizerInput::Value(v) => {
+                let true_bit = self.entry_bit(ell, v);
+                l_uniform + self.rr.log_density(RandomizerInput::Value(true_bit), bit)
+            }
+            RandomizerInput::Null => l_uniform + 0.5f64.ln(),
+        }
+    }
+
+    fn claimed_epsilon(&self) -> f64 {
+        self.rr.claimed_epsilon()
+    }
+}
+
+/// A *genuinely approximate* `(ε, δ)`-LDP randomizer: with probability δ
+/// it reveals the input exactly (in a disjoint region of the output
+/// space), otherwise it runs ε-GRR. The worst-case shape of approximate
+/// privacy — exactly what GenProt (Section 6) must clean up.
+///
+/// Outputs: `0..k` = GRR region, `k..2k` = reveal region (`k + x`).
+/// `⊥` never reveals: it plays uniform GRR output.
+#[derive(Debug, Clone)]
+pub struct RevealingRandomizer {
+    grr: GeneralizedRandomizedResponse,
+    delta: f64,
+    k: u64,
+}
+
+impl RevealingRandomizer {
+    /// `(ε, δ)`-LDP by construction: the reveal event has mass δ.
+    pub fn new(k: u64, eps: f64, delta: f64) -> Self {
+        assert!((0.0..1.0).contains(&delta));
+        Self {
+            grr: GeneralizedRandomizedResponse::new(k, eps),
+            delta,
+            k,
+        }
+    }
+}
+
+impl LocalRandomizer for RevealingRandomizer {
+    fn output_cardinality(&self) -> u64 {
+        2 * self.k
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
+        match x {
+            RandomizerInput::Value(v) => {
+                if rng.gen::<f64>() < self.delta {
+                    self.k + v
+                } else {
+                    self.grr.sample(x, rng)
+                }
+            }
+            RandomizerInput::Null => self.grr.sample(RandomizerInput::Null, rng),
+        }
+    }
+
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
+        assert!(y < 2 * self.k);
+        match x {
+            RandomizerInput::Value(v) => {
+                if y >= self.k {
+                    if y - self.k == v {
+                        self.delta.ln()
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                } else {
+                    (1.0 - self.delta).ln() + self.grr.log_density(x, y)
+                }
+            }
+            RandomizerInput::Null => {
+                if y >= self.k {
+                    f64::NEG_INFINITY
+                } else {
+                    self.grr.log_density(RandomizerInput::Null, y)
+                }
+            }
+        }
+    }
+
+    fn claimed_epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn claimed_delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+/// Discretized-Gaussian randomizer on `{0, 1}` inputs: output is
+/// `x·shift + round(N(0, σ²))` clamped to a finite grid — the textbook
+/// `(ε, δ)` mechanism, with densities computed from the discretized pmf.
+///
+/// `⊥` is input 0.
+#[derive(Debug, Clone)]
+pub struct DiscreteGaussianRandomizer {
+    sigma: f64,
+    shift: i64,
+    half_range: i64,
+    /// pmf over the grid for a mean-zero noise variable.
+    noise_pmf: Vec<f64>,
+}
+
+impl DiscreteGaussianRandomizer {
+    /// Noise scale σ, signal shift, and grid half-range (outputs live on
+    /// `[-half_range, half_range + shift]`, encoded by offset).
+    pub fn new(sigma: f64, shift: i64, half_range: i64) -> Self {
+        assert!(sigma > 0.0 && shift > 0 && half_range > 3 * shift);
+        // pmf of round(N(0, σ²)) truncated to ±half_range, renormalized.
+        let mut pmf: Vec<f64> = (-half_range..=half_range)
+            .map(|t| {
+                let z = t as f64 / sigma;
+                (-0.5 * z * z).exp()
+            })
+            .collect();
+        let total: f64 = pmf.iter().sum();
+        for p in pmf.iter_mut() {
+            *p /= total;
+        }
+        Self {
+            sigma,
+            shift,
+            half_range,
+            noise_pmf: pmf,
+        }
+    }
+
+    fn output_range(&self) -> i64 {
+        2 * self.half_range + 1 + self.shift
+    }
+
+    fn signal(&self, x: RandomizerInput) -> i64 {
+        match x {
+            RandomizerInput::Value(v) => {
+                assert!(v <= 1, "binary-input mechanism");
+                v as i64 * self.shift
+            }
+            RandomizerInput::Null => 0,
+        }
+    }
+
+    /// The `(ε, δ)` pair this mechanism satisfies for a target ε, computed
+    /// exactly as the hockey-stick divergence between the two output
+    /// distributions (both directions).
+    pub fn exact_delta(&self, eps: f64) -> f64 {
+        let p0 = self.distribution(RandomizerInput::Value(0));
+        let p1 = self.distribution(RandomizerInput::Value(1));
+        hh_math::info::hockey_stick(&p0, &p1, eps)
+            .max(hh_math::info::hockey_stick(&p1, &p0, eps))
+    }
+
+    /// Noise scale.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl LocalRandomizer for DiscreteGaussianRandomizer {
+    fn output_cardinality(&self) -> u64 {
+        self.output_range() as u64
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
+        // Inverse-transform sampling of the truncated discretized Gaussian.
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut noise = self.half_range; // fallback: top of range
+        for (i, &p) in self.noise_pmf.iter().enumerate() {
+            acc += p;
+            if u <= acc {
+                noise = i as i64 - self.half_range;
+                break;
+            }
+        }
+        (self.signal(x) + noise + self.half_range) as u64
+    }
+
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
+        let noise = y as i64 - self.half_range - self.signal(x);
+        if noise < -self.half_range || noise > self.half_range {
+            return f64::NEG_INFINITY;
+        }
+        self.noise_pmf[(noise + self.half_range) as usize].ln()
+    }
+
+    fn claimed_epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn claimed_delta(&self) -> f64 {
+        // By convention report δ at ε = 1; callers wanting other trade-off
+        // points use `exact_delta`.
+        self.exact_delta(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn max_log_ratio<A: LocalRandomizer>(a: &A, x1: u64, x2: u64) -> f64 {
+        (0..a.output_cardinality())
+            .map(|y| {
+                let l1 = a.log_density(RandomizerInput::Value(x1), y);
+                let l2 = a.log_density(RandomizerInput::Value(x2), y);
+                if l1 == f64::NEG_INFINITY && l2 == f64::NEG_INFINITY {
+                    0.0
+                } else {
+                    (l1 - l2).abs()
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn densities_normalize<A: LocalRandomizer>(a: &A, x: RandomizerInput) {
+        let total: f64 = a.distribution(x).iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "densities sum to {total}");
+    }
+
+    #[test]
+    fn binary_rr_is_exactly_eps_dp() {
+        for &eps in &[0.1f64, 0.5, 1.0, 2.0] {
+            let rr = BinaryRandomizedResponse::new(eps);
+            densities_normalize(&rr, RandomizerInput::Value(0));
+            densities_normalize(&rr, RandomizerInput::Null);
+            let ratio = max_log_ratio(&rr, 0, 1);
+            assert!((ratio - eps).abs() < 1e-12, "eps={eps}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn binary_rr_debias_is_unbiased() {
+        let eps = 1.0;
+        let rr = BinaryRandomizedResponse::new(eps);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trials = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let y = rr.sample(RandomizerInput::Value(1), &mut rng);
+            let pm = if y == 1 { 1.0 } else { -1.0 };
+            sum += rr.debias_factor() * pm;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 1.0).abs() < 0.02, "debiased mean {mean}");
+    }
+
+    #[test]
+    fn grr_is_exactly_eps_dp_and_normalized() {
+        for &(k, eps) in &[(3u64, 0.5f64), (10, 1.0), (64, 2.0)] {
+            let g = GeneralizedRandomizedResponse::new(k, eps);
+            densities_normalize(&g, RandomizerInput::Value(k - 1));
+            densities_normalize(&g, RandomizerInput::Null);
+            let ratio = max_log_ratio(&g, 0, k - 1);
+            assert!((ratio - eps).abs() < 1e-12, "k={k} eps={eps}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn grr_sampling_matches_density() {
+        let g = GeneralizedRandomizedResponse::new(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trials = 300_000u64;
+        let mut counts = vec![0u64; 5];
+        for _ in 0..trials {
+            counts[g.sample(RandomizerInput::Value(2), &mut rng) as usize] += 1;
+        }
+        for y in 0..5u64 {
+            let want = g.log_density(RandomizerInput::Value(2), y).exp();
+            let got = counts[y as usize] as f64 / trials as f64;
+            let tol = 6.0 * (want / trials as f64).sqrt() + 1e-3;
+            assert!((got - want).abs() < tol, "y={y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn grr_debias_recovers_counts() {
+        let g = GeneralizedRandomizedResponse::new(8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 40_000u64;
+        // 70% of users hold 3, 30% hold 5.
+        let mut counts = vec![0u64; 8];
+        for i in 0..n {
+            let x = if i % 10 < 7 { 3 } else { 5 };
+            counts[g.sample(RandomizerInput::Value(x), &mut rng) as usize] += 1;
+        }
+        let est3 = g.debias(counts[3] as f64, n as f64);
+        assert!(
+            (est3 - 0.7 * n as f64).abs() < 0.05 * n as f64,
+            "estimate {est3}"
+        );
+    }
+
+    #[test]
+    fn hadamard_response_eps_dp_over_buckets() {
+        let h = HadamardResponse::new(16, 1.0);
+        densities_normalize(&h, RandomizerInput::Value(7));
+        densities_normalize(&h, RandomizerInput::Null);
+        let ratio = max_log_ratio(&h, 3, 12);
+        assert!(ratio <= 1.0 + 1e-12, "ratio {ratio}");
+        // And the bound is achieved (some output distinguishes maximally).
+        assert!(ratio > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn hadamard_sampling_matches_density() {
+        let h = HadamardResponse::new(8, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 400_000u64;
+        let mut counts = vec![0u64; 16];
+        for _ in 0..trials {
+            counts[h.sample(RandomizerInput::Value(5), &mut rng) as usize] += 1;
+        }
+        for y in 0..16u64 {
+            let want = h.log_density(RandomizerInput::Value(5), y).exp();
+            let got = counts[y as usize] as f64 / trials as f64;
+            let tol = 6.0 * (want / trials as f64).sqrt() + 1e-3;
+            assert!((got - want).abs() < tol, "y={y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn revealing_randomizer_is_exactly_eps_delta() {
+        let k = 6u64;
+        let (eps, delta) = (0.8, 0.05);
+        let rv = RevealingRandomizer::new(k, eps, delta);
+        densities_normalize(&rv, RandomizerInput::Value(2));
+        densities_normalize(&rv, RandomizerInput::Null);
+        // Hockey-stick at eps must be exactly delta (the reveal mass).
+        let p0 = rv.distribution(RandomizerInput::Value(0));
+        let p1 = rv.distribution(RandomizerInput::Value(1));
+        let hs = hh_math::info::hockey_stick(&p0, &p1, eps);
+        assert!((hs - delta).abs() < 1e-10, "hockey-stick {hs} vs {delta}");
+        // Pure DP fails: unbounded ratio on the reveal region.
+        let l0 = rv.log_density(RandomizerInput::Value(0), k);
+        let l1 = rv.log_density(RandomizerInput::Value(1), k);
+        assert!(l0 > f64::NEG_INFINITY && l1 == f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gaussian_randomizer_density_and_delta() {
+        let g = DiscreteGaussianRandomizer::new(4.0, 1, 40);
+        densities_normalize(&g, RandomizerInput::Value(0));
+        densities_normalize(&g, RandomizerInput::Value(1));
+        densities_normalize(&g, RandomizerInput::Null);
+        // Exact delta decreases with eps.
+        let d1 = g.exact_delta(0.25);
+        let d2 = g.exact_delta(1.0);
+        assert!(d1 > d2, "delta must shrink with eps: {d1} vs {d2}");
+        assert!(d2 > 0.0 && d2 < 0.1);
+    }
+
+    #[test]
+    fn gaussian_sampler_matches_density() {
+        let g = DiscreteGaussianRandomizer::new(2.0, 1, 12);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trials = 200_000u64;
+        let mut counts = vec![0u64; g.output_cardinality() as usize];
+        for _ in 0..trials {
+            counts[g.sample(RandomizerInput::Value(1), &mut rng) as usize] += 1;
+        }
+        for y in 0..g.output_cardinality() {
+            let want = g.log_density(RandomizerInput::Value(1), y).exp();
+            let got = counts[y as usize] as f64 / trials as f64;
+            let tol = 6.0 * (want.max(1e-9) / trials as f64).sqrt() + 1e-3;
+            assert!((got - want).abs() < tol, "y={y}: {got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Basic one-hot RAPPOR (Erlingsson–Pihur–Korolova, CCS 2014).
+//!
+//! The industrial baseline cited by the paper's introduction: each user
+//! one-hot encodes her value over the whole domain and flips every bit
+//! independently. Flipping a one-hot vector has ℓ₁-sensitivity 2, so a
+//! per-bit budget of ε/2 yields ε-LDP overall.
+//!
+//! Costs are the story here: Θ(|X|) user time and communication per
+//! report, versus Hashtogram's `O~(1)` — this contrast is experiment
+//! T1.comm in EXPERIMENTS.md.
+
+use crate::traits::FrequencyOracle;
+use rand::Rng;
+
+/// Basic RAPPOR over a (small) domain.
+#[derive(Debug, Clone)]
+pub struct Rappor {
+    domain: u64,
+    eps: f64,
+    /// Pr[bit transmitted truthfully].
+    keep: f64,
+    /// Accumulated ones per position.
+    ones: Vec<u64>,
+    total: u64,
+    finalized: bool,
+}
+
+impl Rappor {
+    /// ε-LDP one-hot RAPPOR. `domain` is capped (the report is a dense
+    /// bitvector; this protocol is the "doesn't scale" baseline).
+    pub fn new(domain: u64, eps: f64) -> Self {
+        assert!(domain >= 2);
+        assert!(domain <= 1 << 22, "one-hot RAPPOR beyond 2^22 is pointless");
+        assert!(eps > 0.0);
+        let half = eps / 2.0;
+        Self {
+            domain,
+            eps,
+            keep: half.exp() / (half.exp() + 1.0),
+            ones: vec![0; domain as usize],
+            total: 0,
+            finalized: false,
+        }
+    }
+
+    fn q(&self) -> f64 {
+        1.0 - self.keep
+    }
+}
+
+impl FrequencyOracle for Rappor {
+    /// The perturbed bitvector, packed into words.
+    type Report = Vec<u64>;
+
+    fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> Vec<u64> {
+        assert!(x < self.domain);
+        let words = (self.domain as usize).div_ceil(64);
+        let mut out = vec![0u64; words];
+        for j in 0..self.domain {
+            let true_bit = j == x;
+            let sent = if rng.gen::<f64>() < self.keep {
+                true_bit
+            } else {
+                !true_bit
+            };
+            if sent {
+                out[(j / 64) as usize] |= 1 << (j % 64);
+            }
+        }
+        out
+    }
+
+    fn collect(&mut self, _user_index: u64, report: Vec<u64>) {
+        assert!(!self.finalized);
+        for j in 0..self.domain {
+            if report[(j / 64) as usize] >> (j % 64) & 1 == 1 {
+                self.ones[j as usize] += 1;
+            }
+        }
+        self.total += 1;
+    }
+
+    fn finalize(&mut self) {
+        self.finalized = true;
+    }
+
+    fn estimate(&self, x: u64) -> f64 {
+        assert!(self.finalized, "estimate before finalize");
+        let c = self.ones[x as usize] as f64;
+        let n = self.total as f64;
+        (c - n * self.q()) / (self.keep - self.q())
+    }
+
+    fn report_bits(&self) -> usize {
+        self.domain as usize
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.ones.len() * std::mem::size_of::<u64>()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_math::rng::seeded_rng;
+
+    #[test]
+    fn recovers_point_mass() {
+        let domain = 32u64;
+        let n = 20_000u64;
+        let mut oracle = Rappor::new(domain, 1.0);
+        let mut rng = seeded_rng(2);
+        for i in 0..n {
+            let x = if i % 2 == 0 { 11 } else { i % domain };
+            let rep = oracle.respond(i, x, &mut rng);
+            oracle.collect(i, rep);
+        }
+        oracle.finalize();
+        let est = oracle.estimate(11);
+        let want = n as f64 * (0.5 + 0.5 / domain as f64);
+        assert!((est - want).abs() < 0.08 * n as f64, "est {est} vs {want}");
+    }
+
+    #[test]
+    fn per_user_cost_is_linear_in_domain() {
+        let oracle = Rappor::new(1024, 1.0);
+        assert_eq!(oracle.report_bits(), 1024);
+    }
+
+    #[test]
+    fn estimate_of_absent_element_near_zero() {
+        let domain = 64u64;
+        let n = 30_000u64;
+        let mut oracle = Rappor::new(domain, 2.0);
+        let mut rng = seeded_rng(3);
+        for i in 0..n {
+            let rep = oracle.respond(i, 5, &mut rng);
+            oracle.collect(i, rep);
+        }
+        oracle.finalize();
+        let est = oracle.estimate(40);
+        assert!(est.abs() < 0.05 * n as f64, "absent estimate {est}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Core protocol abstractions.
+
+use rand::Rng;
+
+/// Input to a local randomizer: a real domain element or the null symbol
+/// `⊥` used by GenProt's public sampling (Algorithm GenProt, step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomizerInput {
+    /// A domain element.
+    Value(u64),
+    /// The null input `⊥` (by convention, a canonical reference input; each
+    /// randomizer documents its choice).
+    Null,
+}
+
+impl From<u64> for RandomizerInput {
+    fn from(x: u64) -> Self {
+        RandomizerInput::Value(x)
+    }
+}
+
+/// A single-message local randomizer with *computable output densities*.
+///
+/// Outputs are encoded as `u64` indices into a finite output space, which
+/// lets the workspace (a) run GenProt's rejection sampling, which needs
+/// exact density ratios, and (b) *audit* privacy claims exactly by
+/// enumerating outputs (`hh-structure::audit`).
+pub trait LocalRandomizer {
+    /// Number of possible outputs (outputs are `0..output_cardinality()`).
+    fn output_cardinality(&self) -> u64;
+
+    /// Draw one output for the given input.
+    fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64;
+
+    /// `ln Pr[A(x) = y]`.
+    fn log_density(&self, x: RandomizerInput, y: u64) -> f64;
+
+    /// The pure-DP parameter the randomizer claims (`f64::INFINITY` for
+    /// approximate-only randomizers).
+    fn claimed_epsilon(&self) -> f64;
+
+    /// The approximation parameter δ the randomizer claims (0 for pure).
+    fn claimed_delta(&self) -> f64 {
+        0.0
+    }
+
+    /// Exact output distribution for an input (enumerated).
+    fn distribution(&self, x: RandomizerInput) -> Vec<f64> {
+        (0..self.output_cardinality())
+            .map(|y| self.log_density(x, y).exp())
+            .collect()
+    }
+}
+
+/// A one-round LDP frequency-oracle protocol (Definition 3.2).
+///
+/// The object holds the *public randomness* (derived from one seed) and
+/// the server state; [`FrequencyOracle::respond`] is the client algorithm
+/// (it reads only public state and the user's own input, never other
+/// users' reports — non-interactivity by construction).
+pub trait FrequencyOracle {
+    /// The client's single message to the server.
+    type Report;
+
+    /// Client-side: user `user_index` holding `x` produces her report.
+    fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
+
+    /// Server-side: ingest one report.
+    fn collect(&mut self, user_index: u64, report: Self::Report);
+
+    /// Server-side: finish ingestion (e.g. apply the inverse transform).
+    /// Must be called before [`FrequencyOracle::estimate`].
+    fn finalize(&mut self);
+
+    /// Estimate `f_S(x)`.
+    fn estimate(&self, x: u64) -> f64;
+
+    /// Communication per user in bits (for the Table 1 accounting).
+    fn report_bits(&self) -> usize;
+
+    /// Server working-memory estimate in bytes (sketch state only).
+    fn memory_bytes(&self) -> usize;
+
+    /// The per-user privacy parameter the protocol consumes.
+    fn epsilon(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomizer_input_from_u64() {
+        assert_eq!(RandomizerInput::from(7), RandomizerInput::Value(7));
+    }
+}

@@ -1,0 +1,231 @@
+//! Las Vegas construction of d-regular spectral expanders.
+//!
+//! Theorem 3.6 needs, for every code length `M`, a d-regular graph `F` on
+//! `M` vertices with second eigenvalue `λ ≤ λ₀ = α·d`. The paper's
+//! footnote 7: *"the construction only needs a spectral expander … a
+//! random graph is a spectral expander with high probability, so we can
+//! construct an expander for every M in efficient Las Vegas time."*
+//! Random d-regular graphs are near-Ramanujan (`λ ≈ 2√(d−1)`) w.h.p.
+//! (Friedman's theorem), so for `λ₀/d ≥ 2.1/√d` a handful of attempts
+//! suffices; we verify each candidate exactly by power iteration.
+
+use crate::graph::Graph;
+use crate::spectral::second_eigenvalue_regular;
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::seq::SliceRandom;
+
+/// A verified d-regular expander with its certified eigenvalue bound.
+#[derive(Debug, Clone)]
+pub struct ExpanderGraph {
+    graph: Graph,
+    degree: usize,
+    lambda: f64,
+    /// Neighbor table: `neighbors[m][k]` = k-th neighbor of vertex m, the
+    /// `Γ(m)_k` of the paper's encoding.
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl ExpanderGraph {
+    /// Number of vertices `M`.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Regular degree `d`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The verified second-eigenvalue magnitude.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// `Γ(m)_k`: the k-th neighbor of vertex `m` (fixed order).
+    pub fn neighbor(&self, m: usize, k: usize) -> u32 {
+        self.neighbors[m][k]
+    }
+
+    /// All neighbors of `m` in fixed order.
+    pub fn neighbors(&self, m: usize) -> &[u32] {
+        &self.neighbors[m]
+    }
+
+    /// Underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Lemma B.1 (expander mixing / Alon–Chung): lower bound on the edge
+    /// boundary of a set of size `s`: `|∂S| ≥ (d − λ)(1 − s/M)·s`.
+    pub fn mixing_boundary_bound(&self, s: usize) -> f64 {
+        let m = self.num_vertices() as f64;
+        let s = s as f64;
+        (self.degree as f64 - self.lambda) * (1.0 - s / m) * s
+    }
+}
+
+/// Sample one candidate d-regular simple graph (permutation model):
+/// union of `d` random perfect matchings on vertex copies, resampled until
+/// simple. `M·d` must be even and `d < M`.
+fn random_regular(m: usize, d: usize, seed: u64) -> Option<Graph> {
+    let mut rng = seeded_rng(seed);
+    // Pairing model with up to a few repair attempts per matching.
+    'outer: for _attempt in 0..200 {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::with_capacity(d); m];
+        let mut stubs: Vec<u32> = (0..m as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut used: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let mut ok = true;
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = (u.min(v), u.max(v));
+            if u == v || !used.insert(key) {
+                ok = false;
+                break;
+            }
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        if !ok {
+            continue 'outer;
+        }
+        let mut g = Graph::new(m);
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as u32) < v {
+                    g.add_edge(u as u32, v);
+                }
+            }
+        }
+        return Some(g);
+    }
+    None
+}
+
+/// Las Vegas expander construction: sample candidates until the verified
+/// second eigenvalue is at most `lambda0`.
+///
+/// Panics if `m·d` is odd, `d >= m`, or if `lambda0 < 2.2·sqrt(d−1)`
+/// (below the Ramanujan floor no random graph will ever pass — a caller
+/// bug, not bad luck).
+pub fn expander(m: usize, d: usize, lambda0: f64, seed: u64) -> ExpanderGraph {
+    assert!(m >= 3, "need at least 3 vertices, got {m}");
+    assert!(d >= 3, "degree must be >= 3 for expansion, got {d}");
+    assert!(d < m, "degree {d} must be below vertex count {m}");
+    assert!(m * d % 2 == 0, "M*d must be even (M={m}, d={d})");
+    let ramanujan = 2.0 * ((d - 1) as f64).sqrt();
+    assert!(
+        lambda0 >= ramanujan.min(d as f64 * 0.99),
+        "lambda0 = {lambda0} below the Ramanujan bound {ramanujan}; unreachable"
+    );
+    for attempt in 0..10_000u64 {
+        let cand_seed = derive_seed(seed, attempt);
+        let Some(g) = random_regular(m, d, cand_seed) else {
+            continue;
+        };
+        // Require connectivity (disconnected graphs have λ = d).
+        if g.connected_components().len() != 1 {
+            continue;
+        }
+        let lambda = second_eigenvalue_regular(&g, derive_seed(cand_seed, 1));
+        if lambda <= lambda0 {
+            let neighbors: Vec<Vec<u32>> = (0..m as u32)
+                .map(|v| {
+                    let mut ns = g.neighbors(v).to_vec();
+                    ns.sort_unstable();
+                    ns
+                })
+                .collect();
+            return ExpanderGraph {
+                graph: g,
+                degree: d,
+                lambda,
+                neighbors,
+            };
+        }
+    }
+    panic!("no (M={m}, d={d}, λ₀={lambda0}) expander found in 10000 attempts");
+}
+
+/// Sample a *uniformly random* d-regular graph for use as a non-verified
+/// test subject (may be disconnected or a poor expander).
+pub fn random_regular_graph(m: usize, d: usize, seed: u64) -> Graph {
+    for attempt in 0..10_000u64 {
+        if let Some(g) = random_regular(m, d, derive_seed(seed, attempt)) {
+            return g;
+        }
+    }
+    panic!("failed to sample a simple {d}-regular graph on {m} vertices");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_regular_verified_expander() {
+        for &(m, d) in &[(16usize, 4usize), (31, 6), (64, 6)] {
+            let lambda0 = 2.2 * ((d - 1) as f64).sqrt();
+            let e = expander(m, d, lambda0, 42);
+            assert_eq!(e.num_vertices(), m);
+            assert_eq!(e.degree(), d);
+            assert!(e.lambda() <= lambda0);
+            for v in 0..m as u32 {
+                assert_eq!(e.graph().degree(v), d, "vertex {v} degree");
+                assert_eq!(e.neighbors(v as usize).len(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = expander(20, 4, 2.2 * 3f64.sqrt(), 7);
+        let b = expander(20, 4, 2.2 * 3f64.sqrt(), 7);
+        for m in 0..20 {
+            assert_eq!(a.neighbors(m), b.neighbors(m));
+        }
+    }
+
+    #[test]
+    fn mixing_lemma_holds_on_all_small_sets() {
+        // Exhaustively check Lemma B.1 on every subset of a small expander.
+        let e = expander(12, 4, 2.2 * 3f64.sqrt(), 3);
+        let m = e.num_vertices();
+        for mask in 1u32..(1 << m) {
+            let set: Vec<u32> = (0..m as u32).filter(|&v| mask >> v & 1 == 1).collect();
+            if set.len() == m {
+                continue;
+            }
+            let bound = e.mixing_boundary_bound(set.len());
+            let actual = e.graph().boundary(&set) as f64;
+            assert!(
+                actual >= bound - 1e-9,
+                "mixing violated on |S|={}: {actual} < {bound}",
+                set.len()
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_table_matches_graph() {
+        let e = expander(16, 4, 2.2 * 3f64.sqrt(), 9);
+        for m in 0..16usize {
+            let mut from_graph = e.graph().neighbors(m as u32).to_vec();
+            from_graph.sort_unstable();
+            assert_eq!(e.neighbors(m), from_graph.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_total_degree() {
+        let _ = expander(15, 3, 3.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the Ramanujan bound")]
+    fn rejects_unreachable_lambda() {
+        let _ = expander(16, 4, 0.5, 1);
+    }
+}

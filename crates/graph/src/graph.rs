@@ -1,0 +1,252 @@
+//! Simple undirected graph with the primitives the clustering and mixing
+//! analyses need: degrees, volumes, boundaries, conductance, components.
+
+use std::collections::HashSet;
+
+/// A simple undirected graph on vertices `0..n` (adjacency-list storage,
+/// parallel edges and self-loops rejected at insertion).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Build from an edge list, silently deduplicating repeats and
+    /// dropping self-loops.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            let key = (u.min(v), u.max(v));
+            if u != v && seen.insert(key) {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Insert edge `{u, v}`; panics on self-loops or out-of-range vertices.
+    /// Duplicate insertion is the caller's responsibility (use
+    /// [`Graph::from_edges`] to deduplicate).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop at {u}");
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edges += 1;
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Volume of a vertex set: sum of degrees.
+    pub fn volume(&self, set: &[u32]) -> usize {
+        set.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Number of edges with exactly one endpoint in `set` (`|∂S|`).
+    pub fn boundary(&self, set: &[u32]) -> usize {
+        let inside: HashSet<u32> = set.iter().copied().collect();
+        set.iter()
+            .map(|&v| {
+                self.adj[v as usize]
+                    .iter()
+                    .filter(|&&u| !inside.contains(&u))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Edges with both endpoints inside `set` (each counted once).
+    pub fn internal_edges(&self, set: &[u32]) -> usize {
+        let inside: HashSet<u32> = set.iter().copied().collect();
+        let twice: usize = set
+            .iter()
+            .map(|&v| {
+                self.adj[v as usize]
+                    .iter()
+                    .filter(|&&u| inside.contains(&u))
+                    .count()
+            })
+            .sum();
+        twice / 2
+    }
+
+    /// Edges between disjoint sets `a` and `b`.
+    pub fn cut_edges(&self, a: &[u32], b: &[u32]) -> usize {
+        let in_b: HashSet<u32> = b.iter().copied().collect();
+        a.iter()
+            .map(|&v| {
+                self.adj[v as usize]
+                    .iter()
+                    .filter(|&&u| in_b.contains(&u))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Conductance of the cut `(set, V∖set)`:
+    /// `|∂S| / min(vol(S), vol(V∖S))`; `1.0` when either side has zero
+    /// volume (a degenerate cut nobody should prefer).
+    pub fn conductance(&self, set: &[u32]) -> f64 {
+        let vol_s = self.volume(set);
+        let vol_total = 2 * self.edges;
+        let vol_rest = vol_total.saturating_sub(vol_s);
+        let denom = vol_s.min(vol_rest);
+        if denom == 0 {
+            return 1.0;
+        }
+        self.boundary(set) as f64 / denom as f64
+    }
+
+    /// Connected components (vertices with degree 0 form singleton
+    /// components).
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            stack.push(s as u32);
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &u in &self.adj[v as usize] {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Subgraph induced on `set`, with a map back to original labels.
+    pub fn induced(&self, set: &[u32]) -> (Graph, Vec<u32>) {
+        let mut index = std::collections::HashMap::new();
+        for (i, &v) in set.iter().enumerate() {
+            index.insert(v, i as u32);
+        }
+        let mut g = Graph::new(set.len());
+        for (i, &v) in set.iter().enumerate() {
+            for &u in &self.adj[v as usize] {
+                if let Some(&j) = index.get(&u) {
+                    if (i as u32) < j {
+                        g.add_edge(i as u32, j);
+                    }
+                }
+            }
+        }
+        (g, set.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, i as u32 + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn degrees_and_edges() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2), (2, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn boundary_and_internal() {
+        let g = path(4); // 0-1-2-3
+        assert_eq!(g.boundary(&[0, 1]), 1);
+        assert_eq!(g.internal_edges(&[0, 1]), 1);
+        assert_eq!(g.boundary(&[1, 2]), 2);
+        assert_eq!(g.cut_edges(&[0, 1], &[2, 3]), 1);
+    }
+
+    #[test]
+    fn conductance_path_middle_cut() {
+        let g = path(4);
+        // Cut {0,1}: boundary 1, vol 3, rest vol 3 -> 1/3.
+        assert!((g.conductance(&[0, 1]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.conductance(&[]), 1.0);
+    }
+
+    #[test]
+    fn components_found() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let mut comps = g.connected_components();
+        comps.sort_by_key(|c| c[0]);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let g = path(5);
+        let (sub, map) = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn volume_is_degree_sum() {
+        let g = path(4);
+        assert_eq!(g.volume(&[0, 1, 2, 3]), 6);
+        assert_eq!(g.volume(&[1, 2]), 4);
+    }
+}

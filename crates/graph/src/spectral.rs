@@ -1,0 +1,224 @@
+//! Spectral primitives: second eigenvalue of regular graphs (expander
+//! verification) and Fiedler vectors of general graphs (sweep cuts).
+
+use crate::graph::Graph;
+use hh_math::rng::seeded_rng;
+use rand::Rng;
+
+/// Number of power-iteration rounds; graphs in this workspace have at most
+/// a few thousand vertices, where this is plenty for 1e-6 accuracy on the
+/// dominant eigenvalue.
+const POWER_ITERS: usize = 300;
+
+/// Largest-magnitude eigenvalue of the adjacency matrix *after deflating
+/// the all-ones direction* — for a connected d-regular graph this is
+/// `λ(G) = max(λ_2, |λ_min|)`, the quantity expander constructions bound.
+///
+/// Power iteration on `B·x = A·x − (1ᵀx/n)·deg-weighted projection`; for
+/// regular graphs the all-ones vector is exactly the top eigenvector so
+/// simple mean-removal is an exact deflation.
+pub fn second_eigenvalue_regular(g: &Graph, seed: u64) -> f64 {
+    let n = g.num_vertices();
+    assert!(n >= 2, "need at least two vertices");
+    let d = g.degree(0);
+    debug_assert!(
+        (0..n as u32).all(|v| g.degree(v) == d),
+        "graph must be regular"
+    );
+    let mut rng = seeded_rng(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    remove_mean(&mut x);
+    normalize(&mut x);
+    let mut lambda = 0.0;
+    for _ in 0..POWER_ITERS {
+        let mut y = apply_adjacency(g, &x);
+        remove_mean(&mut y);
+        lambda = norm(&y);
+        if lambda < 1e-300 {
+            return 0.0;
+        }
+        for v in y.iter_mut() {
+            *v /= lambda;
+        }
+        x = y;
+    }
+    lambda
+}
+
+/// The Fiedler-style embedding: the second eigenvector of the normalized
+/// adjacency `D^{-1/2} A D^{-1/2}`, computed by power iteration with
+/// deflation of the known top eigenvector `D^{1/2}·1`.
+///
+/// Isolated vertices receive embedding value 0. Used by sweep cuts; the
+/// *ordering* of the entries is what matters, so modest eigen-accuracy
+/// suffices.
+pub fn fiedler_embedding(g: &Graph, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    let deg: Vec<f64> = (0..n as u32).map(|v| g.degree(v) as f64).collect();
+    let sqrt_deg: Vec<f64> = deg.iter().map(|&d| d.sqrt()).collect();
+    // Top eigenvector of the normalized adjacency, normalized.
+    let mut top = sqrt_deg.clone();
+    normalize(&mut top);
+    let mut rng = seeded_rng(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut x, &top);
+    normalize(&mut x);
+    for _ in 0..POWER_ITERS {
+        // y = (I + D^{-1/2} A D^{-1/2}) x / 2 — the lazy-walk shift keeps
+        // the operator PSD so power iteration finds the largest remaining
+        // eigenvalue (i.e. the second eigenvector of the walk, the Fiedler
+        // direction of the normalized Laplacian).
+        let mut y = vec![0.0; n];
+        for v in 0..n {
+            if deg[v] == 0.0 {
+                continue;
+            }
+            let xv = x[v] / sqrt_deg[v];
+            for &u in g.neighbors(v as u32) {
+                y[u as usize] += xv / sqrt_deg[u as usize];
+            }
+        }
+        for v in 0..n {
+            y[v] = 0.5 * (y[v] + x[v]);
+        }
+        deflate(&mut y, &top);
+        let nrm = norm(&y);
+        if nrm < 1e-300 {
+            return vec![0.0; n];
+        }
+        for v in y.iter_mut() {
+            *v /= nrm;
+        }
+        x = y;
+    }
+    // Return in vertex space (divide by sqrt degree) for sweep ordering.
+    x.iter()
+        .zip(&sqrt_deg)
+        .map(|(&v, &s)| if s > 0.0 { v / s } else { 0.0 })
+        .collect()
+}
+
+fn apply_adjacency(g: &Graph, x: &[f64]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut y = vec![0.0; n];
+    for v in 0..n {
+        let xv = x[v];
+        for &u in g.neighbors(v as u32) {
+            y[u as usize] += xv;
+        }
+    }
+    y
+}
+
+fn remove_mean(x: &mut [f64]) {
+    let m = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= m;
+    }
+}
+
+fn deflate(x: &mut [f64], unit: &[f64]) {
+    let dot: f64 = x.iter().zip(unit).map(|(a, b)| a * b).sum();
+    for (v, &u) in x.iter_mut().zip(unit) {
+        *v -= dot * u;
+    }
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|&v| v * v).sum::<f64>().sqrt()
+}
+
+fn normalize(x: &mut [f64]) {
+    let n = norm(x);
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i as u32, ((i + 1) % n) as u32);
+        }
+        g
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_second_eigenvalue() {
+        // C_n has eigenvalues 2cos(2πk/n); the second largest magnitude is
+        // 2cos(2π/n) for even n... (|λ_min| = 2 for even n via k = n/2).
+        let g = cycle(8);
+        let lam = second_eigenvalue_regular(&g, 1);
+        // Eigenvalues of C_8: 2, ±√2, 0, −2 ⇒ deflated max magnitude = 2.
+        assert!((lam - 2.0).abs() < 1e-6, "got {lam}");
+        let g = cycle(9);
+        let lam = second_eigenvalue_regular(&g, 1);
+        // C_9 spectrum: 2cos(2πk/9); largest non-trivial magnitude at k=4.
+        let want = (1..=4)
+            .map(|k| (2.0 * (2.0 * std::f64::consts::PI * k as f64 / 9.0).cos()).abs())
+            .fold(0.0f64, f64::max);
+        assert!((lam - want).abs() < 1e-5, "got {lam}, want {want}");
+    }
+
+    #[test]
+    fn complete_graph_second_eigenvalue() {
+        // K_n has spectrum {n−1, −1, …, −1}: deflated magnitude 1.
+        let g = complete(10);
+        let lam = second_eigenvalue_regular(&g, 2);
+        assert!((lam - 1.0).abs() < 1e-6, "got {lam}");
+    }
+
+    #[test]
+    fn fiedler_separates_two_cliques() {
+        // Two K_5s joined by a single edge: the Fiedler embedding must give
+        // opposite signs to the two cliques.
+        let mut g = Graph::new(10);
+        for i in 0..5u32 {
+            for j in i + 1..5 {
+                g.add_edge(i, j);
+            }
+        }
+        for i in 5..10u32 {
+            for j in i + 1..10 {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge(0, 5);
+        let emb = fiedler_embedding(&g, 3);
+        let side_a: Vec<f64> = (0..5).map(|i| emb[i]).collect();
+        let side_b: Vec<f64> = (5..10).map(|i| emb[i]).collect();
+        let mean_a = side_a.iter().sum::<f64>() / 5.0;
+        let mean_b = side_b.iter().sum::<f64>() / 5.0;
+        assert!(
+            mean_a * mean_b < 0.0,
+            "cliques not separated: {mean_a} vs {mean_b}"
+        );
+    }
+
+    #[test]
+    fn fiedler_handles_isolated_vertices() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        // Vertices 2, 3 isolated.
+        let emb = fiedler_embedding(&g, 4);
+        assert_eq!(emb.len(), 4);
+        assert_eq!(emb[2], 0.0);
+        assert_eq!(emb[3], 0.0);
+    }
+}

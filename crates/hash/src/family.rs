@@ -1,0 +1,113 @@
+//! Seeded factories for indexed collections of hash functions.
+//!
+//! A protocol's public randomness is a single `u64`; each named component
+//! (the `M` pairwise functions `h_m`, the group hash `g`, per-group oracle
+//! hashes, …) derives an independent stream from it. The derivation is
+//! stable: component `i` of family `label` is the same function regardless
+//! of which other components were instantiated.
+
+use crate::kwise::{KWiseHash, PairwiseHash, SignHash};
+use hh_math::rng::derive_seed;
+
+/// Factory deriving independent hash functions from one master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct HashFamily {
+    master: u64,
+}
+
+impl HashFamily {
+    /// Wrap a master public-randomness seed.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed (for re-publication to users).
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// Seed of component `index` of the family labelled `label`.
+    pub fn component_seed(&self, label: u64, index: u64) -> u64 {
+        derive_seed(derive_seed(self.master, label), index)
+    }
+
+    /// The `index`-th pairwise independent hash into `[range]` under
+    /// `label`.
+    pub fn pairwise(&self, label: u64, index: u64, range: u64) -> PairwiseHash {
+        PairwiseHash::new(self.component_seed(label, index), range)
+    }
+
+    /// The `index`-th `k`-wise independent hash into `[range]`.
+    pub fn kwise(&self, label: u64, index: u64, k: usize, range: u64) -> KWiseHash {
+        KWiseHash::new(self.component_seed(label, index), k, range)
+    }
+
+    /// The `index`-th ±1 sign hash.
+    pub fn sign(&self, label: u64, index: u64) -> SignHash {
+        SignHash::new(self.component_seed(label, index))
+    }
+}
+
+/// Component labels used across the workspace (kept in one place so crates
+/// can never collide on derivation streams).
+pub mod labels {
+    /// Per-coordinate pairwise hashes `h_m` of PrivateExpanderSketch.
+    pub const SKETCH_COORD_HASH: u64 = 1;
+    /// The `(C_g log|X|)`-wise group hash `g`.
+    pub const SKETCH_GROUP_HASH: u64 = 2;
+    /// User partition into `I_1..I_M`.
+    pub const SKETCH_PARTITION: u64 = 3;
+    /// Hashtogram per-group bucket hashes.
+    pub const HASHTOGRAM_BUCKET: u64 = 4;
+    /// Hashtogram user-group assignment.
+    pub const HASHTOGRAM_ASSIGN: u64 = 5;
+    /// Bassily–Smith projection rows.
+    pub const BS_PROJECTION: u64 = 6;
+    /// Bitstogram repetitions.
+    pub const BITSTOGRAM_REP: u64 = 7;
+    /// GenProt public samples `y_{i,t}`.
+    pub const GENPROT_PUBLIC: u64 = 8;
+    /// Expander construction attempts.
+    pub const EXPANDER: u64 = 9;
+    /// Inner-oracle randomizer streams.
+    pub const ORACLE_REPORT: u64 = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_are_stable() {
+        let f = HashFamily::new(99);
+        let a1 = f.pairwise(labels::SKETCH_COORD_HASH, 3, 64);
+        let a2 = f.pairwise(labels::SKETCH_COORD_HASH, 3, 64);
+        for x in 0..50u64 {
+            assert_eq!(a1.hash(x), a2.hash(x));
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let f = HashFamily::new(99);
+        let a = f.pairwise(labels::SKETCH_COORD_HASH, 0, 1 << 20);
+        let b = f.pairwise(labels::SKETCH_COORD_HASH, 1, 1 << 20);
+        assert!((0..200u64).any(|x| a.hash(x) != b.hash(x)));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = HashFamily::new(99);
+        let a = f.pairwise(labels::SKETCH_COORD_HASH, 0, 1 << 20);
+        let b = f.pairwise(labels::SKETCH_GROUP_HASH, 0, 1 << 20);
+        assert!((0..200u64).any(|x| a.hash(x) != b.hash(x)));
+    }
+
+    #[test]
+    fn kwise_independence_level_respected() {
+        let f = HashFamily::new(5);
+        let h = f.kwise(labels::SKETCH_GROUP_HASH, 0, 24, 256);
+        assert_eq!(h.independence(), 24);
+        assert_eq!(h.range(), 256);
+    }
+}

@@ -1,0 +1,164 @@
+//! Arithmetic modulo the Mersenne prime `p = 2^61 − 1`.
+//!
+//! Mersenne structure makes reduction branch-light: a 122-bit product
+//! reduces with two shifts and one conditional subtraction. Elements are
+//! canonical `u64` values in `[0, p)`.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Thin namespace for field operations (all associated functions; the
+/// field has no per-instance state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeField;
+
+impl PrimeField {
+    /// Reduce an arbitrary u64 into `[0, p)`.
+    #[inline]
+    pub fn reduce64(x: u64) -> u64 {
+        let r = (x & MERSENNE_P) + (x >> 61);
+        if r >= MERSENNE_P {
+            r - MERSENNE_P
+        } else {
+            r
+        }
+    }
+
+    /// Reduce a u128 (e.g. a product of two field elements) into `[0, p)`.
+    #[inline]
+    pub fn reduce128(x: u128) -> u64 {
+        // x = hi·2^61 + lo with lo < 2^61; since 2^61 ≡ 1 (mod p),
+        // x ≡ hi + lo. hi < 2^67 here so one more folding pass suffices.
+        let lo = (x as u64) & MERSENNE_P;
+        let hi = (x >> 61) as u64;
+        Self::reduce64(Self::reduce64(hi).wrapping_add(lo))
+    }
+
+    /// Addition mod p.
+    #[inline]
+    pub fn add(a: u64, b: u64) -> u64 {
+        debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+        let s = a + b; // < 2^62, no overflow
+        if s >= MERSENNE_P {
+            s - MERSENNE_P
+        } else {
+            s
+        }
+    }
+
+    /// Subtraction mod p.
+    #[inline]
+    pub fn sub(a: u64, b: u64) -> u64 {
+        debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+        if a >= b {
+            a - b
+        } else {
+            a + MERSENNE_P - b
+        }
+    }
+
+    /// Multiplication mod p.
+    #[inline]
+    pub fn mul(a: u64, b: u64) -> u64 {
+        debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+        Self::reduce128(u128::from(a) * u128::from(b))
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+        base = Self::reduce64(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = Self::mul(acc, base);
+            }
+            base = Self::mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat (`a^{p−2}`); panics on zero.
+    pub fn inv(a: u64) -> u64 {
+        assert!(a != 0, "zero has no inverse");
+        Self::pow(a, MERSENNE_P - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_elem(rng: &mut SmallRng) -> u64 {
+        rng.gen_range(0..MERSENNE_P)
+    }
+
+    #[test]
+    fn reduce64_identities() {
+        assert_eq!(PrimeField::reduce64(0), 0);
+        assert_eq!(PrimeField::reduce64(MERSENNE_P), 0);
+        assert_eq!(PrimeField::reduce64(MERSENNE_P + 5), 5);
+        assert_eq!(PrimeField::reduce64(u64::MAX), u64::MAX % MERSENNE_P);
+    }
+
+    #[test]
+    fn reduce128_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u128 = (u128::from(rng.gen::<u64>()) << 40) ^ u128::from(rng.gen::<u64>());
+            let want = (x % u128::from(MERSENNE_P)) as u64;
+            assert_eq!(PrimeField::reduce128(x), want);
+        }
+    }
+
+    #[test]
+    fn field_axioms_randomized() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..2_000 {
+            let (a, b, c) = (rand_elem(&mut rng), rand_elem(&mut rng), rand_elem(&mut rng));
+            // Commutativity / associativity / distributivity.
+            assert_eq!(PrimeField::add(a, b), PrimeField::add(b, a));
+            assert_eq!(PrimeField::mul(a, b), PrimeField::mul(b, a));
+            assert_eq!(
+                PrimeField::add(PrimeField::add(a, b), c),
+                PrimeField::add(a, PrimeField::add(b, c))
+            );
+            assert_eq!(
+                PrimeField::mul(PrimeField::mul(a, b), c),
+                PrimeField::mul(a, PrimeField::mul(b, c))
+            );
+            assert_eq!(
+                PrimeField::mul(a, PrimeField::add(b, c)),
+                PrimeField::add(PrimeField::mul(a, b), PrimeField::mul(a, c))
+            );
+            // Subtraction inverts addition.
+            assert_eq!(PrimeField::sub(PrimeField::add(a, b), b), a);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = rng.gen_range(1..MERSENNE_P);
+            assert_eq!(PrimeField::mul(a, PrimeField::inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let a = rng.gen_range(1..MERSENNE_P);
+            assert_eq!(PrimeField::pow(a, MERSENNE_P - 1), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_inverse_panics() {
+        let _ = PrimeField::inv(0);
+    }
+}

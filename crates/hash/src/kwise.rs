@@ -1,0 +1,234 @@
+//! `k`-wise independent hashing via random polynomials over `F_p`.
+
+use crate::field::{PrimeField, MERSENNE_P};
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// A `k`-wise independent hash function `F_p → [range]`.
+///
+/// Realized as a uniformly random polynomial of degree `k − 1` over
+/// `F_p = GF(2^61 − 1)`; over the field this family is *exactly* `k`-wise
+/// independent, and the final `mod range` step introduces at most `range/p`
+/// pointwise bias.
+///
+/// Inputs must be below `p = 2^61 − 1` (asserted); every domain in the
+/// workspace satisfies this.
+#[derive(Debug, Clone)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, constant term first.
+    coeffs: Vec<u64>,
+    range: u64,
+}
+
+impl KWiseHash {
+    /// Sample a fresh `k`-wise independent function into `[range]`.
+    pub fn new(seed: u64, k: usize, range: u64) -> Self {
+        assert!(k >= 1, "independence level must be >= 1");
+        assert!(range >= 1, "range must be nonempty");
+        assert!(
+            range <= 1 << 48,
+            "range {range} too large for negligible modular bias"
+        );
+        let mut rng = seeded_rng(derive_seed(seed, 0x6B77_6973_6531)); // "kwise1"
+        let coeffs = (0..k).map(|_| rng.gen_range(0..MERSENNE_P)).collect();
+        Self { coeffs, range }
+    }
+
+    /// Independence level `k`.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Output range size.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Raw polynomial evaluation in `F_p` (before range reduction).
+    #[inline]
+    pub fn eval_field(&self, x: u64) -> u64 {
+        assert!(x < MERSENNE_P, "input {x} outside F_p domain");
+        // Horner's rule, highest coefficient first.
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = PrimeField::add(PrimeField::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash into `[0, range)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        self.eval_field(x) % self.range
+    }
+}
+
+/// Pairwise independent hash (`k = 2`), the `h_m` functions of the paper.
+#[derive(Debug, Clone)]
+pub struct PairwiseHash {
+    inner: KWiseHash,
+}
+
+impl PairwiseHash {
+    /// Sample a pairwise independent function into `[range]`.
+    pub fn new(seed: u64, range: u64) -> Self {
+        Self {
+            inner: KWiseHash::new(seed, 2, range),
+        }
+    }
+
+    /// Output range size.
+    pub fn range(&self) -> u64 {
+        self.inner.range()
+    }
+
+    /// Hash into `[0, range)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        self.inner.hash(x)
+    }
+}
+
+/// Pairwise independent ±1 sign hash (used by count-sketch style oracles).
+#[derive(Debug, Clone)]
+pub struct SignHash {
+    inner: KWiseHash,
+}
+
+impl SignHash {
+    /// Sample a fresh sign hash.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Range 2^32 then take a bit: avoids the tiny parity bias of
+            // `mod 2` on a field of odd order.
+            inner: KWiseHash::new(seed, 2, 1 << 32),
+        }
+    }
+
+    /// Returns −1 or +1.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.inner.hash(x) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let h1 = KWiseHash::new(7, 4, 1000);
+        let h2 = KWiseHash::new(7, 4, 1000);
+        for x in 0..100u64 {
+            assert_eq!(h1.hash(x), h2.hash(x));
+        }
+        let h3 = KWiseHash::new(8, 4, 1000);
+        assert!((0..100u64).any(|x| h1.hash(x) != h3.hash(x)));
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let h = KWiseHash::new(3, 5, 17);
+        for x in 0..10_000u64 {
+            assert!(h.hash(x) < 17);
+        }
+    }
+
+    #[test]
+    fn marginal_uniformity() {
+        // For a fixed input x, the hash value over random seeds should be
+        // ~uniform on the range.
+        let range = 8u64;
+        let x = 123_456u64;
+        let mut counts = vec![0u64; range as usize];
+        let trials = 40_000u64;
+        for seed in 0..trials {
+            counts[KWiseHash::new(seed, 2, range).hash(x) as usize] += 1;
+        }
+        let expect = trials as f64 / range as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs();
+            assert!(
+                dev < 6.0 * expect.sqrt(),
+                "value {v}: count {c}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_collision_rate() {
+        // Pr[h(x) = h(y)] ≈ 1/range for x != y, averaged over seeds.
+        let range = 64u64;
+        let trials = 30_000u64;
+        let mut coll = 0u64;
+        for seed in 0..trials {
+            let h = PairwiseHash::new(seed, range);
+            if h.hash(10) == h.hash(999) {
+                coll += 1;
+            }
+        }
+        let rate = coll as f64 / trials as f64;
+        let expect = 1.0 / range as f64;
+        assert!(
+            (rate - expect).abs() < 6.0 * (expect / trials as f64).sqrt() + 1e-3,
+            "collision rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn pairwise_joint_uniformity() {
+        // (h(x), h(y)) jointly uniform on [r]×[r] over seeds: the defining
+        // property of pairwise independence.
+        let r = 4u64;
+        let trials = 64_000u64;
+        let mut joint = vec![0u64; (r * r) as usize];
+        for seed in 0..trials {
+            let h = PairwiseHash::new(seed, r);
+            joint[(h.hash(5) * r + h.hash(77)) as usize] += 1;
+        }
+        let expect = trials as f64 / (r * r) as f64;
+        for (cell, &c) in joint.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "cell {cell}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_wise_third_moment_vanishes() {
+        // For 4-wise independent ±1 signs s(x), E[s(a)s(b)s(c)] = 0 for
+        // distinct a, b, c. Estimate over seeds.
+        let trials = 60_000u64;
+        let mut sum: i64 = 0;
+        for seed in 0..trials {
+            let h = KWiseHash::new(seed, 4, 1 << 32);
+            let s = |x: u64| if h.hash(x) & 1 == 0 { 1i64 } else { -1 };
+            sum += s(1) * s(2) * s(3);
+        }
+        let m = sum as f64 / trials as f64;
+        assert!(m.abs() < 6.0 / (trials as f64).sqrt() + 0.01, "third moment {m}");
+    }
+
+    #[test]
+    fn sign_hash_balanced() {
+        let trials = 40_000u64;
+        let mut sum = 0i64;
+        for seed in 0..trials {
+            sum += SignHash::new(seed).sign(42);
+        }
+        assert!((sum as f64 / trials as f64).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside F_p domain")]
+    fn rejects_out_of_field_inputs() {
+        let h = KWiseHash::new(1, 2, 10);
+        let _ = h.hash(u64::MAX);
+    }
+}

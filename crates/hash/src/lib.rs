@@ -1,0 +1,22 @@
+//! Limited-independence hash families over the Mersenne prime field
+//! `F_p`, `p = 2^61 − 1`.
+//!
+//! The public randomness of `PrivateExpanderSketch` (paper §3.3) consists
+//! of *pairwise* independent hash functions `h_1, …, h_M : X → [Y]` and one
+//! `(C_g · log|X|)`-wise independent `g : X → [B]`. Both are realized here
+//! as random polynomials over `F_p` (the classical Wegman–Carter
+//! construction): a uniformly random polynomial of degree `k − 1` evaluated
+//! at the input is exactly `k`-wise independent over the field, and the
+//! final reduction to a range `[R]` with `R ≪ p` adds a bias of at most
+//! `R/p ≤ 2^{-13}` for every range used in this workspace.
+//!
+//! All functions are deterministic given a `u64` seed, so an entire
+//! protocol's public randomness is one word (Table 1's `O~(1)` row).
+
+pub mod family;
+pub mod field;
+pub mod kwise;
+
+pub use family::HashFamily;
+pub use field::{PrimeField, MERSENNE_P};
+pub use kwise::{KWiseHash, PairwiseHash, SignHash};

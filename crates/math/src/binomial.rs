@@ -1,0 +1,244 @@
+//! Exact binomial distribution computations in log space.
+//!
+//! Section 5 of the paper partitions the output space of k-fold randomized
+//! response into Hamming shells around the input (`G_x`, `B`, `R` in
+//! Theorem 5.1). Sampling uniformly from the *complement* of a shell and
+//! evaluating exact shell probabilities are the workhorses of the
+//! [`hh_structure`](../hh_structure) implementation; both reduce to exact
+//! binomial tail computations, implemented here without any sampling loops
+//! whose running time would depend on the (possibly tiny) shell mass.
+
+use crate::special::{ln_binomial, log_sum_exp};
+use rand::Rng;
+
+/// `ln Pr[Bin(n, p) = k]`.
+pub fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_binomial(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln_1p_adjusted()
+}
+
+// (1-p).ln() computed as ln_1p(-p) for accuracy near p = 0.
+trait Ln1pAdjusted {
+    fn ln_1p_adjusted(self) -> f64;
+}
+impl Ln1pAdjusted for f64 {
+    #[inline]
+    fn ln_1p_adjusted(self) -> f64 {
+        // self is (1 - p); recover -p to use ln_1p.
+        (self - 1.0).ln_1p()
+    }
+}
+
+/// `Pr[Bin(n, p) = k]`.
+pub fn pmf(n: u64, p: f64, k: u64) -> f64 {
+    ln_pmf(n, p, k).exp()
+}
+
+/// `ln Pr[Bin(n, p) <= k]` by direct log-space summation.
+///
+/// O(k) time; every use in the workspace has `n` at most a few thousand.
+pub fn ln_cdf(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 0.0;
+    }
+    let terms: Vec<f64> = (0..=k).map(|j| ln_pmf(n, p, j)).collect();
+    log_sum_exp(&terms).min(0.0)
+}
+
+/// `ln Pr[Bin(n, p) >= k]`.
+pub fn ln_sf(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let terms: Vec<f64> = (k..=n).map(|j| ln_pmf(n, p, j)).collect();
+    log_sum_exp(&terms).min(0.0)
+}
+
+/// `ln Pr[lo <= Bin(n, p) <= hi]` (inclusive interval).
+pub fn ln_interval(n: u64, p: f64, lo: u64, hi: u64) -> f64 {
+    if lo > hi || lo > n {
+        return f64::NEG_INFINITY;
+    }
+    let hi = hi.min(n);
+    let terms: Vec<f64> = (lo..=hi).map(|j| ln_pmf(n, p, j)).collect();
+    log_sum_exp(&terms).min(0.0)
+}
+
+/// Exact sampler for `Bin(n, p)` restricted to a set of allowed outcomes.
+///
+/// Builds the conditional distribution over `allowed` values once and
+/// samples by inverse transform on the normalized weights. This is the
+/// primitive behind the Theorem 5.1 algorithm's "uniform element outside
+/// `G_x`" branch: conditioning a binomial weight profile on the complement
+/// of a Hamming shell. Exact — no rejection, so the cost is independent of
+/// the conditional mass.
+#[derive(Debug, Clone)]
+pub struct ConditionalBinomial {
+    values: Vec<u64>,
+    /// Cumulative probabilities over `values`, normalized to end at 1.
+    cum: Vec<f64>,
+}
+
+impl ConditionalBinomial {
+    /// Condition `Bin(n, p)` on the outcome lying in `allowed`.
+    ///
+    /// Panics if the allowed set has zero probability.
+    pub fn new(n: u64, p: f64, allowed: impl IntoIterator<Item = u64>) -> Self {
+        let values: Vec<u64> = allowed.into_iter().filter(|&v| v <= n).collect();
+        assert!(!values.is_empty(), "conditioning on empty support");
+        let lw: Vec<f64> = values.iter().map(|&v| ln_pmf(n, p, v)).collect();
+        let total = log_sum_exp(&lw);
+        assert!(
+            total > f64::NEG_INFINITY,
+            "conditioning on a zero-probability set"
+        );
+        let mut cum = Vec::with_capacity(values.len());
+        let mut acc = 0.0;
+        for &l in &lw {
+            acc += (l - total).exp();
+            cum.push(acc);
+        }
+        // Guard against rounding: force the last entry to cover 1.0.
+        *cum.last_mut().expect("nonempty") = 1.0;
+        Self { values, cum }
+    }
+
+    /// Draw one conditioned outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cum.partition_point(|&c| c < u);
+        self.values[idx.min(self.values.len() - 1)]
+    }
+
+    /// Exact conditional probability of a value (0 if not in the support).
+    pub fn prob(&self, v: u64) -> f64 {
+        match self.values.binary_search(&v) {
+            Ok(i) => {
+                let lo = if i == 0 { 0.0 } else { self.cum[i - 1] };
+                self.cum[i] - lo
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The support (sorted if constructed from a sorted iterator).
+    pub fn support(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3f64), (57, 0.5), (200, 0.01), (31, 0.999)] {
+            let total: f64 = (0..=n).map(|k| pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p}: total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_endpoints() {
+        assert_eq!(pmf(10, 0.0, 0), 1.0);
+        assert_eq!(pmf(10, 0.0, 1), 0.0);
+        assert_eq!(pmf(10, 1.0, 10), 1.0);
+        assert_eq!(pmf(10, 1.0, 9), 0.0);
+    }
+
+    #[test]
+    fn cdf_plus_sf_consistent() {
+        let (n, p) = (40u64, 0.37);
+        for k in 1..=n {
+            let below = ln_cdf(n, p, k - 1).exp();
+            let above = ln_sf(n, p, k).exp();
+            assert!(
+                (below + above - 1.0).abs() < 1e-10,
+                "k={k}: {below} + {above}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_matches_sum() {
+        let (n, p) = (25u64, 0.6);
+        let direct: f64 = (5..=12).map(|k| pmf(n, p, k)).sum();
+        assert!((ln_interval(n, p, 5, 12).exp() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_empty_is_zero() {
+        assert_eq!(ln_interval(10, 0.5, 7, 3), f64::NEG_INFINITY);
+        assert_eq!(ln_interval(10, 0.5, 11, 20), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn conditional_probabilities_renormalize() {
+        let n = 30u64;
+        let p = 0.4;
+        // Condition on the complement of [8, 16].
+        let allowed: Vec<u64> = (0..=n).filter(|&k| !(8..=16).contains(&k)).collect();
+        let cond = ConditionalBinomial::new(n, p, allowed.iter().copied());
+        let mass_allowed: f64 = allowed.iter().map(|&k| pmf(n, p, k)).sum();
+        for &k in &allowed {
+            let expect = pmf(n, p, k) / mass_allowed;
+            assert!(
+                (cond.prob(k) - expect).abs() < 1e-9,
+                "k={k}: {} vs {expect}",
+                cond.prob(k)
+            );
+        }
+        assert_eq!(cond.prob(10), 0.0);
+    }
+
+    #[test]
+    fn conditional_sampler_hits_only_support() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cond = ConditionalBinomial::new(20, 0.5, [0u64, 1, 19, 20]);
+        for _ in 0..2000 {
+            let v = cond.sample(&mut rng);
+            assert!([0u64, 1, 19, 20].contains(&v));
+        }
+    }
+
+    #[test]
+    fn conditional_sampler_frequencies_match() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 12u64;
+        let allowed: Vec<u64> = (0..=n).collect();
+        let cond = ConditionalBinomial::new(n, 0.5, allowed);
+        let trials = 200_000;
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..trials {
+            counts[cond.sample(&mut rng) as usize] += 1;
+        }
+        for k in 0..=n {
+            let emp = counts[k as usize] as f64 / trials as f64;
+            let exact = pmf(n, 0.5, k);
+            // 5-sigma binomial tolerance.
+            let tol = 5.0 * (exact * (1.0 - exact) / trials as f64).sqrt() + 1e-4;
+            assert!(
+                (emp - exact).abs() < tol,
+                "k={k}: empirical {emp} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn conditional_empty_support_panics() {
+        let _ = ConditionalBinomial::new(10, 0.5, std::iter::empty());
+    }
+}

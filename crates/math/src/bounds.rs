@@ -1,0 +1,234 @@
+//! Concentration and anti-concentration bound calculators.
+//!
+//! Each function returns the *value of the bound* from the corresponding
+//! theorem in the paper, so callers can (a) calibrate protocol thresholds
+//! from the same inequalities the proofs use and (b) assert that empirical
+//! tails are dominated by the theoretical envelopes.
+
+/// Theorem 3.11, item 1 (Schmidt–Siegel–Srinivasan): for `ceil(mu*alpha)`-wise
+/// independent indicator variables,
+/// `Pr[X >= mu(1+alpha)] <= exp(−alpha² mu / 3)` for `0 <= alpha <= 1`.
+pub fn chernoff_upper_limited_independence(mu: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    (-alpha * alpha * mu / 3.0).exp()
+}
+
+/// Theorem 3.11, item 2 (full independence, lower tail):
+/// `Pr[X <= mu(1−alpha)] <= exp(−alpha² mu / 2)`.
+pub fn chernoff_lower(mu: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    (-alpha * alpha * mu / 2.0).exp()
+}
+
+/// Independence level required by Theorem 3.11 item 1: `ceil(mu * alpha)`.
+pub fn chernoff_independence_required(mu: f64, alpha: f64) -> u64 {
+    (mu * alpha).ceil() as u64
+}
+
+/// Two-sided Hoeffding bound for a sum of `n` independent variables each in
+/// `[lo, hi]`: `Pr[|X − E X| >= t] <= 2 exp(−2t² / (n (hi−lo)²))`.
+pub fn hoeffding_two_sided(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
+    assert!(hi > lo);
+    (2.0 * (-2.0 * t * t / (n as f64 * (hi - lo) * (hi - lo))).exp()).min(1.0)
+}
+
+/// One-sided Hoeffding bound.
+pub fn hoeffding_one_sided(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
+    assert!(hi > lo);
+    (-2.0 * t * t / (n as f64 * (hi - lo) * (hi - lo))).exp().min(1.0)
+}
+
+/// Theorem 3.12 (Kane–Nelson–Porat–Woodruff, Lemma 2): for `k`-wise
+/// independent variables (k even) bounded by `T` with total variance
+/// `sigma²`:
+/// `Pr[|X − mu| > lambda] <= C^k ((sigma sqrt(k)/lambda)^k + (T k/lambda)^k)`.
+///
+/// `c` is the absolute constant; the paper leaves it unspecified, tests use
+/// the conventional `c = 2` and only assert shape, not tight constants.
+pub fn bernstein_kwise(k: u32, sigma: f64, t_bound: f64, lambda: f64, c: f64) -> f64 {
+    assert!(k >= 2 && k % 2 == 0, "k must be an even integer >= 2");
+    assert!(lambda > 0.0);
+    let kf = f64::from(k);
+    let term1 = (sigma * kf.sqrt() / lambda).powi(k as i32);
+    let term2 = (t_bound * kf / lambda).powi(k as i32);
+    (c.powi(k as i32) * (term1 + term2)).min(1.0)
+}
+
+/// Theorem A.4 ([21, Lemma 5.2]) binomial anti-concentration: for
+/// `0 < p <= 1/2` and `sqrt(3np) <= t <= np/2`,
+/// `Pr[Bin(n,p) <= np − t] >= exp(−9t²/(np))` (same for the upper side).
+///
+/// Returns `None` when `t` is outside the theorem's validity window.
+pub fn binomial_anticoncentration_lower(n: u64, p: f64, t: f64) -> Option<f64> {
+    assert!(p > 0.0 && p <= 0.5, "requires 0 < p <= 1/2, got {p}");
+    let np = n as f64 * p;
+    if t < (3.0 * np).sqrt() || t > np / 2.0 {
+        return None;
+    }
+    Some((-9.0 * t * t / np).exp())
+}
+
+/// Lemma 5.5 of the paper: for uniform `U` on `{0,1}^k` and
+/// `0 <= t <= sqrt(k)/2`, `Pr[|U| >= k/2 + t sqrt(k)] >= exp(−3t²)/(k+1)`.
+pub fn uniform_anticoncentration(k: u64, t: f64) -> Option<f64> {
+    if t < 0.0 || t > (k as f64).sqrt() / 2.0 {
+        return None;
+    }
+    Some((-3.0 * t * t).exp() / (k as f64 + 1.0))
+}
+
+/// The advanced-composition / advanced-grouposition epsilon:
+/// `eps' = k eps²/2 + eps sqrt(2 k ln(1/delta))` (Theorems 4.2/4.3).
+pub fn advanced_epsilon(k: u64, eps: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0);
+    let kf = k as f64;
+    kf * eps * eps / 2.0 + eps * (2.0 * kf * (1.0 / delta).ln()).sqrt()
+}
+
+/// Naive ("basic") group privacy in the central model: `k * eps`.
+pub fn basic_group_epsilon(k: u64, eps: f64) -> f64 {
+    k as f64 * eps
+}
+
+/// Theorem 4.5 max-information bound for an `eps`-LDP protocol on `n` users:
+/// `I^beta_inf <= n eps²/2 + eps sqrt(2 n ln(1/beta))` (nats).
+pub fn max_information_bound(n: u64, eps: f64, beta: f64) -> f64 {
+    advanced_epsilon(n, eps, beta)
+}
+
+/// The group size at which advanced grouposition beats basic `k·eps`
+/// grouposition (useful for plotting the crossover the paper highlights).
+pub fn grouposition_crossover(eps: f64, delta: f64) -> u64 {
+    // Smallest k with advanced_epsilon(k) < k * eps.
+    let mut k = 1u64;
+    while k < u64::MAX / 2 {
+        if advanced_epsilon(k, eps, delta) < basic_group_epsilon(k, eps) {
+            return k;
+        }
+        k += 1;
+        if k > 1_000_000 {
+            break;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial;
+
+    #[test]
+    fn chernoff_dominates_exact_binomial_tail() {
+        // Binomial(n, 1/2) is a sum of fully independent indicators; the
+        // exact upper tail must be below the Theorem 3.11 bound.
+        let n = 400u64;
+        let p = 0.5;
+        let mu = n as f64 * p;
+        for &alpha in &[0.1f64, 0.2, 0.5, 1.0] {
+            let k = (mu * (1.0 + alpha)).ceil() as u64;
+            let exact = binomial::ln_sf(n, p, k).exp();
+            let bound = chernoff_upper_limited_independence(mu, alpha);
+            assert!(exact <= bound + 1e-12, "alpha={alpha}: {exact} > {bound}");
+
+            let k_lo = (mu * (1.0 - alpha)).floor() as u64;
+            let exact_lo = binomial::ln_cdf(n, p, k_lo).exp();
+            let bound_lo = chernoff_lower(mu, alpha);
+            assert!(exact_lo <= bound_lo + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hoeffding_dominates_exact() {
+        let n = 256u64;
+        // Sum of n uniform bits: range [0,1] per variable, E = n/2.
+        for &t in &[8.0f64, 16.0, 32.0] {
+            let exact = 2.0 * binomial::ln_sf(n, 0.5, (n as f64 / 2.0 + t).ceil() as u64).exp();
+            let bound = hoeffding_two_sided(n, 0.0, 1.0, t);
+            assert!(exact <= bound + 1e-12, "t={t}: {exact} > {bound}");
+        }
+    }
+
+    #[test]
+    fn anticoncentration_below_exact_tail() {
+        // Theorem A.4's lower bound must lie below the exact tail.
+        let n = 10_000u64;
+        let p = 0.5;
+        let np = n as f64 * p;
+        for &t in &[(3.0 * np).sqrt(), 150.0, np / 2.0] {
+            if let Some(lb) = binomial_anticoncentration_lower(n, p, t) {
+                let k = (np - t).floor() as u64;
+                let exact = binomial::ln_cdf(n, p, k).exp();
+                assert!(
+                    lb <= exact + 1e-12,
+                    "t={t}: anti-concentration {lb} exceeds exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anticoncentration_window() {
+        assert!(binomial_anticoncentration_lower(100, 0.5, 1.0).is_none());
+        assert!(binomial_anticoncentration_lower(100, 0.5, 1000.0).is_none());
+    }
+
+    #[test]
+    fn lemma_5_5_below_exact() {
+        for &k in &[16u64, 64, 256] {
+            for &t in &[0.0f64, 0.5, 1.0, 2.0] {
+                if let Some(lb) = uniform_anticoncentration(k, t) {
+                    let threshold = (k as f64 / 2.0 + t * (k as f64).sqrt()).ceil() as u64;
+                    let exact = binomial::ln_sf(k, 0.5, threshold).exp();
+                    assert!(
+                        lb <= exact + 1e-12,
+                        "k={k} t={t}: {lb} > exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advanced_epsilon_sqrt_k_shape() {
+        let eps = 0.1;
+        let delta = 1e-6;
+        // In the sqrt-dominated regime, quadrupling k should roughly double
+        // eps' (up to the k eps²/2 term).
+        let e1 = advanced_epsilon(100, eps, delta);
+        let e4 = advanced_epsilon(400, eps, delta);
+        assert!(e4 / e1 < 2.3, "ratio {} not ~2", e4 / e1);
+        assert!(e4 / e1 > 1.8);
+        // And it must beat the basic bound for large k.
+        assert!(advanced_epsilon(10_000, eps, delta) < basic_group_epsilon(10_000, eps));
+    }
+
+    #[test]
+    fn crossover_monotone_in_eps() {
+        // advanced < basic  ⟺  k·eps/2 + sqrt(2k ln(1/δ)) < k, so the
+        // crossover k grows with eps (the k·eps²/2 term bites sooner).
+        let c_small = grouposition_crossover(0.05, 1e-6);
+        let c_large = grouposition_crossover(1.0, 1e-6);
+        assert!(
+            c_small <= c_large,
+            "crossover should grow with eps: {c_small} vs {c_large}"
+        );
+        // And the advanced bound genuinely wins past its crossover.
+        let k = c_large;
+        assert!(advanced_epsilon(k, 1.0, 1e-6) < basic_group_epsilon(k, 1.0));
+    }
+
+    #[test]
+    fn bernstein_kwise_shrinks_with_lambda() {
+        let b1 = bernstein_kwise(4, 10.0, 1.0, 100.0, 2.0);
+        let b2 = bernstein_kwise(4, 10.0, 1.0, 1000.0, 2.0);
+        assert!(b2 < b1);
+        assert!(b2 <= 1.0 && b1 <= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bernstein_rejects_odd_k() {
+        let _ = bernstein_kwise(3, 1.0, 1.0, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Discrete distribution samplers.
+//!
+//! Exact samplers with no external distribution crates: Walker alias
+//! method for arbitrary finite pmfs, exact binomial/Poisson samplers, and
+//! a rejection-based Zipf sampler for (possibly huge) power-law domains.
+
+use rand::Rng;
+
+/// Walker alias method: O(n) construction, O(1) sampling from an arbitrary
+/// finite distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from (not necessarily normalized) nonnegative weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table supports up to 2^32 outcomes"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite value"
+        );
+        let n = weights.len();
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "negative weight {w}");
+                w * n as f64 / total
+            })
+            .collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (either list) get probability 1 (numerical safety).
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Exact binomial sampler.
+///
+/// Uses inverse-transform from the mode-centred pmf for small `n·min(p,1−p)`
+/// and falls back to summing Bernoulli draws otherwise. Exact (up to f64
+/// pmf evaluation), no normal approximation — important for the
+/// statistical tests that compare against exact binomial tails.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p));
+    if p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= 4096 {
+        // Direct Bernoulli counting: exact and fast enough at this size.
+        let mut c = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                c += 1;
+            }
+        }
+        return c;
+    }
+    // Inverse transform walking outward from the mode. The pmf recurrence
+    // pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/(1-p) keeps this O(sqrt(n p (1-p)))
+    // expected steps.
+    let mode = ((n as f64 + 1.0) * p).floor().min(n as f64) as u64;
+    let ln_pmf_mode = crate::binomial::ln_pmf(n, p, mode);
+    let pm = ln_pmf_mode.exp();
+    let ratio = p / (1.0 - p);
+    let mut u = rng.gen::<f64>();
+    // Walk out symmetrically: k = mode, mode±1, mode±2, ...
+    let mut lo_k = mode;
+    let mut hi_k = mode;
+    let mut lo_p = pm;
+    let mut hi_p = pm;
+    u -= pm;
+    if u <= 0.0 {
+        return mode;
+    }
+    loop {
+        let can_hi = hi_k < n;
+        let can_lo = lo_k > 0;
+        if can_hi {
+            hi_p *= (n - hi_k) as f64 / (hi_k + 1) as f64 * ratio;
+            hi_k += 1;
+            u -= hi_p;
+            if u <= 0.0 {
+                return hi_k;
+            }
+        }
+        if can_lo {
+            lo_p *= lo_k as f64 / ((n - lo_k + 1) as f64) / ratio;
+            lo_k -= 1;
+            u -= lo_p;
+            if u <= 0.0 {
+                return lo_k;
+            }
+        }
+        if !can_hi && !can_lo {
+            // Numerical leftover mass; return the mode.
+            return mode;
+        }
+    }
+}
+
+/// Exact Poisson sampler (Knuth for small mu, mode-centred inversion above).
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mu: f64) -> u64 {
+    assert!(mu >= 0.0);
+    if mu == 0.0 {
+        return 0;
+    }
+    if mu < 30.0 {
+        // Knuth's product-of-uniforms method.
+        let l = (-mu).exp();
+        let mut k = 0u64;
+        let mut prod = rng.gen::<f64>();
+        while prod > l {
+            k += 1;
+            prod *= rng.gen::<f64>();
+        }
+        return k;
+    }
+    // Mode-centred inversion, mirroring sample_binomial.
+    let mode = mu.floor() as u64;
+    let pm = crate::poisson::ln_pmf(mu, mode).exp();
+    let mut u = rng.gen::<f64>() - pm;
+    if u <= 0.0 {
+        return mode;
+    }
+    let mut lo_k = mode;
+    let mut hi_k = mode;
+    let mut lo_p = pm;
+    let mut hi_p = pm;
+    loop {
+        hi_p *= mu / (hi_k + 1) as f64;
+        hi_k += 1;
+        u -= hi_p;
+        if u <= 0.0 {
+            return hi_k;
+        }
+        if lo_k > 0 {
+            lo_p *= lo_k as f64 / mu;
+            lo_k -= 1;
+            u -= lo_p;
+            if u <= 0.0 {
+                return lo_k;
+            }
+        }
+        if hi_p < 1e-300 && lo_k == 0 {
+            return mode;
+        }
+    }
+}
+
+/// Zipf(s) sampler over `{0, 1, …, n−1}` (rank 1 is the heaviest element,
+/// returned as index 0).
+///
+/// Uses the standard rejection method from a Pareto envelope, so it works
+/// for domains far too large for an alias table (e.g. 2^40 "URLs").
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Precomputed constants of the rejection sampler.
+    t: f64,
+}
+
+impl Zipf {
+    /// `n` outcomes with exponent `s > 0`, `s != 1` handled uniformly well.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1);
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        // t = integral envelope constant (see Devroye, "Non-Uniform Random
+        // Variate Generation", ch. X.6).
+        let t = if (s - 1.0).abs() < 1e-12 {
+            1.0 + (n as f64).ln()
+        } else {
+            ((n as f64).powf(1.0 - s) - s) / (1.0 - s)
+        };
+        Self { n, s, t }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    fn inv_envelope_cdf(&self, u: f64) -> f64 {
+        // Inverse of the envelope cdf built from the density 1 on [0,1] and
+        // x^{-s} on [1, n].
+        let ut = u * self.t;
+        if ut <= 1.0 {
+            ut
+        } else if (self.s - 1.0).abs() < 1e-12 {
+            (ut - 1.0 + 1.0f64.ln()).exp().min(self.n as f64)
+        } else {
+            (1.0 + (1.0 - self.s) * (ut - 1.0)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draw a sample in `[0, n)`; ranks are zero-based.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = rng.gen::<f64>();
+            let x = self.inv_envelope_cdf(u);
+            let k = x.ceil().max(1.0).min(self.n as f64);
+            // Acceptance ratio for the discrete pmf under the envelope.
+            let ratio = (k.powf(-self.s)) / (x.max(1.0).powf(-self.s));
+            if rng.gen::<f64>() <= ratio {
+                return k as u64 - 1;
+            }
+        }
+    }
+
+    /// Exact normalized pmf of rank `k` (zero-based), O(n) normalization —
+    /// only intended for test assertions on small domains.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        let z: f64 = (1..=self.n).map(|j| (j as f64).powf(-self.s)).sum();
+        ((k + 1) as f64).powf(-self.s) / z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_matches_weights() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let weights = [1.0, 3.0, 6.0, 0.0, 10.0];
+        let table = AliasTable::new(&weights);
+        let trials = 400_000usize;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let emp = counts[i] as f64 / trials as f64;
+            let tol = 5.0 * (expect * (1.0 - expect) / trials as f64).sqrt() + 1e-4;
+            assert!((emp - expect).abs() < tol, "i={i}: {emp} vs {expect}");
+        }
+        assert_eq!(counts[3], 0, "zero-weight outcome was sampled");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn alias_rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn binomial_sampler_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &(n, p) in &[(100u64, 0.3f64), (20_000, 0.01), (50_000, 0.5)] {
+            let trials = 2_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..trials {
+                let x = sample_binomial(&mut rng, n, p) as f64;
+                sum += x;
+                sumsq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sumsq / trials as f64 - mean * mean;
+            let (em, ev) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            assert!(
+                (mean - em).abs() < 6.0 * (ev / trials as f64).sqrt() + 0.5,
+                "n={n} p={p}: mean {mean} vs {em}"
+            );
+            assert!(
+                (var - ev).abs() < 0.25 * ev + 1.0,
+                "n={n} p={p}: var {var} vs {ev}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_sampler_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+    }
+
+    #[test]
+    fn poisson_sampler_moments() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for &mu in &[0.5f64, 7.0, 120.0] {
+            let trials = 4_000;
+            let mut sum = 0.0;
+            for _ in 0..trials {
+                sum += sample_poisson(&mut rng, mu) as f64;
+            }
+            let mean = sum / trials as f64;
+            assert!(
+                (mean - mu).abs() < 6.0 * (mu / trials as f64).sqrt() + 0.05,
+                "mu={mu}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let z = Zipf::new(50, 1.2);
+        let trials = 300_000usize;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in [0u64, 1, 5, 20, 49] {
+            let expect = z.pmf(k);
+            let emp = counts[k as usize] as f64 / trials as f64;
+            let tol = 6.0 * (expect / trials as f64).sqrt() + 2e-3;
+            assert!(
+                (emp - expect).abs() < tol,
+                "rank {k}: {emp} vs {expect} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_huge_domain_is_cheap() {
+        // Rejection sampling must not depend on domain size.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let z = Zipf::new(1 << 40, 1.05);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!(v < 1 << 40);
+        }
+    }
+
+    #[test]
+    fn zipf_s_equal_one() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let z = Zipf::new(100, 1.0);
+        let trials = 200_000usize;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let expect0 = z.pmf(0);
+        let emp0 = counts[0] as f64 / trials as f64;
+        assert!((emp0 - expect0).abs() < 6.0 * (expect0 / trials as f64).sqrt() + 2e-3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Information-theoretic measures on finite spaces.
+//!
+//! Used by the Section 7 lower-bound experiment (mutual information between
+//! a uniform bit and its privatized reports, Theorem 7.4), by the GenProt
+//! utility theorem (total variation distance, Theorem 6.1), and by the
+//! max-information machinery of Section 4.
+
+/// Total variation (statistical) distance between two distributions given
+/// as probability vectors over the same indexed space.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution supports differ");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// KL divergence `D(p || q)` in nats; `inf` if `p` has mass where `q` has
+/// none.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let mut d = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a > 0.0 {
+            if b == 0.0 {
+                return f64::INFINITY;
+            }
+            d += a * (a / b).ln();
+        }
+    }
+    d.max(0.0)
+}
+
+/// Shannon entropy in bits.
+pub fn entropy_bits(p: &[f64]) -> f64 {
+    -p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.log2())
+        .sum::<f64>()
+}
+
+/// Mutual information `I(X; Y)` in bits from a joint probability table
+/// `joint[x][y]` (need not be exactly normalized; it is renormalized).
+pub fn mutual_information_bits(joint: &[Vec<f64>]) -> f64 {
+    let total: f64 = joint.iter().flat_map(|r| r.iter()).sum();
+    assert!(total > 0.0, "empty joint distribution");
+    let nx = joint.len();
+    let ny = joint[0].len();
+    let px: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / total).collect();
+    let mut py = vec![0.0; ny];
+    for row in joint {
+        assert_eq!(row.len(), ny, "ragged joint table");
+        for (j, &v) in row.iter().enumerate() {
+            py[j] += v / total;
+        }
+    }
+    let mut mi = 0.0;
+    for i in 0..nx {
+        for j in 0..ny {
+            let pxy = joint[i][j] / total;
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (px[i] * py[j])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Conditional entropy `H(X | Y)` in bits from a joint table `joint[x][y]`.
+pub fn conditional_entropy_bits(joint: &[Vec<f64>]) -> f64 {
+    let total: f64 = joint.iter().flat_map(|r| r.iter()).sum();
+    assert!(total > 0.0);
+    let nx = joint.len();
+    let ny = joint[0].len();
+    let mut py = vec![0.0; ny];
+    for row in joint {
+        for (j, &v) in row.iter().enumerate() {
+            py[j] += v / total;
+        }
+    }
+    let mut h = 0.0;
+    for j in 0..ny {
+        if py[j] == 0.0 {
+            continue;
+        }
+        for i in 0..nx {
+            let pxy = joint[i][j] / total;
+            if pxy > 0.0 {
+                h -= pxy * (pxy / py[j]).log2();
+            }
+        }
+    }
+    h.max(0.0)
+}
+
+/// Empirical distribution over `{0, …, k−1}` from integer samples.
+pub fn empirical_distribution(samples: &[usize], k: usize) -> Vec<f64> {
+    let mut p = vec![0.0; k];
+    for &s in samples {
+        assert!(s < k, "sample {s} out of range {k}");
+        p[s] += 1.0;
+    }
+    let n = samples.len() as f64;
+    if n > 0.0 {
+        for v in &mut p {
+            *v /= n;
+        }
+    }
+    p
+}
+
+/// Hockey-stick divergence `sup_T (P(T) − e^eps · Q(T))` for discrete
+/// distributions — the exact `delta` for which `(eps, delta)`-closeness
+/// holds. Symmetrize externally if needed.
+pub fn hockey_stick(p: &[f64], q: &[f64], eps: f64) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let e = eps.exp();
+    p.iter()
+        .zip(q)
+        .map(|(&a, &b)| (a - e * b).max(0.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_basics() {
+        assert_eq!(tv_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tv_distance(&[0.5, 0.5], &[0.75, 0.25]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_nonnegative_and_zero_iff_equal() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.3, 0.3, 0.4];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn pinsker_inequality_spot_check() {
+        // TV <= sqrt(KL/2).
+        let p = [0.1, 0.2, 0.3, 0.4];
+        let q = [0.25, 0.25, 0.25, 0.25];
+        let tv = tv_distance(&p, &q);
+        let kl = kl_divergence(&p, &q);
+        assert!(tv <= (kl / 2.0).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log() {
+        let p = vec![0.25; 4];
+        assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_independent_is_zero() {
+        // X uniform bit, Y uniform bit, independent.
+        let joint = vec![vec![0.25, 0.25], vec![0.25, 0.25]];
+        assert!(mutual_information_bits(&joint) < 1e-12);
+    }
+
+    #[test]
+    fn mi_identity_is_entropy() {
+        let joint = vec![vec![0.5, 0.0], vec![0.0, 0.5]];
+        assert!((mutual_information_bits(&joint) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_randomized_response() {
+        // Binary RR with flip prob q: I(X;Y) = 1 - H(q) for uniform X.
+        let eps = 1.0f64;
+        let keep = eps.exp() / (eps.exp() + 1.0);
+        let joint = vec![
+            vec![0.5 * keep, 0.5 * (1.0 - keep)],
+            vec![0.5 * (1.0 - keep), 0.5 * keep],
+        ];
+        let want = 1.0 - crate::special::binary_entropy(keep);
+        assert!((mutual_information_bits(&joint) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chain_rule_h_given_y_plus_mi() {
+        // H(X) = I(X;Y) + H(X|Y).
+        let joint = vec![vec![0.3, 0.1], vec![0.2, 0.4]];
+        let px = [0.4, 0.6];
+        let hx = entropy_bits(&px);
+        let mi = mutual_information_bits(&joint);
+        let hxy = conditional_entropy_bits(&joint);
+        assert!((hx - mi - hxy).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hockey_stick_zero_for_close_pairs() {
+        let eps = 0.5f64;
+        // q and p within e^eps pointwise => delta 0.
+        let q = [0.5, 0.5];
+        let p = [0.6, 0.4];
+        assert_eq!(hockey_stick(&p, &q, eps), 0.0);
+        // Disjoint supports => delta = 1 at eps = 0... (p mass where q none)
+        assert!((hockey_stick(&[1.0, 0.0], &[0.0, 1.0], 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_distribution_counts() {
+        let p = empirical_distribution(&[0, 1, 1, 3], 4);
+        assert_eq!(p, vec![0.25, 0.5, 0.0, 0.25]);
+    }
+}

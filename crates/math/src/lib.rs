@@ -1,0 +1,37 @@
+//! Numerics substrate for the `ldp-heavy-hitters` workspace.
+//!
+//! The analysis in Bun–Nelson–Stemmer (PODS 2018) leans on a toolbox of
+//! concentration and anti-concentration results (their §3.2.2, §3.2.3,
+//! Theorem 7.5 and Appendix A). This crate implements that toolbox as
+//! *calculable* quantities so the rest of the workspace can both consume
+//! them (parameter calibration) and verify empirical behaviour against the
+//! exact inequalities the paper invokes (tests, experiment harness).
+//!
+//! Modules:
+//!
+//! * [`special`] — log-gamma, log-binomial, log-sum-exp, binary entropy.
+//! * [`binomial`] — exact binomial pmf/cdf in log space, shell-conditional
+//!   sampling (used by the Section 5 composed-randomized-response sampler).
+//! * [`poisson`] — Poisson tails (Theorem 3.10) and the poissonization
+//!   bound of Theorem 3.9.
+//! * [`bounds`] — Chernoff/Hoeffding/Bernstein bound calculators
+//!   (Theorems 3.11, 3.12) and binomial anti-concentration (Theorem A.4).
+//! * [`wht`] — fast Walsh–Hadamard transform (Hashtogram internals).
+//! * [`dist`] — discrete distributions: alias sampler, exact binomial and
+//!   Poisson samplers, Zipf.
+//! * [`info`] — statistical distance, KL divergence, entropy and mutual
+//!   information on finite spaces.
+//! * [`stats`] — summary statistics and Monte-Carlo confidence intervals.
+//! * [`rng`] — deterministic seed derivation for protocol public randomness.
+
+pub mod binomial;
+pub mod bounds;
+pub mod dist;
+pub mod info;
+pub mod poisson;
+pub mod rng;
+pub mod special;
+pub mod stats;
+pub mod wht;
+
+pub use rng::{derive_seed, seeded_rng};

@@ -1,0 +1,143 @@
+//! Poisson distribution: pmf, tails, and the poissonization device.
+//!
+//! The utility analysis of `PrivateExpanderSketch` (events E3/E4 in the
+//! proof of Theorem 3.13) studies balls-in-bins loads through the Poisson
+//! approximation: Theorem 3.9 transfers any event bound from the
+//! independent-Poisson model back to the exact multinomial model at a cost
+//! of `e·sqrt(n)`, and Theorem 3.10 provides the sub-Gaussian Poisson tail
+//! used to bound the number of "bad" coordinates.
+
+use crate::special::{ln_factorial, log_sum_exp};
+
+/// `ln Pr[Pois(mu) = k]`.
+pub fn ln_pmf(mu: f64, k: u64) -> f64 {
+    assert!(mu >= 0.0, "Poisson mean must be nonnegative, got {mu}");
+    if mu == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    k as f64 * mu.ln() - mu - ln_factorial(k)
+}
+
+/// `Pr[Pois(mu) = k]`.
+pub fn pmf(mu: f64, k: u64) -> f64 {
+    ln_pmf(mu, k).exp()
+}
+
+/// `ln Pr[Pois(mu) <= k]` by log-space summation (O(k)).
+pub fn ln_cdf(mu: f64, k: u64) -> f64 {
+    let terms: Vec<f64> = (0..=k).map(|j| ln_pmf(mu, j)).collect();
+    log_sum_exp(&terms).min(0.0)
+}
+
+/// Theorem 3.10 (lower tail): `Pr[X <= mu(1−alpha)] <= exp(−alpha² mu / 2)`.
+pub fn lower_tail_bound(mu: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]: {alpha}");
+    (-alpha * alpha * mu / 2.0).exp()
+}
+
+/// Theorem 3.10 (upper tail) as stated in the paper:
+/// `Pr[X >= mu(1+alpha)] <= exp(−alpha² mu / 2)`.
+///
+/// As stated this constant is only valid for `alpha` bounded away from 1
+/// (the proofs in the paper apply it with `alpha = 1/2`); near `alpha = 1`
+/// the exact tail can exceed it by a constant factor. Use
+/// [`upper_tail_bound`] for a form valid on all of `[0, 1]`.
+pub fn upper_tail_bound_paper_form(mu: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]: {alpha}");
+    (-alpha * alpha * mu / 2.0).exp()
+}
+
+/// Chernoff–Poisson upper tail, valid for all `alpha >= 0`:
+/// `Pr[X >= mu(1+alpha)] <= exp(−mu((1+alpha)ln(1+alpha) − alpha))`.
+pub fn upper_tail_bound(mu: f64, alpha: f64) -> f64 {
+    assert!(alpha >= 0.0, "alpha must be nonnegative: {alpha}");
+    if alpha == 0.0 {
+        return 1.0;
+    }
+    (-mu * ((1.0 + alpha) * (1.0 + alpha).ln() - alpha)).exp()
+}
+
+/// Theorem 3.9 transfer factor: an event with Poisson-model probability `p`
+/// has exact balls-in-bins probability at most `e·sqrt(n)·p`.
+pub fn poissonization_factor(n: u64) -> f64 {
+    std::f64::consts::E * (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_normalizes() {
+        for &mu in &[0.5f64, 3.0, 17.5] {
+            // Sum far enough into the tail that the remainder is negligible.
+            let hi = (mu + 30.0 * mu.sqrt() + 30.0) as u64;
+            let total: f64 = (0..=hi).map(|k| pmf(mu, k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "mu={mu}: total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_zero_mean() {
+        assert_eq!(pmf(0.0, 0), 1.0);
+        assert_eq!(pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match() {
+        let mu = 9.0;
+        let hi = 200u64;
+        let mean: f64 = (0..=hi).map(|k| k as f64 * pmf(mu, k)).sum();
+        let var: f64 = (0..=hi)
+            .map(|k| (k as f64 - mu).powi(2) * pmf(mu, k))
+            .sum();
+        assert!((mean - mu).abs() < 1e-8);
+        assert!((var - mu).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem_3_10_bounds_hold_exactly() {
+        // The tail bounds must dominate the exact tails (the paper-form
+        // upper bound only in its small-alpha validity range).
+        for &mu in &[4.0f64, 25.0, 100.0] {
+            for &alpha in &[0.1f64, 0.3, 0.5, 0.9, 1.0] {
+                let k_lo = (mu * (1.0 - alpha)).floor() as u64;
+                let exact_lower = ln_cdf(mu, k_lo).exp();
+                assert!(
+                    exact_lower <= lower_tail_bound(mu, alpha) + 1e-12,
+                    "lower tail violated: mu={mu} alpha={alpha}: {exact_lower}"
+                );
+
+                let k_hi = (mu * (1.0 + alpha)).ceil() as u64;
+                let hi_lim = (mu + 60.0 * mu.sqrt() + 60.0) as u64;
+                let exact_upper: f64 = (k_hi..=hi_lim).map(|k| pmf(mu, k)).sum();
+                assert!(
+                    exact_upper <= upper_tail_bound(mu, alpha) + 1e-12,
+                    "upper tail violated: mu={mu} alpha={alpha}: {exact_upper}"
+                );
+                if alpha <= 0.5 {
+                    assert!(
+                        exact_upper <= upper_tail_bound_paper_form(mu, alpha) + 1e-12,
+                        "paper-form upper tail violated in validity range: \
+                         mu={mu} alpha={alpha}: {exact_upper}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chernoff_form_weaker_than_paper_form_at_small_alpha() {
+        // The two forms agree to second order as alpha -> 0; the paper form
+        // must be the smaller (stronger) one there.
+        let mu = 50.0;
+        for &alpha in &[0.05f64, 0.1, 0.2] {
+            assert!(upper_tail_bound_paper_form(mu, alpha) <= upper_tail_bound(mu, alpha));
+        }
+    }
+
+    #[test]
+    fn poissonization_factor_value() {
+        assert!((poissonization_factor(4) - std::f64::consts::E * 2.0).abs() < 1e-12);
+    }
+}

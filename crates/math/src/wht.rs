@@ -1,0 +1,146 @@
+//! Fast Walsh–Hadamard transform.
+//!
+//! The Hashtogram frequency oracle (Theorems 3.7/3.8) has each user report
+//! a single randomized Hadamard coefficient of their bucket's indicator
+//! vector; the server inverts all coefficients at once with one fast
+//! transform. `H` here is the ±1 (non-normalized) Hadamard matrix of order
+//! `2^k` with `H[i][j] = (−1)^{popcount(i & j)}`.
+
+/// Single entry of the Hadamard matrix: `(−1)^{popcount(i & j)}`.
+///
+/// `i, j` must be below the matrix order; the function itself is total on
+/// u64 so callers enforce the range.
+#[inline]
+pub fn hadamard_entry(i: u64, j: u64) -> i8 {
+    if (i & j).count_ones() % 2 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform (unnormalized).
+///
+/// `data.len()` must be a power of two. Applying the transform twice
+/// multiplies by `len`: `WHT(WHT(x)) = len · x`.
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "WHT length must be a power of two: {n}");
+    let mut h = 1;
+    while h < n {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let x = data[j];
+                let y = data[j + h];
+                data[j] = x + y;
+                data[j + h] = x - y;
+            }
+            i += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+/// Inverse transform: `fwht` followed by division by `len`.
+pub fn ifwht(data: &mut [f64]) {
+    let n = data.len() as f64;
+    fwht(data);
+    for v in data.iter_mut() {
+        *v /= n;
+    }
+}
+
+/// Naive O(n²) transform used as a test oracle.
+pub fn wht_naive(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    assert!(n.is_power_of_two());
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| f64::from(hadamard_entry(i as u64, j as u64)) * data[j])
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn entries_are_symmetric() {
+        for i in 0..32u64 {
+            for j in 0..32u64 {
+                assert_eq!(hadamard_entry(i, j), hadamard_entry(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        let n = 64u64;
+        for a in 0..n {
+            for b in 0..n {
+                let dot: i64 = (0..n)
+                    .map(|j| i64::from(hadamard_entry(a, j)) * i64::from(hadamard_entry(b, j)))
+                    .sum();
+                if a == b {
+                    assert_eq!(dot, n as i64);
+                } else {
+                    assert_eq!(dot, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for k in 0..8u32 {
+            let n = 1usize << k;
+            let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let want = wht_naive(&data);
+            let mut got = data;
+            fwht(&mut got);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn double_transform_is_scaling() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 256usize;
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mut x = data.clone();
+        fwht(&mut x);
+        ifwht(&mut x);
+        for (a, b) in x.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indicator_transform_is_row() {
+        // WHT(e_b)[l] = H[l][b].
+        let n = 128usize;
+        let b = 77usize;
+        let mut x = vec![0.0; n];
+        x[b] = 1.0;
+        fwht(&mut x);
+        for (l, &v) in x.iter().enumerate() {
+            assert_eq!(v as i8, hadamard_entry(l as u64, b as u64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![0.0; 3];
+        fwht(&mut x);
+    }
+}

@@ -1,0 +1,15 @@
+//! Workload generation and protocol simulation with resource accounting.
+//!
+//! The paper's Table 1 compares protocols on seven metrics (server/user
+//! time, server/user memory, communication, public randomness, error).
+//! This crate provides the harness that measures them on a single
+//! machine: [`workload`] generates the distributed inputs, [`run`]
+//! executes a protocol user-by-user with phase timing and resource
+//! accounting, and [`metrics`] summarizes accuracy against ground truth.
+
+pub mod metrics;
+pub mod run;
+pub mod workload;
+
+pub use run::{run_heavy_hitter, run_oracle, OracleRun, ProtocolRun};
+pub use workload::Workload;

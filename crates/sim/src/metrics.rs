@@ -1,0 +1,104 @@
+//! Accuracy metrics over repeated trials.
+
+use hh_core::verify;
+use hh_math::stats;
+
+/// Accuracy summary of one protocol output against ground truth at
+/// threshold `Δ`.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSummary {
+    /// Fraction of Δ-heavy elements recovered.
+    pub recall: f64,
+    /// Fraction of reported elements that are genuinely (Δ/4)-frequent.
+    pub precision: f64,
+    /// Worst estimation error over the output list.
+    pub max_error: f64,
+    /// Output list length.
+    pub list_len: usize,
+}
+
+/// Summarize one run.
+pub fn summarize(data: &[u64], estimates: &[(u64, f64)], delta: f64) -> TrialSummary {
+    let report = verify::check_contract(data, estimates, delta);
+    TrialSummary {
+        recall: verify::heavy_recall(data, estimates, delta),
+        precision: verify::precision_at_half(data, estimates, delta),
+        max_error: report.max_estimation_error,
+        list_len: report.list_len,
+    }
+}
+
+/// Aggregate over trials (median accuracy, worst-case recall, measured
+/// failure rate of the Definition 3.1 contract).
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Median recall across trials.
+    pub median_recall: f64,
+    /// Minimum recall (worst trial).
+    pub min_recall: f64,
+    /// Median of per-trial max estimation error.
+    pub median_max_error: f64,
+    /// 90th percentile of max estimation error.
+    pub p90_max_error: f64,
+    /// Fraction of trials with perfect recall — `1 −` this is the
+    /// measured analogue of the theorems' β.
+    pub success_rate: f64,
+    /// Median output list length.
+    pub median_list_len: f64,
+}
+
+/// Combine trial summaries.
+pub fn aggregate(summaries: &[TrialSummary]) -> Aggregate {
+    assert!(!summaries.is_empty());
+    let recalls: Vec<f64> = summaries.iter().map(|s| s.recall).collect();
+    let errors: Vec<f64> = summaries.iter().map(|s| s.max_error).collect();
+    let lens: Vec<f64> = summaries.iter().map(|s| s.list_len as f64).collect();
+    Aggregate {
+        trials: summaries.len(),
+        median_recall: stats::median(&recalls),
+        min_recall: recalls.iter().copied().fold(f64::INFINITY, f64::min),
+        median_max_error: stats::median(&errors),
+        p90_max_error: stats::quantile(&errors, 0.9),
+        success_rate: recalls.iter().filter(|&&r| r >= 1.0).count() as f64
+            / summaries.len() as f64,
+        median_list_len: stats::median(&lens),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_perfect_output() {
+        let data = vec![1, 1, 1, 2];
+        let est = vec![(1u64, 3.0)];
+        let s = summarize(&data, &est, 3.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.max_error, 0.0);
+    }
+
+    #[test]
+    fn aggregate_counts_failures() {
+        let good = TrialSummary {
+            recall: 1.0,
+            precision: 1.0,
+            max_error: 2.0,
+            list_len: 3,
+        };
+        let bad = TrialSummary {
+            recall: 0.5,
+            precision: 1.0,
+            max_error: 9.0,
+            list_len: 3,
+        };
+        let agg = aggregate(&[good, good, good, bad]);
+        assert_eq!(agg.trials, 4);
+        assert!((agg.success_rate - 0.75).abs() < 1e-12);
+        assert_eq!(agg.min_recall, 0.5);
+        assert!(agg.p90_max_error >= agg.median_max_error);
+    }
+}

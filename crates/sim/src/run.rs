@@ -1,0 +1,183 @@
+//! Protocol execution with the Table 1 resource accounting.
+
+use hh_core::traits::HeavyHitterProtocol;
+use hh_freq::traits::FrequencyOracle;
+use hh_math::rng::{derive_seed, seeded_rng};
+use std::time::{Duration, Instant};
+
+/// Measured resources of one heavy-hitter protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolRun {
+    /// The output list `Est`.
+    pub estimates: Vec<(u64, f64)>,
+    /// Number of users simulated.
+    pub n: usize,
+    /// Total client-side time across all users (Table 1 "User time" is
+    /// this divided by `n`).
+    pub client_total: Duration,
+    /// Server-side ingestion time (collect calls).
+    pub server_ingest: Duration,
+    /// Server-side aggregation/decoding time (finish).
+    pub server_finish: Duration,
+    /// Per-user communication in bits.
+    pub report_bits: usize,
+    /// Server working memory in bytes.
+    pub memory_bytes: usize,
+    /// The protocol's detection threshold Δ.
+    pub detection_threshold: f64,
+}
+
+impl ProtocolRun {
+    /// Mean per-user client time.
+    pub fn user_time(&self) -> Duration {
+        self.client_total / self.n.max(1) as u32
+    }
+
+    /// Total server time (ingest + finish).
+    pub fn server_time(&self) -> Duration {
+        self.server_ingest + self.server_finish
+    }
+}
+
+/// Run a heavy-hitter protocol over a dataset, timing each phase.
+///
+/// Client randomness is derived per user from `seed`, so runs are exactly
+/// reproducible and each user's coins are independent.
+pub fn run_heavy_hitter<P: HeavyHitterProtocol>(
+    server: &mut P,
+    data: &[u64],
+    seed: u64,
+) -> ProtocolRun {
+    let mut client_total = Duration::ZERO;
+    let mut server_ingest = Duration::ZERO;
+    let mut rng = seeded_rng(derive_seed(seed, 0xC11E57));
+    for (i, &x) in data.iter().enumerate() {
+        let t0 = Instant::now();
+        let report = server.respond(i as u64, x, &mut rng);
+        client_total += t0.elapsed();
+        let t1 = Instant::now();
+        server.collect(i as u64, report);
+        server_ingest += t1.elapsed();
+    }
+    let t2 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t2.elapsed();
+    ProtocolRun {
+        estimates,
+        n: data.len(),
+        client_total,
+        server_ingest,
+        server_finish,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// Measured resources of one frequency-oracle run.
+#[derive(Debug, Clone)]
+pub struct OracleRun {
+    /// Estimates for the queried elements, in query order.
+    pub answers: Vec<f64>,
+    /// Number of users simulated.
+    pub n: usize,
+    /// Total client-side time.
+    pub client_total: Duration,
+    /// Server ingestion + finalization time.
+    pub server_build: Duration,
+    /// Total query time.
+    pub query_total: Duration,
+    /// Per-user communication bits.
+    pub report_bits: usize,
+    /// Server memory bytes.
+    pub memory_bytes: usize,
+}
+
+/// Run a frequency oracle over a dataset and a query set.
+pub fn run_oracle<O: FrequencyOracle>(
+    oracle: &mut O,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+) -> OracleRun {
+    let mut client_total = Duration::ZERO;
+    let mut server_build = Duration::ZERO;
+    let mut rng = seeded_rng(derive_seed(seed, 0x04AC1E));
+    for (i, &x) in data.iter().enumerate() {
+        let t0 = Instant::now();
+        let report = oracle.respond(i as u64, x, &mut rng);
+        client_total += t0.elapsed();
+        let t1 = Instant::now();
+        oracle.collect(i as u64, report);
+        server_build += t1.elapsed();
+    }
+    let t2 = Instant::now();
+    oracle.finalize();
+    server_build += t2.elapsed();
+    let t3 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t3.elapsed();
+    OracleRun {
+        answers,
+        n: data.len(),
+        client_total,
+        server_build,
+        query_total,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use hh_core::baselines::scan::{ScanHeavyHitters, ScanParams};
+    use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
+
+    #[test]
+    fn heavy_hitter_run_accounts_resources() {
+        let n = 20_000usize;
+        let w = Workload::planted(256, vec![(3, 0.4)]);
+        let data = w.generate(n, 1);
+        let mut server = ScanHeavyHitters::new(ScanParams::new(n as u64, 256, 2.0, 0.1), 2);
+        let run = run_heavy_hitter(&mut server, &data, 3);
+        assert_eq!(run.n, n);
+        assert!(run.estimates.iter().any(|&(x, _)| x == 3));
+        assert!(run.report_bits > 0);
+        assert!(run.memory_bytes > 0);
+        assert!(run.server_time() > Duration::ZERO);
+        assert!(run.user_time() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn oracle_run_answers_queries() {
+        let n = 10_000usize;
+        let w = Workload::planted(1 << 16, vec![(42, 0.5)]);
+        let data = w.generate(n, 4);
+        let mut oracle = Hashtogram::new(
+            HashtogramParams::hashed(n as u64, 1 << 16, 1.0, 0.1),
+            5,
+        );
+        let run = run_oracle(&mut oracle, &data, &[42, 77], 6);
+        assert_eq!(run.answers.len(), 2);
+        assert!(run.answers[0] > 0.3 * n as f64, "answer {}", run.answers[0]);
+        assert!(run.answers[1] < 0.2 * n as f64);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let n = 5_000usize;
+        let w = Workload::zipf(1 << 12, 1.2);
+        let data = w.generate(n, 7);
+        let est1 = {
+            let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 1 << 12, 2.0, 0.1), 8);
+            run_heavy_hitter(&mut s, &data, 9).estimates
+        };
+        let est2 = {
+            let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 1 << 12, 2.0, 0.1), 8);
+            run_heavy_hitter(&mut s, &data, 9).estimates
+        };
+        assert_eq!(est1, est2);
+    }
+}

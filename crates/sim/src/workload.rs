@@ -1,0 +1,235 @@
+//! Input workloads for the experiments.
+//!
+//! The paper's evaluation is worst-case/synthetic; these generators cover
+//! the regimes its narrative cares about: planted heavy hitters over a
+//! light tail (the object of Definition 3.1), Zipf-like skew (realistic
+//! telemetry), and the "URL telemetry" mixture motivated by the paper's
+//! Chrome/iOS deployment discussion.
+
+use hh_math::dist::Zipf;
+use hh_math::rng::seeded_rng;
+use rand::Rng;
+
+/// A reproducible workload over a `u64` domain.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable label for experiment output.
+    pub name: String,
+    /// Domain size `|X|`.
+    pub domain: u64,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Uniform,
+    Zipf {
+        exponent: f64,
+    },
+    Planted {
+        heavy: Vec<(u64, f64)>,
+    },
+    UrlTelemetry {
+        popular: u64,
+        popular_mass: f64,
+        exponent: f64,
+    },
+}
+
+impl Workload {
+    /// Uniform over the domain — the no-heavy-hitters null case.
+    pub fn uniform(domain: u64) -> Self {
+        Self {
+            name: format!("uniform(|X|=2^{})", domain.ilog2()),
+            domain,
+            kind: Kind::Uniform,
+        }
+    }
+
+    /// Zipf with the given exponent (rank 1 = element 0).
+    pub fn zipf(domain: u64, exponent: f64) -> Self {
+        Self {
+            name: format!("zipf(s={exponent})"),
+            domain,
+            kind: Kind::Zipf { exponent },
+        }
+    }
+
+    /// Planted heavy elements `(value, probability)` over a uniform tail.
+    pub fn planted(domain: u64, heavy: Vec<(u64, f64)>) -> Self {
+        let total: f64 = heavy.iter().map(|&(_, f)| f).sum();
+        assert!(total < 1.0, "planted mass must leave room for the tail");
+        for &(x, _) in &heavy {
+            assert!(x < domain);
+        }
+        Self {
+            name: format!("planted({} heavies, mass {total:.2})", heavy.len()),
+            domain,
+            kind: Kind::Planted { heavy },
+        }
+    }
+
+    /// The browser-telemetry mixture: a Zipf head over `popular` ids
+    /// holding `popular_mass` of the traffic, plus a uniform long tail
+    /// over the whole (huge) domain — realistic skew for the paper's
+    /// motivating deployments.
+    pub fn url_telemetry(domain: u64, popular: u64, popular_mass: f64, exponent: f64) -> Self {
+        assert!(popular <= domain);
+        assert!((0.0..1.0).contains(&popular_mass));
+        Self {
+            name: format!("url-telemetry({popular} popular, mass {popular_mass})"),
+            domain,
+            kind: Kind::UrlTelemetry {
+                popular,
+                popular_mass,
+                exponent,
+            },
+        }
+    }
+
+    /// Generate `n` user inputs, reproducibly.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = seeded_rng(seed);
+        match &self.kind {
+            Kind::Uniform => (0..n).map(|_| rng.gen_range(0..self.domain)).collect(),
+            Kind::Zipf { exponent } => {
+                let z = Zipf::new(self.domain, *exponent);
+                (0..n).map(|_| z.sample(&mut rng)).collect()
+            }
+            Kind::Planted { heavy } => (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    let mut acc = 0.0;
+                    for &(x, f) in heavy {
+                        acc += f;
+                        if u < acc {
+                            return x;
+                        }
+                    }
+                    rng.gen_range(0..self.domain)
+                })
+                .collect(),
+            Kind::UrlTelemetry {
+                popular,
+                popular_mass,
+                exponent,
+            } => {
+                let z = Zipf::new(*popular, *exponent);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen::<f64>() < *popular_mass {
+                            z.sample(&mut rng)
+                        } else {
+                            rng.gen_range(0..self.domain)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The elements whose *expected* count reaches `threshold` at `n`
+    /// users (exact for planted; head ranks for Zipf/telemetry; empty for
+    /// uniform unless the domain is tiny).
+    pub fn expected_heavy(&self, n: u64, threshold: f64) -> Vec<u64> {
+        match &self.kind {
+            Kind::Uniform => {
+                let per = n as f64 / self.domain as f64;
+                if per >= threshold {
+                    (0..self.domain).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Kind::Zipf { exponent } => {
+                let z = Zipf::new(self.domain, *exponent);
+                let mut out = Vec::new();
+                for rank in 0..self.domain.min(10_000) {
+                    if n as f64 * z.pmf(rank) >= threshold {
+                        out.push(rank);
+                    } else {
+                        break;
+                    }
+                }
+                out
+            }
+            Kind::Planted { heavy } => heavy
+                .iter()
+                .filter(|&&(_, f)| n as f64 * f >= threshold)
+                .map(|&(x, _)| x)
+                .collect(),
+            Kind::UrlTelemetry {
+                popular,
+                popular_mass,
+                exponent,
+            } => {
+                let z = Zipf::new(*popular, *exponent);
+                let mut out = Vec::new();
+                for rank in 0..(*popular).min(10_000) {
+                    if n as f64 * popular_mass * z.pmf(rank) >= threshold {
+                        out.push(rank);
+                    } else {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let w = Workload::zipf(1 << 20, 1.1);
+        assert_eq!(w.generate(100, 5), w.generate(100, 5));
+        assert_ne!(w.generate(100, 5), w.generate(100, 6));
+    }
+
+    #[test]
+    fn planted_masses_are_respected() {
+        let w = Workload::planted(1 << 16, vec![(7, 0.3), (9, 0.1)]);
+        let data = w.generate(50_000, 1);
+        let c7 = data.iter().filter(|&&x| x == 7).count() as f64 / 50_000.0;
+        let c9 = data.iter().filter(|&&x| x == 9).count() as f64 / 50_000.0;
+        assert!((c7 - 0.3).abs() < 0.02, "c7 = {c7}");
+        assert!((c9 - 0.1).abs() < 0.02, "c9 = {c9}");
+    }
+
+    #[test]
+    fn expected_heavy_for_planted() {
+        let w = Workload::planted(1 << 16, vec![(7, 0.3), (9, 0.01)]);
+        assert_eq!(w.expected_heavy(10_000, 500.0), vec![7]);
+        assert_eq!(w.expected_heavy(10_000, 50.0), vec![7, 9]);
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let w = Workload::zipf(1 << 20, 1.5);
+        let heavy = w.expected_heavy(100_000, 1_000.0);
+        assert!(!heavy.is_empty());
+        assert_eq!(heavy[0], 0);
+        // The head must actually dominate the sample.
+        let data = w.generate(50_000, 2);
+        let c0 = data.iter().filter(|&&x| x == 0).count();
+        assert!(c0 > 10_000, "rank-0 count {c0}");
+    }
+
+    #[test]
+    fn telemetry_mixes_head_and_tail() {
+        let w = Workload::url_telemetry(1 << 40, 1000, 0.8, 1.2);
+        let data = w.generate(20_000, 3);
+        let head = data.iter().filter(|&&x| x < 1000).count() as f64 / 20_000.0;
+        assert!((head - 0.8).abs() < 0.05, "head mass {head}");
+        assert!(data.iter().any(|&x| x >= 1000), "no tail traffic");
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room for the tail")]
+    fn rejects_overfull_planted() {
+        let _ = Workload::planted(16, vec![(0, 0.7), (1, 0.5)]);
+    }
+}

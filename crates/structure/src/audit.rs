@@ -1,0 +1,132 @@
+//! Exact privacy auditing for finite-output local randomizers.
+//!
+//! Definition 1.1 quantifies over all outputs and input pairs; for the
+//! discrete randomizers in this workspace that's a finite check, so the
+//! test suite *proves* privacy claims by enumeration instead of trusting
+//! them. (The δ audit computes the exact hockey-stick divergence.)
+
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::info::hockey_stick;
+
+/// Exact pure-DP level over the given inputs:
+/// `max_{x,x',y} ln(Pr[A(x)=y]/Pr[A(x')=y])` (`INFINITY` when a support
+/// mismatch exists).
+pub fn exact_pure_epsilon<A: LocalRandomizer>(a: &A, inputs: &[u64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for &x in inputs {
+        for &xp in inputs {
+            if x == xp {
+                continue;
+            }
+            for y in 0..a.output_cardinality() {
+                let lp = a.log_density(RandomizerInput::Value(x), y);
+                let lq = a.log_density(RandomizerInput::Value(xp), y);
+                match (lp == f64::NEG_INFINITY, lq == f64::NEG_INFINITY) {
+                    (true, _) => {}
+                    (false, true) => return f64::INFINITY,
+                    (false, false) => worst = worst.max(lp - lq),
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// Exact δ at a target ε over the given inputs: the worst pairwise
+/// hockey-stick divergence `max_{x,x'} Σ_y max(Pr[A(x)=y] − e^ε·Pr[A(x')=y], 0)`.
+pub fn exact_delta<A: LocalRandomizer>(a: &A, eps: f64, inputs: &[u64]) -> f64 {
+    let dists: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|&x| a.distribution(RandomizerInput::Value(x)))
+        .collect();
+    let mut worst: f64 = 0.0;
+    for p in &dists {
+        for q in &dists {
+            worst = worst.max(hockey_stick(p, q, eps));
+        }
+    }
+    worst
+}
+
+/// Assert that `a` is `eps`-pure-LDP over `inputs` (with numerical slack).
+///
+/// Panics with a diagnostic otherwise — the workhorse assertion of the
+/// workspace's privacy tests.
+pub fn assert_pure_ldp<A: LocalRandomizer>(a: &A, inputs: &[u64], eps: f64) {
+    let got = exact_pure_epsilon(a, inputs);
+    assert!(
+        got <= eps + 1e-9,
+        "pure-LDP audit failed: measured eps {got} > claimed {eps}"
+    );
+}
+
+/// Assert `(eps, delta)`-LDP over `inputs`.
+pub fn assert_approx_ldp<A: LocalRandomizer>(a: &A, inputs: &[u64], eps: f64, delta: f64) {
+    let got = exact_delta(a, eps, inputs);
+    assert!(
+        got <= delta + 1e-9,
+        "approx-LDP audit failed: measured delta {got} > claimed {delta} at eps {eps}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_freq::randomizers::{
+        BinaryRandomizedResponse, GeneralizedRandomizedResponse, HadamardResponse,
+        RevealingRandomizer,
+    };
+
+    #[test]
+    fn audits_every_pure_randomizer_in_the_workspace() {
+        assert_pure_ldp(&BinaryRandomizedResponse::new(0.7), &[0, 1], 0.7);
+        assert_pure_ldp(
+            &GeneralizedRandomizedResponse::new(9, 1.2),
+            &(0..9).collect::<Vec<_>>(),
+            1.2,
+        );
+        assert_pure_ldp(
+            &HadamardResponse::new(32, 0.9),
+            &(0..32).collect::<Vec<_>>(),
+            0.9,
+        );
+    }
+
+    #[test]
+    fn audit_is_tight_not_just_an_upper_bound() {
+        let rr = BinaryRandomizedResponse::new(0.7);
+        let got = exact_pure_epsilon(&rr, &[0, 1]);
+        assert!((got - 0.7).abs() < 1e-12, "audit should be exact: {got}");
+    }
+
+    #[test]
+    fn detects_privacy_violations() {
+        // Claiming a smaller eps than the truth must fail the audit.
+        let rr = BinaryRandomizedResponse::new(1.0);
+        let got = exact_pure_epsilon(&rr, &[0, 1]);
+        assert!(got > 0.5);
+    }
+
+    #[test]
+    fn revealing_randomizer_fails_pure_passes_approx() {
+        let (eps, delta) = (0.5, 0.01);
+        let rv = RevealingRandomizer::new(5, eps, delta);
+        assert_eq!(
+            exact_pure_epsilon(&rv, &(0..5).collect::<Vec<_>>()),
+            f64::INFINITY
+        );
+        assert_approx_ldp(&rv, &(0..5).collect::<Vec<_>>(), eps, delta);
+        // And the delta is exactly the reveal mass.
+        let d = exact_delta(&rv, eps, &(0..5).collect::<Vec<_>>());
+        assert!((d - delta).abs() < 1e-10);
+    }
+
+    #[test]
+    fn delta_decreases_with_eps() {
+        let rv = RevealingRandomizer::new(4, 0.5, 0.02);
+        let inputs: Vec<u64> = (0..4).collect();
+        let d_small = exact_delta(&rv, 0.1, &inputs);
+        let d_large = exact_delta(&rv, 1.0, &inputs);
+        assert!(d_small >= d_large);
+    }
+}

@@ -1,0 +1,352 @@
+//! Algorithm `GenProt` (Section 6, Theorem 6.1): the generic
+//! transformation from any non-interactive `(ε, δ)`-LDP protocol into a
+//! **pure** `10ε`-LDP protocol with `O(log log n)`-bit reports.
+//!
+//! Mechanics (rejection sampling over public candidates): the public
+//! randomness contains, for every user `i`, `T` samples
+//! `y_{i,1}, …, y_{i,T} ← A_i(⊥)`. The user computes clipped acceptance
+//! probabilities
+//! `p_{i,t} = ½·Pr[A_i(x_i)=y_{i,t}]/Pr[A_i(⊥)=y_{i,t}]` (snapped to ½
+//! when outside `[e^{−2ε}/2, e^{2ε}/2]` — the only place the `(ε, δ)`
+//! guarantee is consulted, via Observation 6.5), draws Bernoulli bits
+//! `b_{i,t}`, and announces a uniform index `g_i` among the accepted ones
+//! (or among all `T` if none accepted). The server *reconstructs*
+//! `y_{i,g_i}` and feeds it to the original protocol's aggregation.
+//!
+//! The report is `⌈log₂ T⌉` bits with `T = Θ(log(n/β))` — the
+//! `O(log log n)` of the theorem — and the output distribution is within
+//! total variation `n((½+ε)^T + 6Tδe^ε/(1−e^{−ε}))` of the original
+//! protocol's.
+//!
+//! Because the clipped probabilities are exactly computable, this module
+//! also *certifies* the pure-privacy claim per fixing of the public
+//! randomness: the report distribution `Pr[Q_i(x) = g]` is a closed-form
+//! Poisson-binomial functional, evaluated exactly in
+//! [`GenProt::report_distribution`].
+
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// The GenProt wrapper around a base randomizer `A`.
+#[derive(Debug, Clone)]
+pub struct GenProt<A: LocalRandomizer> {
+    inner: A,
+    /// Number of public candidates `T` per user.
+    t: usize,
+    /// The ε used for clipping (the base protocol's ε).
+    eps: f64,
+    /// Seed for the public candidate samples.
+    seed: u64,
+}
+
+impl<A: LocalRandomizer> GenProt<A> {
+    /// Wrap `inner` with `T` public candidates at clipping level ε.
+    pub fn new(inner: A, eps: f64, t: usize, seed: u64) -> Self {
+        assert!(t >= 1, "need at least one public candidate");
+        assert!(eps > 0.0);
+        Self {
+            inner,
+            t,
+            eps,
+            seed,
+        }
+    }
+
+    /// Theorem 6.1's recommended `T = 2·ln(2n/β)` for `n` users at total
+    /// variation target β.
+    pub fn recommended_t(n: u64, beta: f64) -> usize {
+        assert!(beta > 0.0 && beta < 1.0);
+        (2.0 * (2.0 * n as f64 / beta).ln()).ceil() as usize
+    }
+
+    /// The wrapped randomizer.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Number of public candidates `T`.
+    pub fn candidates(&self) -> usize {
+        self.t
+    }
+
+    /// Bits per report: `⌈log₂ T⌉`.
+    pub fn report_bits(&self) -> usize {
+        usize::BITS as usize - (self.t - 1).leading_zeros() as usize
+    }
+
+    /// The public candidate list `y_{i,1..T}` of a user (deterministic in
+    /// the seed — genuinely public randomness).
+    pub fn public_samples(&self, user_index: u64) -> Vec<u64> {
+        let mut rng = seeded_rng(derive_seed(
+            derive_seed(self.seed, 0x6E_9607),
+            user_index,
+        ));
+        (0..self.t)
+            .map(|_| self.inner.sample(RandomizerInput::Null, &mut rng))
+            .collect()
+    }
+
+    /// The clipped acceptance probabilities `p_{i,t}` for input `x`
+    /// against a candidate list.
+    pub fn acceptance_probs(&self, x: u64, ys: &[u64]) -> Vec<f64> {
+        let lo = (-2.0 * self.eps).exp() / 2.0;
+        let hi = (2.0 * self.eps).exp() / 2.0;
+        ys.iter()
+            .map(|&y| {
+                let ln_ratio = self.inner.log_density(RandomizerInput::Value(x), y)
+                    - self.inner.log_density(RandomizerInput::Null, y);
+                let p = 0.5 * ln_ratio.exp();
+                if (lo..=hi).contains(&p) {
+                    p
+                } else {
+                    0.5
+                }
+            })
+            .collect()
+    }
+
+    /// Client: user `i` holding `x` announces her index `g ∈ [T]`.
+    pub fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> u32 {
+        let ys = self.public_samples(user_index);
+        let ps = self.acceptance_probs(x, &ys);
+        let mut accepted: Vec<u32> = Vec::new();
+        for (t, &p) in ps.iter().enumerate() {
+            if rng.gen::<f64>() < p {
+                accepted.push(t as u32);
+            }
+        }
+        if accepted.is_empty() {
+            rng.gen_range(0..self.t as u32)
+        } else {
+            accepted[rng.gen_range(0..accepted.len())]
+        }
+    }
+
+    /// Server: reconstruct the effective report `y_{i, g_i}`.
+    pub fn reconstruct(&self, user_index: u64, g: u32) -> u64 {
+        assert!((g as usize) < self.t, "index out of range");
+        self.public_samples(user_index)[g as usize]
+    }
+
+    /// Exact output distribution of the user's announcement for input `x`
+    /// against a fixed candidate list:
+    /// `Pr[g] = p_g·E[1/(1+W_g)] + (1−p_g)·Π_{t≠g}(1−p_t)/T`,
+    /// with `W_g` the Poisson-binomial count of other acceptances
+    /// (computed by exact dynamic programming).
+    pub fn report_distribution(&self, x: u64, ys: &[u64]) -> Vec<f64> {
+        let ps = self.acceptance_probs(x, ys);
+        let t = self.t;
+        let mut out = vec![0.0; t];
+        for g in 0..t {
+            // Distribution of W_g = Σ_{t≠g} b_t via DP.
+            let mut w = vec![0.0f64; t];
+            w[0] = 1.0;
+            let mut len = 1usize;
+            for (j, &p) in ps.iter().enumerate() {
+                if j == g {
+                    continue;
+                }
+                // Convolve with Bernoulli(p), in place from the top.
+                for idx in (0..len).rev() {
+                    let v = w[idx];
+                    w[idx] = v * (1.0 - p);
+                    w[idx + 1] += v * p;
+                }
+                len += 1;
+            }
+            let e_inv: f64 = w
+                .iter()
+                .take(len)
+                .enumerate()
+                .map(|(wv, &pr)| pr / (wv as f64 + 1.0))
+                .sum();
+            let none_other: f64 = w[0];
+            out[g] = ps[g] * e_inv + (1.0 - ps[g]) * none_other / t as f64;
+        }
+        out
+    }
+
+    /// Exact pure-DP level of one user's announcement, for a fixed public
+    /// candidate list, maximized over the provided inputs — the quantity
+    /// Lemma 6.2 bounds by `10ε`.
+    pub fn exact_epsilon(&self, user_index: u64, inputs: &[u64]) -> f64 {
+        let ys = self.public_samples(user_index);
+        let dists: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|&x| self.report_distribution(x, &ys))
+            .collect();
+        let mut worst: f64 = 0.0;
+        for a in 0..dists.len() {
+            for b in 0..dists.len() {
+                if a == b {
+                    continue;
+                }
+                for g in 0..self.t {
+                    let ratio = (dists[a][g] / dists[b][g]).ln();
+                    worst = worst.max(ratio);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Theorem 6.1's total-variation bound between the transformed and
+    /// original protocols for `n` users, given the base protocol's δ:
+    /// `n((½+ε)^T + 6Tδe^ε/(1−e^{−ε}))`.
+    pub fn tv_bound(&self, n: u64, delta: f64) -> f64 {
+        let e = self.eps;
+        let term1 = (0.5 + e).powi(self.t as i32);
+        let term2 = 6.0 * self.t as f64 * delta * e.exp() / (1.0 - (-e).exp());
+        (n as f64 * (term1 + term2)).min(1.0)
+    }
+
+    /// The Theorem 6.1 upper limit on `T` for the privacy argument:
+    /// `T <= (1−e^{−ε})/(4δe^ε n)`; `None` when δ = 0 (no limit).
+    pub fn t_upper_limit(eps: f64, delta: f64, n: u64) -> Option<f64> {
+        if delta == 0.0 {
+            return None;
+        }
+        Some((1.0 - (-eps).exp()) / (4.0 * delta * eps.exp() * n as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_freq::randomizers::{
+        DiscreteGaussianRandomizer, GeneralizedRandomizedResponse, RevealingRandomizer,
+    };
+    use hh_math::rng::seeded_rng;
+
+    #[test]
+    fn report_distribution_is_exact() {
+        // Monte-Carlo the client against the closed-form distribution.
+        let base = GeneralizedRandomizedResponse::new(6, 0.4);
+        let gp = GenProt::new(base, 0.4, 12, 7);
+        let x = 3u64;
+        let exact = gp.report_distribution(x, &gp.public_samples(5));
+        let mut rng = seeded_rng(8);
+        let trials = 200_000u64;
+        let mut counts = vec![0u64; 12];
+        for _ in 0..trials {
+            counts[gp.respond(5, x, &mut rng) as usize] += 1;
+        }
+        for g in 0..12 {
+            let got = counts[g] as f64 / trials as f64;
+            let want = exact[g];
+            let tol = 6.0 * (want / trials as f64).sqrt() + 1e-3;
+            assert!((got - want).abs() < tol, "g={g}: {got} vs {want}");
+        }
+        let total: f64 = exact.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "distribution sums to {total}");
+    }
+
+    #[test]
+    fn lemma_6_2_certificate_for_pure_base() {
+        // Wrapping a pure randomizer: the announcement must be 10ε-DP for
+        // every fixing of the public randomness.
+        let eps = 0.2;
+        let base = GeneralizedRandomizedResponse::new(8, eps);
+        let t = (5.0 * (1.0 / eps).ln()).ceil() as usize;
+        let gp = GenProt::new(base, eps, t, 21);
+        let inputs: Vec<u64> = (0..8).collect();
+        for user in 0..20u64 {
+            let got = gp.exact_epsilon(user, &inputs);
+            assert!(
+                got <= 10.0 * eps + 1e-9,
+                "user {user}: exact eps {got} > {}",
+                10.0 * eps
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_for_approximate_base() {
+        // The headline: an (ε, δ) randomizer whose pure level is INFINITE
+        // becomes pure 10ε after GenProt — for every public fixing.
+        let (eps, delta) = (0.25, 1e-3);
+        let base = RevealingRandomizer::new(6, eps, delta);
+        assert_eq!(base.claimed_epsilon(), f64::INFINITY);
+        let t = 8usize;
+        let gp = GenProt::new(base, eps, t, 33);
+        let inputs: Vec<u64> = (0..6).collect();
+        for user in 0..20u64 {
+            let got = gp.exact_epsilon(user, &inputs);
+            assert!(
+                got <= 10.0 * eps + 1e-9,
+                "user {user}: exact eps {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_for_gaussian_base() {
+        let base = DiscreteGaussianRandomizer::new(3.0, 1, 24);
+        let eps = 0.3;
+        let gp = GenProt::new(base, eps, 10, 55);
+        for user in 0..10u64 {
+            let got = gp.exact_epsilon(user, &[0, 1]);
+            assert!(got <= 10.0 * eps + 1e-9, "user {user}: {got}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_distribution_approaches_base() {
+        // Utility: the reconstructed report's distribution (averaged over
+        // public randomness) should be close to A(x)'s distribution.
+        let eps = 0.5;
+        let base = GeneralizedRandomizedResponse::new(4, eps);
+        let t = GenProt::<GeneralizedRandomizedResponse>::recommended_t(1, 0.02);
+        let gp = GenProt::new(base.clone(), eps, t, 99);
+        let x = 2u64;
+        let mut rng = seeded_rng(100);
+        let trials = 120_000u64;
+        let mut counts = vec![0u64; 4];
+        for trial in 0..trials {
+            // Fresh public randomness per trial: vary the user index.
+            let g = gp.respond(trial, x, &mut rng);
+            counts[gp.reconstruct(trial, g) as usize] += 1;
+        }
+        let emp: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        let want = base.distribution(RandomizerInput::Value(x));
+        let tv = hh_math::info::tv_distance(&emp, &want);
+        let bound = gp.tv_bound(1, 0.0) + 0.01; // + MC slack
+        assert!(tv <= bound, "TV {tv} > bound {bound}");
+    }
+
+    #[test]
+    fn tv_bound_shrinks_with_t_for_pure_base() {
+        let base = GeneralizedRandomizedResponse::new(4, 0.1);
+        let small = GenProt::new(base.clone(), 0.1, 4, 1).tv_bound(100, 0.0);
+        let large = GenProt::new(base, 0.1, 30, 1).tv_bound(100, 0.0);
+        assert!(large < small);
+        // (1/2 + 0.1)^30 · 100 ≈ 2e-5.
+        assert!(large < 1e-3, "bound {large}");
+    }
+
+    #[test]
+    fn report_bits_are_loglog() {
+        // T = Θ(log(n/β)) ⇒ report = ⌈log T⌉ = O(log log n).
+        let t = GenProt::<GeneralizedRandomizedResponse>::recommended_t(1 << 30, 0.01);
+        let base = GeneralizedRandomizedResponse::new(4, 0.25);
+        let gp = GenProt::new(base, 0.25, t, 1);
+        assert!(gp.report_bits() <= 7, "bits = {}", gp.report_bits());
+    }
+
+    #[test]
+    fn t_upper_limit_accounting() {
+        assert!(GenProt::<GeneralizedRandomizedResponse>::t_upper_limit(0.25, 0.0, 100).is_none());
+        let lim =
+            GenProt::<GeneralizedRandomizedResponse>::t_upper_limit(0.25, 1e-6, 1000).unwrap();
+        assert!(lim > 1.0, "limit {lim}");
+    }
+
+    #[test]
+    fn public_samples_are_deterministic_and_per_user() {
+        let base = GeneralizedRandomizedResponse::new(4, 0.3);
+        let gp = GenProt::new(base, 0.3, 6, 5);
+        assert_eq!(gp.public_samples(3), gp.public_samples(3));
+        assert_ne!(gp.public_samples(3), gp.public_samples(4));
+    }
+}

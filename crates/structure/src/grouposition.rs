@@ -1,0 +1,199 @@
+//! Advanced grouposition (Section 4, Theorems 4.2 and 4.3).
+//!
+//! In the central model, ε-DP gives groups of `k` users only `kε`-DP. In
+//! the **local** model every user's randomizer fires independently, so the
+//! cumulative privacy loss of changing `k` inputs concentrates around its
+//! mean `kε²/2` — yielding `(kε²/2 + ε√(2k ln(1/δ)), δ)`-indistinguishability
+//! (Theorem 4.2): a `√k` growth instead of `k`.
+//!
+//! This module provides the bounds, an **exact** verifier for randomized
+//! response (where the summed loss is a shifted binomial and every
+//! quantity is computable in closed form), and a Monte-Carlo verifier for
+//! arbitrary product randomizers.
+
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::binomial;
+pub use hh_math::bounds::{advanced_epsilon, basic_group_epsilon};
+use rand::Rng;
+
+/// Theorem 4.2's `ε′` for a group of size `k` at slack `δ`.
+pub fn grouposition_epsilon(k: u64, eps: f64, delta: f64) -> f64 {
+    advanced_epsilon(k, eps, delta)
+}
+
+/// Theorem 4.3: `(ε, δ)`-LDP protocols give groups of `k`
+/// `(ε′, δ + kδ′)` with `ε′ = kε²/2 + ε√(2k ln(1/δ′))`.
+pub fn grouposition_epsilon_approx(k: u64, eps: f64, delta: f64, delta_prime: f64) -> (f64, f64) {
+    (
+        advanced_epsilon(k, eps, delta_prime),
+        delta + k as f64 * delta_prime,
+    )
+}
+
+/// Exact tail of the summed privacy loss for `k` users running binary
+/// ε-randomized response whose inputs all flip between `x` and `x′`:
+/// each user's loss is `±ε` with `Pr[+ε] = e^ε/(e^ε+1)`, so
+/// `Pr[Σ L_i > t] = Pr[Bin(k, keep) > (t/ε + k)/2]` — computable in
+/// closed form and compared directly against Theorem 4.2's `δ`.
+pub fn rr_group_loss_tail_exact(k: u64, eps: f64, t: f64) -> f64 {
+    let keep = eps.exp() / (eps.exp() + 1.0);
+    // Σ L = ε(2·S − k) with S ~ Bin(k, keep); Σ L > t ⟺ S > (t/ε + k)/2.
+    let threshold = (t / eps + k as f64) / 2.0;
+    if threshold >= k as f64 {
+        return 0.0;
+    }
+    if threshold < 0.0 {
+        return 1.0;
+    }
+    let s_min = threshold.floor() as u64 + 1;
+    binomial::ln_sf(k, keep, s_min).exp()
+}
+
+/// Monte-Carlo estimate of the group privacy loss tail
+/// `Pr_{y←A(x)}[ln(Pr[A(x)=y]/Pr[A(x′)=y]) > t]` for a product of `k`
+/// copies of an arbitrary randomizer with inputs `x_i → x′_i`.
+pub fn group_loss_tail_monte_carlo<A: LocalRandomizer, R: Rng + ?Sized>(
+    a: &A,
+    pairs: &[(u64, u64)],
+    t: f64,
+    trials: u64,
+    rng: &mut R,
+) -> f64 {
+    let mut exceed = 0u64;
+    for _ in 0..trials {
+        let mut total = 0.0;
+        for &(x, xp) in pairs {
+            let y = a.sample(RandomizerInput::Value(x), rng);
+            total += a.log_density(RandomizerInput::Value(x), y)
+                - a.log_density(RandomizerInput::Value(xp), y);
+        }
+        if total > t {
+            exceed += 1;
+        }
+    }
+    exceed as f64 / trials as f64
+}
+
+/// The smallest `ε′` that the *exact* randomized-response group loss
+/// satisfies at slack `δ` (for plotting measured-vs-bound curves): the
+/// `δ`-quantile of the shifted-binomial loss.
+pub fn rr_group_epsilon_exact(k: u64, eps: f64, delta: f64) -> f64 {
+    // Binary search over t in [−kε, kε].
+    let (mut lo, mut hi) = (-(k as f64) * eps, k as f64 * eps);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if rr_group_loss_tail_exact(k, eps, mid) > delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi.max(0.0)
+}
+
+/// Sanity helper: the central-model comparator for the same group (`kε`).
+pub fn central_model_epsilon(k: u64, eps: f64) -> f64 {
+    basic_group_epsilon(k, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_freq::randomizers::{BinaryRandomizedResponse, GeneralizedRandomizedResponse};
+    use hh_math::rng::seeded_rng;
+
+    #[test]
+    fn theorem_4_2_dominates_exact_rr_tail() {
+        // The theorem's (ε′, δ) pair must be an upper bound on the exact
+        // loss tail of randomized response, for every k and δ tested.
+        for &eps in &[0.1f64, 0.3, 1.0] {
+            for &k in &[1u64, 4, 16, 64, 256, 1024] {
+                for &delta in &[0.1f64, 0.01, 1e-4] {
+                    let eps_prime = grouposition_epsilon(k, eps, delta);
+                    let tail = rr_group_loss_tail_exact(k, eps, eps_prime);
+                    assert!(
+                        tail <= delta + 1e-12,
+                        "violated at eps={eps} k={k} delta={delta}: tail {tail}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_rr_epsilon_shows_sqrt_k_growth() {
+        // The measured (exact) group epsilon at fixed δ grows like √k in
+        // the advanced regime — quadrupling k roughly doubles ε′.
+        let eps = 0.1;
+        let delta = 1e-3;
+        let e64 = rr_group_epsilon_exact(64, eps, delta);
+        let e256 = rr_group_epsilon_exact(256, eps, delta);
+        let e1024 = rr_group_epsilon_exact(1024, eps, delta);
+        let r1 = e256 / e64;
+        let r2 = e1024 / e256;
+        assert!((1.6..2.6).contains(&r1), "ratio {r1}");
+        assert!((1.6..2.6).contains(&r2), "ratio {r2}");
+        // And far below the central-model kε at these sizes.
+        assert!(e1024 < 0.25 * central_model_epsilon(1024, eps));
+    }
+
+    #[test]
+    fn exact_rr_epsilon_below_theorem_bound() {
+        for &k in &[16u64, 128, 512] {
+            let eps = 0.2;
+            let delta = 1e-3;
+            let exact = rr_group_epsilon_exact(k, eps, delta);
+            let bound = grouposition_epsilon(k, eps, delta);
+            assert!(
+                exact <= bound + 1e-9,
+                "k={k}: exact {exact} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_for_rr() {
+        let (k, eps) = (64u64, 0.25);
+        let rr = BinaryRandomizedResponse::new(eps);
+        let pairs: Vec<(u64, u64)> = (0..k).map(|_| (0u64, 1u64)).collect();
+        let t = grouposition_epsilon(k, eps, 0.05);
+        let mut rng = seeded_rng(11);
+        let mc = group_loss_tail_monte_carlo(&rr, &pairs, t, 40_000, &mut rng);
+        let exact = rr_group_loss_tail_exact(k, eps, t);
+        assert!(
+            (mc - exact).abs() < 6.0 * (exact.max(1e-4) / 40_000f64).sqrt() + 2e-3,
+            "MC {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn grouposition_holds_for_grr_monte_carlo() {
+        // Theorem 4.2 is randomizer-agnostic; check a non-binary one.
+        let (k, eps) = (128u64, 0.2);
+        let grr = GeneralizedRandomizedResponse::new(5, eps);
+        let pairs: Vec<(u64, u64)> = (0..k).map(|i| (i % 5, (i + 2) % 5)).collect();
+        let delta = 0.01;
+        let t = grouposition_epsilon(k, eps, delta);
+        let mut rng = seeded_rng(13);
+        let tail = group_loss_tail_monte_carlo(&grr, &pairs, t, 60_000, &mut rng);
+        // 6-sigma MC slack on top of delta.
+        assert!(
+            tail <= delta + 6.0 * (delta / 60_000f64).sqrt() + 1e-3,
+            "tail {tail} vs delta {delta}"
+        );
+    }
+
+    #[test]
+    fn approx_variant_accounting() {
+        let (e, d) = grouposition_epsilon_approx(100, 0.1, 1e-6, 1e-8);
+        assert!((e - grouposition_epsilon(100, 0.1, 1e-8)).abs() < 1e-12);
+        assert!((d - (1e-6 + 100.0 * 1e-8)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(rr_group_loss_tail_exact(8, 0.5, 8.0 * 0.5 + 0.1), 0.0);
+        let all = rr_group_loss_tail_exact(8, 0.5, -8.0 * 0.5 - 0.1);
+        assert!((all - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! The structure of local privacy — Sections 4, 5 and 6 of the paper.
+//!
+//! * [`loss`] — the privacy-loss random variable (Definition 4.1), exact
+//!   for discrete randomizers.
+//! * [`grouposition`] — **advanced grouposition** (Theorems 4.2/4.3):
+//!   in the local model, group privacy for `k` users degrades like
+//!   `kε²/2 + ε√(2k ln(1/δ))` ≈ `√k·ε`, not `kε`. Includes an *exact*
+//!   verifier for randomized-response protocols (the loss is a shifted
+//!   binomial) and Monte-Carlo verifiers for arbitrary randomizers.
+//! * [`max_info`] — **Theorem 4.5**: the max-information of ε-LDP
+//!   protocols is `O(nε² + ε√(n log(1/β)))` even for non-product input
+//!   distributions; with exact small-space computation.
+//! * [`rr_compose`] — **Theorem 5.1**: an ε̃ = 6ε√(k ln(1/β))-pure-LDP
+//!   algorithm whose output is, with probability 1 − β, *identical* to
+//!   the k-fold composition of ε-randomized response — pure LDP enjoying
+//!   approximate-DP composition rates.
+//! * [`genprot`] — **Algorithm GenProt / Theorem 6.1**: the generic
+//!   transformation from any non-interactive `(ε, δ)`-LDP protocol to a
+//!   pure `10ε`-LDP protocol with `O(log log n)`-bit reports, including an
+//!   exact per-fixing privacy certificate.
+//! * [`audit`] — exact pure/approximate LDP auditing for any finite
+//!   randomizer (used throughout the workspace's tests: privacy claims
+//!   here are *checked*, not assumed).
+
+pub mod audit;
+pub mod genprot;
+pub mod grouposition;
+pub mod loss;
+pub mod max_info;
+pub mod rr_compose;
+
+pub use genprot::GenProt;
+pub use rr_compose::{ApproxComposedRr, ComposedRr};

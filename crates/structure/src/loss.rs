@@ -1,0 +1,114 @@
+//! The privacy-loss random variable (Definition 4.1).
+//!
+//! For discrete distributions `A = A(x)`, `B = A(x′)`, the loss is
+//! `L_{A,B} = ln(Pr[A = y]/Pr[B = y])` for `y ← A`. Its expectation is at
+//! most `ε²/2` for ε-DP pairs ([5, Prop. 3.3]) while its worst case is ε —
+//! the gap that advanced grouposition (and advanced composition) exploit.
+
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+
+/// The exact distribution of the privacy loss between `A(x)` and `A(x′)`:
+/// pairs `(loss value, probability)` for every output with positive
+/// `A(x)`-probability.
+pub fn loss_distribution<A: LocalRandomizer>(a: &A, x: u64, x_prime: u64) -> Vec<(f64, f64)> {
+    (0..a.output_cardinality())
+        .filter_map(|y| {
+            let lp = a.log_density(RandomizerInput::Value(x), y);
+            if lp == f64::NEG_INFINITY {
+                return None;
+            }
+            let lq = a.log_density(RandomizerInput::Value(x_prime), y);
+            Some((lp - lq, lp.exp()))
+        })
+        .collect()
+}
+
+/// Exact expected privacy loss `E[L_{A(x),A(x′)}]` (the KL divergence).
+pub fn expected_loss<A: LocalRandomizer>(a: &A, x: u64, x_prime: u64) -> f64 {
+    loss_distribution(a, x, x_prime)
+        .into_iter()
+        .map(|(l, p)| if p > 0.0 { l * p } else { 0.0 })
+        .sum()
+}
+
+/// Exact worst-case loss `max_y |ln(Pr[A(x)=y]/Pr[A(x′)=y])|`.
+pub fn worst_case_loss<A: LocalRandomizer>(a: &A, x: u64, x_prime: u64) -> f64 {
+    (0..a.output_cardinality())
+        .map(|y| {
+            let lp = a.log_density(RandomizerInput::Value(x), y);
+            let lq = a.log_density(RandomizerInput::Value(x_prime), y);
+            match (lp == f64::NEG_INFINITY, lq == f64::NEG_INFINITY) {
+                (true, true) => 0.0,
+                (false, false) => (lp - lq).abs(),
+                _ => f64::INFINITY,
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Exact tail `Pr_{y←A(x)}[L_{A(x),A(x′)} > t]`.
+pub fn loss_tail<A: LocalRandomizer>(a: &A, x: u64, x_prime: u64, t: f64) -> f64 {
+    loss_distribution(a, x, x_prime)
+        .into_iter()
+        .filter(|&(l, _)| l > t)
+        .map(|(_, p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_freq::randomizers::{BinaryRandomizedResponse, GeneralizedRandomizedResponse};
+
+    #[test]
+    fn rr_loss_values_are_plus_minus_eps() {
+        let eps = 0.7;
+        let rr = BinaryRandomizedResponse::new(eps);
+        let dist = loss_distribution(&rr, 0, 1);
+        for (l, _) in dist {
+            assert!((l.abs() - eps).abs() < 1e-12, "loss {l}");
+        }
+    }
+
+    #[test]
+    fn prop_3_3_expected_loss_below_half_eps_squared() {
+        // [5, Prop 3.3]: E[L] <= eps²/2 for eps-DP pairs. Check the
+        // workhorse randomizers across a range of eps.
+        for &eps in &[0.05f64, 0.1, 0.25, 0.5, 1.0] {
+            let rr = BinaryRandomizedResponse::new(eps);
+            let el = expected_loss(&rr, 0, 1);
+            assert!(
+                el <= eps * eps / 2.0 + 1e-12,
+                "RR eps={eps}: E[L] = {el} > {}",
+                eps * eps / 2.0
+            );
+            assert!(el >= 0.0, "KL must be nonnegative");
+
+            let grr = GeneralizedRandomizedResponse::new(6, eps);
+            let el = expected_loss(&grr, 0, 5);
+            assert!(el <= eps * eps / 2.0 + 1e-12, "GRR eps={eps}: E[L] = {el}");
+        }
+    }
+
+    #[test]
+    fn worst_case_matches_claimed_epsilon() {
+        let rr = BinaryRandomizedResponse::new(1.3);
+        assert!((worst_case_loss(&rr, 0, 1) - 1.3).abs() < 1e-12);
+        let grr = GeneralizedRandomizedResponse::new(4, 0.9);
+        assert!((worst_case_loss(&grr, 1, 2) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_is_monotone_and_bounded() {
+        let rr = BinaryRandomizedResponse::new(1.0);
+        let t0 = loss_tail(&rr, 0, 1, -2.0);
+        let t1 = loss_tail(&rr, 0, 1, 0.0);
+        let t2 = loss_tail(&rr, 0, 1, 2.0);
+        assert!((t0 - 1.0).abs() < 1e-12);
+        assert!(t1 > 0.0 && t1 < 1.0);
+        assert_eq!(t2, 0.0);
+        // At threshold just below eps the tail equals the keep probability.
+        let keep = 1.0f64.exp() / (1.0f64.exp() + 1.0);
+        assert!((loss_tail(&rr, 0, 1, 0.99) - keep).abs() < 1e-12);
+    }
+}

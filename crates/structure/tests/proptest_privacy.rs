@@ -1,0 +1,110 @@
+//! Property tests: privacy claims audited under randomized parameters.
+//!
+//! These are the "no cherry-picked constants" checks — every randomizer
+//! and transformation must satisfy its claimed privacy level for
+//! arbitrary parameters in its admissible range, verified by exact
+//! enumeration (no sampling noise).
+
+use hh_freq::randomizers::{
+    BinaryRandomizedResponse, GeneralizedRandomizedResponse, HadamardResponse,
+    RevealingRandomizer,
+};
+use hh_freq::traits::{LocalRandomizer, RandomizerInput};
+use hh_structure::audit::{exact_delta, exact_pure_epsilon};
+use hh_structure::rr_compose::ApproxComposedRr;
+use hh_structure::GenProt;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_rr_always_exactly_eps(eps in 0.01f64..4.0) {
+        let rr = BinaryRandomizedResponse::new(eps);
+        let got = exact_pure_epsilon(&rr, &[0, 1]);
+        prop_assert!((got - eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grr_always_exactly_eps(k in 2u64..32, eps in 0.05f64..3.0) {
+        let g = GeneralizedRandomizedResponse::new(k, eps);
+        let inputs: Vec<u64> = (0..k).collect();
+        let got = exact_pure_epsilon(&g, &inputs);
+        prop_assert!((got - eps).abs() < 1e-9, "got {got} want {eps}");
+    }
+
+    #[test]
+    fn hadamard_response_never_exceeds_eps(logw in 2u32..7, eps in 0.1f64..2.0) {
+        let h = HadamardResponse::new(1 << logw, eps);
+        let inputs: Vec<u64> = (0..(1u64 << logw)).collect();
+        let got = exact_pure_epsilon(&h, &inputs);
+        prop_assert!(got <= eps + 1e-9);
+    }
+
+    #[test]
+    fn revealing_randomizer_delta_is_exact(
+        k in 2u64..16,
+        eps in 0.1f64..1.5,
+        delta in 1e-4f64..0.2,
+    ) {
+        let rv = RevealingRandomizer::new(k, eps, delta);
+        let inputs: Vec<u64> = (0..k).collect();
+        prop_assert_eq!(exact_pure_epsilon(&rv, &inputs), f64::INFINITY);
+        let d = exact_delta(&rv, eps, &inputs);
+        prop_assert!((d - delta).abs() < 1e-9, "delta {d} want {delta}");
+    }
+
+    #[test]
+    fn approx_composed_rr_distributions_normalize(
+        k in 6u32..14,
+        eps in 0.05f64..0.5,
+        beta in 0.02f64..0.3,
+    ) {
+        // Skip parameterizations where the shell degenerates.
+        let kf = f64::from(k);
+        let centre = kf / (eps.exp() + 1.0);
+        let width = (kf * (2.0 / beta).ln() / 2.0).sqrt();
+        prop_assume!(centre - width > 0.0 || centre + width < kf);
+        let mt = ApproxComposedRr::new(k, eps, beta);
+        for &x in &[0u64, (1 << k) - 1, 0x5A5A & ((1 << k) - 1)] {
+            let total: f64 = mt.distribution(RandomizerInput::Value(x)).iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-8, "x={x}: total {total}");
+        }
+        // The conditioning event keeps its promised mass.
+        prop_assert!(mt.escape_probability() <= beta + 1e-12);
+    }
+
+    #[test]
+    fn genprot_report_distribution_normalizes_and_certifies(
+        k in 2u64..8,
+        eps in 0.1f64..0.5,
+        t in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        let base = GeneralizedRandomizedResponse::new(k, eps);
+        let gp = GenProt::new(base, eps, t, seed);
+        let ys = gp.public_samples(0);
+        for x in 0..k {
+            let dist = gp.report_distribution(x, &ys);
+            let total: f64 = dist.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-8, "x={x}: {total}");
+        }
+        let inputs: Vec<u64> = (0..k).collect();
+        let got = gp.exact_epsilon(0, &inputs);
+        prop_assert!(got <= 10.0 * eps + 1e-9, "certified {got} > 10eps");
+    }
+
+    #[test]
+    fn genprot_certificate_holds_for_approximate_bases(
+        eps in 0.1f64..0.4,
+        delta in 1e-6f64..1e-2,
+        t in 6usize..20,
+        seed in 0u64..500,
+    ) {
+        let base = RevealingRandomizer::new(5, eps, delta);
+        let gp = GenProt::new(base, eps, t, seed);
+        let inputs: Vec<u64> = (0..5).collect();
+        let got = gp.exact_epsilon(0, &inputs);
+        prop_assert!(got <= 10.0 * eps + 1e-9, "certified {got}");
+    }
+}

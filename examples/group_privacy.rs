@@ -1,0 +1,43 @@
+//! Advanced grouposition (Section 4): in the local model, the privacy of
+//! a *group* of k users degrades like √k — not linearly as in the central
+//! model.
+//!
+//! Prints, for growing k, the central-model bound kε, the paper's
+//! Theorem 4.2 bound, and the *exact* group privacy loss of k randomized
+//! responses (computable in closed form) — showing the measured curve
+//! hugging the √k bound.
+//!
+//! ```sh
+//! cargo run --release --example group_privacy
+//! ```
+
+use ldp_heavy_hitters::structure::grouposition;
+
+fn main() {
+    let eps = 0.1;
+    let delta = 1e-6;
+    println!("per-user eps = {eps}, delta = {delta}\n");
+    println!(
+        "{:>6} {:>14} {:>16} {:>18}",
+        "k", "central k*eps", "Thm 4.2 bound", "exact RR loss"
+    );
+    for k in [1u64, 4, 16, 64, 256, 1024, 4096, 16384] {
+        let central = grouposition::central_model_epsilon(k, eps);
+        let advanced = grouposition::grouposition_epsilon(k, eps, delta);
+        let exact = grouposition::rr_group_epsilon_exact(k, eps, delta);
+        println!("{k:>6} {central:>14.3} {advanced:>16.3} {exact:>18.3}");
+        assert!(exact <= advanced + 1e-9, "theorem violated?!");
+    }
+
+    println!("\ninterpretation:");
+    println!("  - exact loss and the Theorem 4.2 bound grow ~sqrt(k);");
+    println!("  - the central-model bound grows linearly and is vastly");
+    println!("    pessimistic in the local model — the structural fact");
+    println!("    behind both the max-information bound (Thm 4.5) and the");
+    println!("    packing lower bounds of Section 7.");
+
+    // Where does advanced beat basic? (the crossover the paper plots
+    // implicitly)
+    let crossover = ldp_heavy_hitters::math::bounds::grouposition_crossover(eps, delta);
+    println!("\nadvanced beats basic grouposition from k = {crossover} onwards");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: run `PrivateExpanderSketch` end to end on a planted
+//! workload and check its Definition 3.1 contract.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ldp_heavy_hitters::core::verify;
+use ldp_heavy_hitters::prelude::*;
+
+fn main() {
+    // A population of users, each holding one 24-bit item.
+    let n: usize = 1 << 18;
+    let domain_bits = 24;
+    let eps = 4.0; // total per-user privacy budget
+    let beta = 0.1; // target failure probability
+
+    // The protocol advertises its detection threshold Δ up front; plant
+    // two elements comfortably above it and one well below.
+    let params = SketchParams::optimal(n as u64, domain_bits, eps, beta);
+    let delta = params.detection_threshold();
+    println!("n = {n}, |X| = 2^{domain_bits}, eps = {eps}, beta = {beta}");
+    println!(
+        "detection threshold Δ = {:.0} users ({:.1}% of n)",
+        delta,
+        100.0 * delta / n as f64
+    );
+
+    let heavy_frac = 1.5 * delta / n as f64;
+    let workload = Workload::planted(
+        1 << domain_bits,
+        vec![
+            (0xC0FFEE, heavy_frac),
+            (0xBEEF, heavy_frac),
+            (0x50DA, 0.2 * delta / n as f64), // too light to be promised
+        ],
+    );
+    let data = workload.generate(n, 1);
+
+    // Run the protocol: every user sends one eps-LDP message.
+    let mut server = ExpanderSketch::new(params.clone(), 42);
+    let run = run_heavy_hitter(&mut server, &data, 7);
+
+    println!("\nrecovered heavy hitters (estimate vs truth):");
+    let hist = verify::histogram(&data);
+    for &(x, est) in &run.estimates {
+        let truth = *hist.get(&x).unwrap_or(&0);
+        println!("  {x:#10x}  est {est:>9.0}   true {truth:>7}");
+    }
+
+    let report = verify::check_contract(&data, &run.estimates, delta);
+    println!("\nDefinition 3.1 check at Δ:");
+    println!("  missed Δ-heavy elements : {:?}", report.missed_heavy);
+    println!(
+        "  max estimation error     : {:.0} (bound {:.0})",
+        report.max_estimation_error,
+        params.estimation_error_bound()
+    );
+    println!(
+        "  list length              : {} (budget O(n/Δ) = {:.1})",
+        report.list_len, report.list_budget
+    );
+
+    println!("\nresources:");
+    println!("  per-user communication   : {} bits", run.report_bits);
+    println!("  mean per-user time       : {:?}", run.user_time());
+    println!("  server time              : {:?}", run.server_time());
+    println!("  server memory            : {} KiB", run.memory_bytes / 1024);
+    assert!(report.missed_heavy.is_empty(), "contract violated!");
+    println!("\nOK: every Δ-heavy element recovered.");
+}

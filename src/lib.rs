@@ -1,0 +1,49 @@
+//! # ldp-heavy-hitters
+//!
+//! A from-scratch Rust implementation of **"Heavy Hitters and the
+//! Structure of Local Privacy"** (Bun, Nelson, Stemmer — PODS 2018):
+//! locally differentially private heavy hitters with worst-case error
+//! optimal in every parameter, plus the paper's structural results
+//! (advanced grouposition, pure-LDP composition for randomized response,
+//! the GenProt approximate→pure transformation, and the matching lower
+//! bound).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture, and
+//! `EXPERIMENTS.md` for the reproduction of every quantitative claim.
+//!
+//! ```no_run
+//! use ldp_heavy_hitters::prelude::*;
+//!
+//! let n: u64 = 1 << 18;
+//! let data: Vec<u64> = Workload::zipf(1 << 32, 1.2).generate(n as usize, 1);
+//! let params = SketchParams::optimal(n, 32, 2.0, 0.05);
+//! let mut server = ExpanderSketch::new(params, 42);
+//! let mut rng = seeded_rng(7);
+//! for (i, &x) in data.iter().enumerate() {
+//!     let report = server.respond(i as u64, x, &mut rng); // client side
+//!     server.collect(i as u64, report);
+//! }
+//! let heavy_hitters: Vec<(u64, f64)> = server.finish();
+//! ```
+
+pub use hh_codes as codes;
+pub use hh_core as core;
+pub use hh_freq as freq;
+pub use hh_graph as graph;
+pub use hh_hash as hash;
+pub use hh_lower as lower;
+pub use hh_math as math;
+pub use hh_sim as sim;
+pub use hh_structure as structure;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use hh_core::baselines::{Bitstogram, BitstogramParams, ScanHeavyHitters, ScanParams};
+    pub use hh_core::traits::HeavyHitterProtocol;
+    pub use hh_core::{ExpanderSketch, SketchParams};
+    pub use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
+    pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+    pub use hh_math::{derive_seed, seeded_rng};
+    pub use hh_sim::{run_heavy_hitter, run_oracle, Workload};
+    pub use hh_structure::{ApproxComposedRr, ComposedRr, GenProt};
+}

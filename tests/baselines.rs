@@ -1,0 +1,74 @@
+//! Protocol-vs-baseline integration: the error orderings the paper's
+//! Table 1 asserts, measured.
+
+use ldp_heavy_hitters::core::baselines::BitstogramParams;
+use ldp_heavy_hitters::core::verify;
+use ldp_heavy_hitters::prelude::*;
+
+/// Table 1's headline: our detection threshold matches prior work at
+/// moderate β and beats it by ~sqrt(log(1/β)) at small β — at every n.
+#[test]
+fn threshold_separation_grows_with_beta() {
+    for &n in &[1u64 << 14, 1 << 18, 1 << 22] {
+        let ratio_at = |beta: f64| {
+            let ours = SketchParams::optimal(n, 32, 1.0, beta).detection_threshold();
+            let theirs = BitstogramParams::optimal(n, 32, 1.0, beta).detection_threshold();
+            theirs / ours
+        };
+        let r_mild = ratio_at(0.25);
+        let r_tiny = ratio_at(1e-9);
+        assert!(
+            r_tiny > 2.0 * r_mild,
+            "n={n}: separation should grow: {r_mild:.2} -> {r_tiny:.2}"
+        );
+        assert!(r_tiny > 3.0, "n={n}: tiny-beta separation {r_tiny}");
+    }
+}
+
+/// Both our protocol and the exhaustive scan must find the same planted
+/// heavy hitter on the same data (the scan is ground-truth-quality on a
+/// small domain).
+#[test]
+fn sketch_agrees_with_scan_on_small_domain() {
+    let n = 1usize << 17;
+    let eps = 4.0;
+    let sketch_params = SketchParams::optimal(n as u64, 16, eps, 0.1);
+    let delta = sketch_params.detection_threshold();
+    let frac = (1.5 * delta / n as f64).min(0.45);
+    let workload = Workload::planted(1 << 16, vec![(0xFEED, frac)]);
+    let data = workload.generate(n, 31);
+
+    let sketch_est = {
+        let mut s = ExpanderSketch::new(sketch_params, 32);
+        run_heavy_hitter(&mut s, &data, 33).estimates
+    };
+    let scan_est = {
+        let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 1 << 16, eps, 0.1), 34);
+        run_heavy_hitter(&mut s, &data, 35).estimates
+    };
+    assert!(sketch_est.iter().any(|&(x, _)| x == 0xFEED), "{sketch_est:?}");
+    assert!(scan_est.iter().any(|&(x, _)| x == 0xFEED));
+    // Both estimate the count consistently (within their noise scales).
+    let truth = verify::histogram(&data)[&0xFEED] as f64;
+    let sk = sketch_est.iter().find(|&&(x, _)| x == 0xFEED).unwrap().1;
+    let sc = scan_est.iter().find(|&&(x, _)| x == 0xFEED).unwrap().1;
+    assert!((sk - truth).abs() < 0.1 * truth, "sketch {sk} vs {truth}");
+    assert!((sc - truth).abs() < 0.1 * truth, "scan {sc} vs {truth}");
+}
+
+/// Resource shape: the sketch's report is O(log n) bits while RAPPOR-
+/// style one-hot reports are Ω(|X|); the sketch's memory is o(|X|).
+#[test]
+fn resource_shape_vs_domain() {
+    let n = 1u64 << 16;
+    let p16 = SketchParams::optimal(n, 16, 1.0, 0.1);
+    let p40 = SketchParams::optimal(n, 40, 1.0, 0.1);
+    let s16 = ExpanderSketch::new(p16, 1);
+    let s40 = ExpanderSketch::new(p40, 1);
+    // Report size grows (at most) logarithmically with |X|...
+    let b16 = s16.report_bits();
+    let b40 = s40.report_bits();
+    assert!(b40 <= b16 + 24, "report bits jumped: {b16} -> {b40}");
+    // ...while a one-hot report would grow 2^24-fold.
+    assert!(b40 < 128);
+}

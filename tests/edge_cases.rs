@@ -1,0 +1,114 @@
+//! Failure injection and degenerate-input behavior: protocols must
+//! degrade cleanly (empty outputs, clean errors) rather than panic or
+//! fabricate results.
+
+use ldp_heavy_hitters::codes::ReedSolomon;
+use ldp_heavy_hitters::core::baselines::{Bitstogram, BitstogramParams};
+use ldp_heavy_hitters::freq::krr::KrrOracle;
+use ldp_heavy_hitters::prelude::*;
+use ldp_heavy_hitters::structure::GenProt;
+
+#[test]
+fn sketch_with_zero_users_finishes_empty() {
+    let params = SketchParams::optimal(1 << 12, 16, 2.0, 0.1);
+    let mut server = ExpanderSketch::new(params, 1);
+    let est = server.finish();
+    assert!(est.is_empty());
+}
+
+#[test]
+fn sketch_with_one_user_does_not_panic() {
+    let params = SketchParams::optimal(1 << 12, 16, 2.0, 0.1);
+    let mut server = ExpanderSketch::new(params, 2);
+    let mut rng = seeded_rng(3);
+    let rep = server.respond(0, 7, &mut rng);
+    server.collect(0, rep);
+    let est = server.finish();
+    // One user is far below any threshold.
+    assert!(est.is_empty(), "{est:?}");
+}
+
+#[test]
+fn bitstogram_with_zero_users_finishes_empty() {
+    let params = BitstogramParams::optimal(1 << 12, 12, 2.0, 0.5);
+    let mut server = Bitstogram::new(params, 4);
+    assert!(server.finish().is_empty());
+}
+
+#[test]
+fn hashtogram_with_zero_reports_estimates_zero() {
+    let mut oracle = Hashtogram::new(HashtogramParams::direct(32, 1.0, 0.2), 5);
+    oracle.finalize();
+    for x in 0..32 {
+        assert_eq!(oracle.estimate(x), 0.0);
+    }
+}
+
+#[test]
+fn reed_solomon_all_erasures_fails_cleanly() {
+    let rs = ReedSolomon::new(4, 12, 4);
+    let received = vec![None; 12];
+    assert_eq!(rs.decode(&received), None);
+}
+
+#[test]
+fn reed_solomon_zero_message_roundtrip() {
+    let rs = ReedSolomon::new(4, 12, 4);
+    let msg = vec![0u16; 4];
+    let cw = rs.encode(&msg);
+    assert!(cw.iter().all(|&c| c == 0));
+    let received: Vec<Option<u16>> = cw.iter().map(|&c| Some(c)).collect();
+    assert_eq!(rs.decode(&received), Some(msg));
+}
+
+#[test]
+fn genprot_with_single_candidate_is_total() {
+    // T = 1: the announcement is forced; privacy is trivially perfect for
+    // the announcement itself (it is constant).
+    let base = KrrOracle::new(4, 0.5);
+    let gp = GenProt::new(base.randomizer().clone(), 0.5, 1, 6);
+    let mut rng = seeded_rng(7);
+    for i in 0..20u64 {
+        let g = gp.respond(i, i % 4, &mut rng);
+        assert_eq!(g, 0);
+        let _ = gp.reconstruct(i, g);
+    }
+    let eps = gp.exact_epsilon(0, &[0, 1, 2, 3]);
+    assert!(eps < 1e-9, "constant output must leak nothing: {eps}");
+}
+
+#[test]
+fn workload_with_no_heavies_generates_uniform() {
+    let w = Workload::planted(1 << 10, vec![]);
+    let data = w.generate(5_000, 8);
+    assert_eq!(data.len(), 5_000);
+    assert!(data.iter().all(|&x| x < 1 << 10));
+}
+
+#[test]
+fn scan_on_domain_of_two() {
+    let params = ScanParams::new(20_000, 2, 2.0, 0.1);
+    let mut server = ScanHeavyHitters::new(params, 9);
+    let mut rng = seeded_rng(10);
+    for i in 0..20_000u64 {
+        let rep = server.respond(i, i % 2, &mut rng);
+        server.collect(i, rep);
+    }
+    let est = server.finish();
+    assert_eq!(est.len(), 2, "{est:?}");
+}
+
+#[test]
+fn duplicate_user_reports_are_absorbed_not_fatal() {
+    // A malicious user replaying reports shifts counts but must not break
+    // the server (LDP servers cannot authenticate content anyway).
+    let mut oracle = Hashtogram::new(HashtogramParams::direct(16, 1.0, 0.2), 11);
+    let mut rng = seeded_rng(12);
+    let rep = oracle.respond(0, 3, &mut rng);
+    for _ in 0..100 {
+        oracle.collect(0, rep);
+    }
+    oracle.finalize();
+    let est = oracle.estimate(3);
+    assert!(est.is_finite());
+}
