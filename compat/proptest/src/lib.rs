@@ -1,0 +1,249 @@
+//! Vendored stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! carries a minimal implementation of the subset its property tests
+//! use: the [`proptest!`] macro over numeric *range strategies*
+//! (`lo..hi`, `lo..=hi` for the integer types and `f64`), configured
+//! case counts via [`ProptestConfig::with_cases`], and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Differences from the real crate: inputs are sampled from a fixed
+//! deterministic seed (per test name) rather than an entropy source, and
+//! failing cases are reported but **not shrunk**. Point the workspace
+//! `proptest` dependency back at crates.io to swap in the real crate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property for `cases` accepted inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; draw another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A source of random values for one parameter position.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Deterministic per-test RNG (FNV-1a over the test name, then the case
+/// index), so failures reproduce run to run.
+pub fn case_rng(test_name: &str, case: u64) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a property-test module imports.
+pub mod prelude {
+    pub use crate::{
+        case_rng, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Assert inside a property; failure reports the offending inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Reject the current input (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::__proptest_body! {
+                    ($cfg) fn $name( $($arg in $strat),+ ) $body
+                }
+            }
+        )*
+    };
+}
+
+/// The case-running loop of one property (an expression, so the failure
+/// path is testable without generating nested `#[test]` items).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block ) => {{
+        let __cfg: $crate::ProptestConfig = $cfg;
+        let mut __accepted: u32 = 0;
+        let mut __attempt: u64 = 0;
+        let __max_attempts: u64 = u64::from(__cfg.cases) * 16 + 64;
+        while __accepted < __cfg.cases {
+            assert!(
+                __attempt < __max_attempts,
+                "proptest: too many rejected inputs ({} attempts, {} accepted)",
+                __attempt,
+                __accepted
+            );
+            let mut __rng = $crate::case_rng(stringify!($name), __attempt);
+            __attempt += 1;
+            $(let $arg = $crate::Strategy::pick(&($strat), &mut __rng);)+
+            let __result = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                $body
+                ::core::result::Result::Ok(())
+            })();
+            match __result {
+                ::core::result::Result::Ok(()) => __accepted += 1,
+                ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest case failed (attempt {}): {}\n  inputs: {}",
+                        __attempt - 1,
+                        __msg,
+                        format!(concat!($(stringify!($arg), " = {:?}; "),+), $($arg),+)
+                    );
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(a in 3u64..10, b in 0.5f64..1.5, c in 2u32..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((0.5..1.5).contains(&b), "b = {b}");
+            prop_assert!((2..=4).contains(&c));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        crate::__proptest_body! {
+            (ProptestConfig::with_cases(4))
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! carries the structured-concurrency subset of rayon's API it uses,
+//! implemented over [`std::thread::scope`]: [`scope`] / [`Scope::spawn`],
+//! [`join`], and [`current_num_threads`]. Unlike real rayon there is no
+//! work-stealing pool — each `spawn` is an OS thread — so callers should
+//! spawn O(`current_num_threads()`) coarse tasks, not one task per item
+//! (which is exactly how the `hh-sim` batch driver uses it). Point the
+//! workspace `rayon` dependency back at crates.io to swap in the real
+//! crate unchanged.
+
+/// Number of hardware threads available (rayon's default pool size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope in which borrowed-data tasks can be spawned (rayon's `Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from outside the scope. The closure
+    /// receives the scope again so it can spawn nested tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Run `f` with a [`Scope`]; returns once every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let sc = Scope { inner: s };
+        f(&sc)
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}

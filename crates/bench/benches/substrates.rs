@@ -1,13 +1,18 @@
 //! Criterion bench for the substrate layers: hashing, WHT,
-//! Reed–Solomon, ULRC encode/decode, expander construction, clustering.
+//! Reed–Solomon, ULRC encode/decode, expander construction, clustering,
+//! and the batch-pipeline primitives (respond_batch / collect_batch /
+//! par_chunk_map).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hh_codes::ulrc::{UlrcParams, UniqueListCode};
 use hh_codes::ReedSolomon;
+use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
+use hh_freq::traits::FrequencyOracle;
 use hh_graph::cluster::{spectral_clusters, ClusterParams};
 use hh_graph::expander::expander;
 use hh_hash::{KWiseHash, PairwiseHash};
-use hh_math::rng::seeded_rng;
+use hh_math::par::par_chunk_map;
+use hh_math::rng::{client_rng, seeded_rng};
 use hh_math::wht::fwht;
 use rand::Rng;
 
@@ -79,11 +84,11 @@ fn bench_ulrc(c: &mut Criterion) {
     // A realistic decode instance: 3 messages, light junk.
     let xs = [0xF00Du64, 0xBEEF, 0x1234];
     let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); code.params().num_coords];
-    for m in 0..code.params().num_coords {
+    for (m, list) in lists.iter_mut().enumerate() {
         for &x in &xs {
             let y = code.coord_hash(m, x);
-            if lists[m].iter().all(|&(yy, _)| yy != y) {
-                lists[m].push((y, code.enc_tilde(x, m)));
+            if list.iter().all(|&(yy, _)| yy != y) {
+                list.push((y, code.enc_tilde(x, m)));
             }
         }
     }
@@ -119,12 +124,67 @@ fn bench_graph(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/batch_pipeline");
+    group.sample_size(20);
+    let n = 1usize << 16;
+    let params = HashtogramParams::hashed(n as u64, 1 << 20, 1.0, 0.1);
+    let oracle = Hashtogram::new(params.clone(), 1);
+    let data: Vec<u64> = {
+        let mut rng = seeded_rng(2);
+        (0..n).map(|_| rng.gen_range(0..1u64 << 20)).collect()
+    };
+    let client_seed = 3u64;
+    group.bench_function("respond_scalar_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for (i, &x) in data.iter().enumerate() {
+                let mut rng = client_rng(client_seed, i as u64);
+                acc += i64::from(oracle.respond(i as u64, x, &mut rng).bit);
+            }
+            acc
+        });
+    });
+    group.bench_function("respond_batch_64k", |b| {
+        b.iter(|| oracle.respond_batch(0, &data, client_seed));
+    });
+    group.bench_function("respond_batch_64k_parallel", |b| {
+        b.iter(|| {
+            par_chunk_map(&data, 1 << 14, 0, |c, xs| {
+                oracle.respond_batch((c << 14) as u64, xs, client_seed)
+            })
+        });
+    });
+    // Both sides pay the same reports.clone() inside the timed closure
+    // (collect_batch consumes its Vec and the shim has no iter_batched),
+    // so the comparison isolates ingest cost, not allocation.
+    let reports = oracle.respond_batch(0, &data, client_seed);
+    group.bench_function("collect_scalar_64k", |b| {
+        b.iter(|| {
+            let mut o = Hashtogram::new(params.clone(), 1);
+            for (i, rep) in reports.clone().into_iter().enumerate() {
+                o.collect(i as u64, rep);
+            }
+            o.total_users()
+        });
+    });
+    group.bench_function("collect_batch_64k", |b| {
+        b.iter(|| {
+            let mut o = Hashtogram::new(params.clone(), 1);
+            o.collect_batch(0, reports.clone());
+            o.total_users()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_hashing,
     bench_wht,
     bench_rs,
     bench_ulrc,
-    bench_graph
+    bench_graph,
+    bench_batch_pipeline
 );
 criterion_main!(benches);

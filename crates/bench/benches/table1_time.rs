@@ -6,7 +6,7 @@ use hh_core::baselines::{Bitstogram, BitstogramParams};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_core::{ExpanderSketch, SketchParams};
 use hh_math::rng::seeded_rng;
-use hh_sim::Workload;
+use hh_sim::{run_heavy_hitter, run_heavy_hitter_batched, BatchPlan, Workload};
 
 fn bench_client(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/user_time");
@@ -39,26 +39,30 @@ fn bench_server(c: &mut Criterion) {
     group.sample_size(10);
     let n = 1u64 << 14;
     let data = Workload::planted(1 << 24, vec![(0xBEEF, 0.4)]).generate(n as usize, 5);
-    group.bench_function("expander_sketch", |b| {
+    // Full runs through both drivers — the serial reference and the
+    // batched parallel pipeline (identical output; see batch_equivalence).
+    group.bench_function("expander_sketch/serial", |b| {
         b.iter(|| {
             let mut server = ExpanderSketch::new(SketchParams::optimal(n, 24, 2.0, 0.1), 6);
-            let mut rng = seeded_rng(7);
-            for (i, &x) in data.iter().enumerate() {
-                let rep = server.respond(i as u64, x, &mut rng);
-                server.collect(i as u64, rep);
-            }
-            server.finish()
+            run_heavy_hitter(&mut server, &data, 7).estimates
         });
     });
-    group.bench_function("bitstogram", |b| {
+    group.bench_function("expander_sketch/batched", |b| {
+        b.iter(|| {
+            let mut server = ExpanderSketch::new(SketchParams::optimal(n, 24, 2.0, 0.1), 6);
+            run_heavy_hitter_batched(&mut server, &data, 7, &BatchPlan::default()).estimates
+        });
+    });
+    group.bench_function("bitstogram/serial", |b| {
         b.iter(|| {
             let mut server = Bitstogram::new(BitstogramParams::optimal(n, 24, 2.0, 0.1), 8);
-            let mut rng = seeded_rng(9);
-            for (i, &x) in data.iter().enumerate() {
-                let rep = server.respond(i as u64, x, &mut rng);
-                server.collect(i as u64, rep);
-            }
-            server.finish()
+            run_heavy_hitter(&mut server, &data, 9).estimates
+        });
+    });
+    group.bench_function("bitstogram/batched", |b| {
+        b.iter(|| {
+            let mut server = Bitstogram::new(BitstogramParams::optimal(n, 24, 2.0, 0.1), 8);
+            run_heavy_hitter_batched(&mut server, &data, 9, &BatchPlan::default()).estimates
         });
     });
     group.finish();

@@ -29,11 +29,7 @@ fn ab1() {
     let others = 4usize; // competing heavy elements in the same bucket
     let trials = 30_000u64;
     println!("Y = {y_range}, {others} competing heavies, alpha = {alpha}:\n");
-    let mut t = Table::new(&[
-        "M",
-        "single hash: Pr[fail]",
-        "per-coordinate: Pr[fail]",
-    ]);
+    let mut t = Table::new(&["M", "single hash: Pr[fail]", "per-coordinate: Pr[fail]"]);
     for &m_coords in &[4usize, 8, 12, 16] {
         let budget = (alpha * m_coords as f64).floor() as usize;
         // Single shared hash: one collision kills every coordinate at
@@ -52,10 +48,7 @@ fn ab1() {
         for trial in 0..trials {
             let mut bad = 0usize;
             for m in 0..m_coords {
-                let h = PairwiseHash::new(
-                    derive_seed(derive_seed(2, trial), m as u64),
-                    y_range,
-                );
+                let h = PairwiseHash::new(derive_seed(derive_seed(2, trial), m as u64), y_range);
                 let target = h.hash(0);
                 if (1..=others as u64).any(|x| h.hash(x) == target) {
                     bad += 1;
@@ -159,7 +152,10 @@ fn ab3() {
 }
 
 fn main() {
-    banner("AB.1–AB.3 — ablations", "design choices called out in DESIGN.md");
+    banner(
+        "AB.1–AB.3 — ablations",
+        "design choices called out in DESIGN.md",
+    );
     ab1();
     ab2();
     ab3();

@@ -15,8 +15,7 @@ fn measured_error(params: &SketchParams, seed: u64) -> (f64, bool) {
     let n = params.n as usize;
     let heavy = 0xCAFEu64 & ((1u64 << params.domain_bits) - 1);
     let frac = (1.5 * params.detection_threshold() / n as f64).min(0.45);
-    let data =
-        Workload::planted(1u64 << params.domain_bits, vec![(heavy, frac)]).generate(n, seed);
+    let data = Workload::planted(1u64 << params.domain_bits, vec![(heavy, frac)]).generate(n, seed);
     let mut server = ExpanderSketch::new(params.clone(), derive_seed(seed, 1));
     let run = run_heavy_hitter(&mut server, &data, derive_seed(seed, 2));
     let truth = data.iter().filter(|&&x| x == heavy).count() as f64;
@@ -38,7 +37,13 @@ fn main() {
     println!("\n— sweep n (|X| = 2^16, eps = 4) —\n");
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    let mut t = Table::new(&["n", "Delta", "Delta/sqrt(n)", "measured |est-true|", "recovered"]);
+    let mut t = Table::new(&[
+        "n",
+        "Delta",
+        "Delta/sqrt(n)",
+        "measured |est-true|",
+        "recovered",
+    ]);
     for &logn in &[15u32, 16, 17, 18] {
         let n = 1u64 << logn;
         let p = SketchParams::optimal(n, 16, 4.0, beta);
@@ -64,20 +69,20 @@ fn main() {
     println!("\n— sweep eps (n = 2^17, |X| = 2^16) —\n");
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    let mut t = Table::new(&["eps", "Delta", "Delta*eps", "measured |est-true|", "recovered"]);
+    let mut t = Table::new(&[
+        "eps",
+        "Delta",
+        "Delta*eps",
+        "measured |est-true|",
+        "recovered",
+    ]);
     for &eps in &[2.0f64, 3.0, 4.0, 6.0] {
         let p = SketchParams::optimal(1 << 17, 16, eps, beta);
         let d = p.detection_threshold();
         let (err, ok) = measured_error(&p, 2000 + eps as u64);
         xs.push(eps);
         ys.push(d);
-        t.row(&[
-            fmt(eps),
-            fmt(d),
-            fmt(d * eps),
-            fmt(err),
-            ok.to_string(),
-        ]);
+        t.row(&[fmt(eps), fmt(d), fmt(d * eps), fmt(err), ok.to_string()]);
     }
     t.print();
     println!(
@@ -87,7 +92,14 @@ fn main() {
 
     // Sweep |X|.
     println!("\n— sweep |X| (n = 2^17, eps = 4) —\n");
-    let mut t = Table::new(&["|X|", "M", "Delta", "Delta/sqrt(n log X)", "measured", "recovered"]);
+    let mut t = Table::new(&[
+        "|X|",
+        "M",
+        "Delta",
+        "Delta/sqrt(n log X)",
+        "measured",
+        "recovered",
+    ]);
     for &bits in &[16u32, 24, 32, 40] {
         let p = SketchParams::optimal(1 << 17, bits, 4.0, beta);
         let d = p.detection_threshold();

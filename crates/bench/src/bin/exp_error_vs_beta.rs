@@ -63,7 +63,10 @@ fn main() {
     let planted = (1.25 * d_ours)
         .min(0.85 * d_theirs / 2.0)
         .min(0.45 * n as f64);
-    assert!(planted > d_ours, "no gap to demonstrate at these parameters");
+    assert!(
+        planted > d_ours,
+        "no gap to demonstrate at these parameters"
+    );
     println!(
         "  ours Δ = {:.0}, theirs Δ = {:.0} (keep level {:.0}), planted count ≈ {:.0}\n",
         d_ours,

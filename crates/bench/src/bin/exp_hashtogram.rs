@@ -8,7 +8,15 @@ use hh_bench::{banner, fmt, Table};
 use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
 use hh_math::rng::derive_seed;
 use hh_math::stats::loglog_slope;
-use hh_sim::{run_oracle, Workload};
+use hh_sim::{run_oracle, run_oracle_batched, BatchPlan, Workload};
+
+/// Whether `--serial` was passed (re-derived from argv on each call):
+/// routes measurement through the serial reference driver instead of the
+/// batched pipeline (identical output either way; see the batch
+/// equivalence tests).
+fn serial_mode() -> bool {
+    std::env::args().any(|a| a == "--serial")
+}
 
 fn measure(params: HashtogramParams, n: usize, seed: u64) -> (f64, usize) {
     let domain = params.domain;
@@ -17,7 +25,17 @@ fn measure(params: HashtogramParams, n: usize, seed: u64) -> (f64, usize) {
     let data = workload.generate(n, seed);
     let queries: Vec<u64> = (0..32).map(|i| (i * 37) % domain).collect();
     let mut oracle = Hashtogram::new(params, derive_seed(seed, 1));
-    let run = run_oracle(&mut oracle, &data, &queries, derive_seed(seed, 2));
+    let run = if serial_mode() {
+        run_oracle(&mut oracle, &data, &queries, derive_seed(seed, 2))
+    } else {
+        run_oracle_batched(
+            &mut oracle,
+            &data,
+            &queries,
+            derive_seed(seed, 2),
+            &BatchPlan::default(),
+        )
+    };
     let mut max_err = 0.0f64;
     for (&q, &a) in queries.iter().zip(&run.answers) {
         let truth = data.iter().filter(|&&x| x == q).count() as f64;
@@ -31,9 +49,23 @@ fn main() {
         "F3.7 — Hashtogram (Theorems 3.7/3.8)",
         "per-query error O((1/eps) sqrt(n log(1/beta))); memory O~(sqrt n)",
     );
+    println!(
+        "driver: {}",
+        if serial_mode() {
+            "serial (--serial)"
+        } else {
+            "batched parallel pipeline (default)"
+        }
+    );
 
     println!("\n— error and memory vs n (hashed variant, |X| = 2^20, eps = 1) —\n");
-    let mut t = Table::new(&["n", "measured max err", "bound", "memory KiB", "mem/sqrt(n)"]);
+    let mut t = Table::new(&[
+        "n",
+        "measured max err",
+        "bound",
+        "memory KiB",
+        "mem/sqrt(n)",
+    ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &logn in &[12u32, 14, 16, 18] {
@@ -73,19 +105,11 @@ fn main() {
     let mut t = Table::new(&["variant", "measured max err", "bound", "memory KiB"]);
     for (name, params) in [
         ("direct", HashtogramParams::direct(256, 1.0, 0.05)),
-        (
-            "hashed",
-            HashtogramParams::hashed(n as u64, 256, 1.0, 0.05),
-        ),
+        ("hashed", HashtogramParams::hashed(n as u64, 256, 1.0, 0.05)),
     ] {
         let bound = params.error_bound(n as u64, 0.05 / 32.0);
         let (err, mem) = measure(params, n, 300);
-        t.row(&[
-            name.into(),
-            fmt(err),
-            fmt(bound),
-            (mem / 1024).to_string(),
-        ]);
+        t.row(&[name.into(), fmt(err), fmt(bound), (mem / 1024).to_string()]);
     }
     t.print();
     println!("\n(direct variant drops the bucket-collision noise — the min(n,|X|) factor)");

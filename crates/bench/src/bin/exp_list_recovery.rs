@@ -33,7 +33,7 @@ fn build_lists(
         })
         .collect();
     let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m_coords];
-    for m in 0..m_coords {
+    for (m, list) in lists.iter_mut().enumerate() {
         let mut used: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         for (i, &x) in xs.iter().enumerate() {
             if drops[i].contains(&m) {
@@ -41,22 +41,22 @@ fn build_lists(
             }
             let y = c.coord_hash(m, x);
             if let Some(&other) = used.get(&y) {
-                lists[m].retain(|&(yy, _)| yy != y);
+                list.retain(|&(yy, _)| yy != y);
                 drops[other].insert(m);
                 drops[i].insert(m);
                 continue;
             }
             used.insert(y, i);
-            lists[m].push((y, c.enc_tilde(x, m)));
+            list.push((y, c.enc_tilde(x, m)));
         }
         // Adversarial junk on fresh y values.
         let mut added = 0;
         while added < junk_per_list {
             let y = rng.gen_range(0..c.params().y_range);
-            if lists[m].iter().all(|&(yy, _)| yy != y) {
-                lists[m].push((y, rng.gen_range(0..c.params().z_cardinality())));
+            if list.iter().all(|&(yy, _)| yy != y) {
+                list.push((y, rng.gen_range(0..c.params().z_cardinality())));
                 added += 1;
-            } else if lists[m].len() >= c.params().y_range as usize {
+            } else if list.len() >= c.params().y_range as usize {
                 break;
             }
         }

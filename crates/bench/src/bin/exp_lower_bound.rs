@@ -29,7 +29,12 @@ fn main() {
     let mut rng = seeded_rng(11);
     let ps: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
     let pmf = poisson_binomial_pmf(&ps);
-    let mut t = Table::new(&["beta", "interval width c*sqrt(n ln 1/b), c=1/4", "exact best-interval escape", ">= beta?"]);
+    let mut t = Table::new(&[
+        "beta",
+        "interval width c*sqrt(n ln 1/b), c=1/4",
+        "exact best-interval escape",
+        ">= beta?",
+    ]);
     for &beta in &[0.25f64, 0.1, 0.01, 1e-3, 1e-4] {
         let width = (0.25 * (n as f64 * (1.0 / beta).ln()).sqrt()) as usize;
         let (_, escape) = min_escape_probability(&pmf, width);

@@ -8,18 +8,100 @@
 //! near-linear server time and O~(1) user cost with O~(√n) memory;
 //! \[4\] linear-in-n memory and a per-query cost that makes domain scans
 //! explode.
+//!
+//! Flags:
+//!
+//! * `--serial` — drive the table rows through the serial reference
+//!   runner instead of the batched parallel pipeline (the default), for
+//!   before/after comparison.
+//! * `--json` — additionally run the n = 10^6 planted-workload
+//!   serial-vs-batched comparison and write `BENCH_table1.json` (the
+//!   perf-trajectory baseline tracked across PRs).
 
-use hh_bench::{banner, fmt_dur, Table};
+use hh_bench::{banner, fmt_dur, json_array, JsonObject, Table};
 use hh_core::baselines::{Bitstogram, BitstogramParams};
+use hh_core::traits::HeavyHitterProtocol;
 use hh_core::{ExpanderSketch, SketchParams};
 use hh_freq::bassily_smith::BassilySmithOracle;
 use hh_math::rng::derive_seed;
-use hh_sim::{run_heavy_hitter, run_oracle, Workload};
+use hh_sim::{
+    run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
+    ProtocolRun, Workload,
+};
+
+fn drive<P>(server: &mut P, data: &[u64], seed: u64, serial: bool) -> ProtocolRun
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send,
+{
+    if serial {
+        run_heavy_hitter(server, data, seed)
+    } else {
+        run_heavy_hitter_batched(server, data, seed, &BatchPlan::default())
+    }
+}
+
+/// One serial-vs-batched wall-clock comparison, returned as a JSON value.
+fn compare_at_scale<P, F>(make: F, name: &str, data: &[u64], seed: u64) -> String
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send,
+    F: Fn() -> P,
+{
+    let serial = {
+        let mut s = make();
+        run_heavy_hitter(&mut s, data, seed)
+    };
+    let plan = BatchPlan::default();
+    let batched = {
+        let mut s = make();
+        run_heavy_hitter_batched(&mut s, data, seed, &plan)
+    };
+    assert_eq!(
+        serial.estimates, batched.estimates,
+        "{name}: batched output diverged from serial"
+    );
+    let speedup = serial.total_time().as_secs_f64() / batched.total_time().as_secs_f64();
+    println!(
+        "  {name:>16}: serial {} | batched {} ({} threads, chunk {}) | speedup x{speedup:.2}",
+        fmt_dur(serial.total_time()),
+        fmt_dur(batched.total_time()),
+        batched.threads,
+        plan.chunk_size,
+    );
+    JsonObject::new()
+        .str("protocol", name)
+        .int("n", data.len() as u64)
+        .int("threads", batched.threads as u64)
+        .int("chunk_size", plan.chunk_size as u64)
+        .num("serial_total_secs", serial.total_time().as_secs_f64())
+        .num("serial_client_secs", serial.client_total.as_secs_f64())
+        .num("serial_ingest_secs", serial.server_ingest.as_secs_f64())
+        .num("serial_finish_secs", serial.server_finish.as_secs_f64())
+        .num("batched_total_secs", batched.total_time().as_secs_f64())
+        .num("batched_client_secs", batched.client_total.as_secs_f64())
+        .num("batched_ingest_secs", batched.server_ingest.as_secs_f64())
+        .num("batched_finish_secs", batched.server_finish.as_secs_f64())
+        .num("speedup_total", speedup)
+        .build()
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let serial = args.iter().any(|a| a == "--serial");
+    let emit_json = args.iter().any(|a| a == "--json");
+
     banner(
         "T1.time / T1.mem / T1.comm — Table 1 resource rows",
         "ours,[3]: O~(n) server, O~(1) user, O~(sqrt n) memory, O(1) comm; [4]: O(n) memory, O(n) per query",
+    );
+    println!(
+        "driver: {}\n",
+        if serial {
+            "serial (--serial)"
+        } else {
+            "batched parallel pipeline (default; pass --serial to compare)"
+        }
     );
     let bits = 20u32;
     let eps = 4.0;
@@ -41,7 +123,7 @@ fn main() {
 
         let p = SketchParams::optimal(n, bits, eps, beta);
         let mut s = ExpanderSketch::new(p, 1);
-        let run = run_heavy_hitter(&mut s, &data, 2);
+        let run = drive(&mut s, &data, 2, serial);
         t.row(&[
             "ours".into(),
             format!("2^{logn}"),
@@ -54,7 +136,7 @@ fn main() {
 
         let p = BitstogramParams::optimal(n, bits, eps, beta);
         let mut s = Bitstogram::new(p, 3);
-        let run = run_heavy_hitter(&mut s, &data, 4);
+        let run = drive(&mut s, &data, 4, serial);
         t.row(&[
             "bitstogram [3]".into(),
             format!("2^{logn}"),
@@ -70,7 +152,11 @@ fn main() {
         // slice and extrapolate.
         let mut o = BassilySmithOracle::new(1u64 << bits, eps, n, 5);
         let queries: Vec<u64> = (0..512u64).collect();
-        let run = run_oracle(&mut o, &data, &queries, 6);
+        let run = if serial {
+            run_oracle(&mut o, &data, &queries, 6)
+        } else {
+            run_oracle_batched(&mut o, &data, &queries, 6, &BatchPlan::default())
+        };
         let full_scan = run.query_total.as_secs_f64() / 512.0 * (1u64 << bits) as f64;
         t.row(&[
             "bassily-smith [4]".into(),
@@ -90,10 +176,51 @@ fn main() {
     }
     t.print();
     println!("\nnotes:");
+    if !serial {
+        println!("  - batched driver: user(mean) is the parallel respond phase's wall-clock / n,");
+        println!("    a lower bound on per-user compute at >1 thread; use --serial for the");
+        println!("    paper's per-user cost metric.");
+    }
     println!("  - [4]'s Table-1 entries (n^1.5 user, n^2.5 server, n^1.5 public coins)");
     println!("    assume explicitly materialized public randomness; our implementation");
     println!("    hash-compresses Phi (the option their footnote 2 concedes), so the");
     println!("    measured gap shows in memory (linear in n) and the scan-extrapolated");
     println!("    heavy-hitter search time (linear in |X|), not in raw report cost.");
     println!("  - ours/[3]: user time flat in n, memory ~sqrt(n) — the Table 1 shapes.");
+
+    if emit_json {
+        println!("\n— serial vs batched pipeline at n = 10^6 (planted workload) —\n");
+        let n = 1_000_000usize;
+        let workload = Workload::planted(1u64 << bits, vec![(0xBEEF, 0.3)]);
+        let data = workload.generate(n, 97);
+        let mut runs = Vec::new();
+
+        let p = SketchParams::optimal(n as u64, bits, eps, beta);
+        runs.push(compare_at_scale(
+            || ExpanderSketch::new(p.clone(), 11),
+            "expander_sketch",
+            &data,
+            12,
+        ));
+
+        let scan_domain = 1u64 << 16;
+        let scan_data: Vec<u64> = data.iter().map(|&x| x & (scan_domain - 1)).collect();
+        let sp = hh_core::baselines::ScanParams::new(n as u64, scan_domain, eps, beta);
+        runs.push(compare_at_scale(
+            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 13),
+            "scan",
+            &scan_data,
+            14,
+        ));
+
+        let doc = JsonObject::new()
+            .str("experiment", "table1_resources_serial_vs_batched")
+            .int("n", n as u64)
+            .int("hardware_threads", rayon::current_num_threads() as u64)
+            .str("workload", "planted(0.3 heavy over 2^20 / 2^16 domains)")
+            .raw("runs", json_array(runs))
+            .build();
+        std::fs::write("BENCH_table1.json", format!("{doc}\n")).expect("write BENCH_table1.json");
+        println!("\nwrote BENCH_table1.json");
+    }
 }

@@ -2,7 +2,9 @@
 //!
 //! The binaries in `src/bin/exp_*.rs` regenerate every quantitative claim
 //! of the paper (see EXPERIMENTS.md for the index); this library holds
-//! the table-printing and sweep plumbing they share.
+//! the table-printing, JSON-emission and sweep plumbing they share.
+
+use std::fmt::Write as _;
 
 /// A fixed-width text table writer for experiment output.
 #[derive(Debug)]
@@ -80,6 +82,80 @@ pub fn fmt_dur(d: std::time::Duration) -> String {
     }
 }
 
+/// A minimal JSON object builder for machine-readable bench output
+/// (`BENCH_*.json` files tracked across PRs for the perf trajectory).
+/// Hand-rolled on purpose: the build environment has no registry access,
+/// and the experiment output is flat key/value data.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    parts: Vec<String>,
+}
+
+impl JsonObject {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let mut escaped = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(escaped, "\\u{:04x}", c as u32);
+                }
+                c => escaped.push(c),
+            }
+        }
+        self.parts.push(format!("\"{key}\": \"{escaped}\""));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.parts.push(format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Add a float field (finite; NaN/inf are serialized as null).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        if value.is_finite() {
+            self.parts.push(format!("\"{key}\": {value}"));
+        } else {
+            self.parts.push(format!("\"{key}\": null"));
+        }
+        self
+    }
+
+    /// Add a pre-serialized JSON value (nested object or array).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.parts.push(format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Serialize.
+    pub fn build(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&self.parts.join(",\n"));
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Serialize a sequence of pre-built JSON values as an array.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    if items.is_empty() {
+        "[]".into()
+    } else {
+        format!("[\n{}\n]", items.join(",\n"))
+    }
+}
+
 /// Print an experiment banner with provenance info.
 pub fn banner(id: &str, claim: &str) {
     println!("==================================================================");
@@ -113,5 +189,27 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let mut t = Table::new(&["a"]);
         t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_object_serializes() {
+        let j = JsonObject::new()
+            .str("name", "table1 \"resources\"")
+            .int("n", 1_000_000)
+            .num("speedup", 2.5)
+            .num("bad", f64::NAN)
+            .raw("runs", json_array(vec!["{\n\"a\": 1\n}".into()]))
+            .build();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\": \"table1 \\\"resources\\\"\""));
+        assert!(j.contains("\"n\": 1000000"));
+        assert!(j.contains("\"speedup\": 2.5"));
+        assert!(j.contains("\"bad\": null"));
+        assert!(j.contains("\"runs\": [\n{\n\"a\": 1\n}\n]"));
+    }
+
+    #[test]
+    fn json_array_empty() {
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
     }
 }

@@ -61,14 +61,25 @@ impl ReedSolomon {
     /// `floor((n − k − erasures) / 2)`, or `None` if erasures alone exceed
     /// the distance budget.
     pub fn max_errors(&self, erasures: usize) -> Option<usize> {
-        (self.n - self.k).checked_sub(erasures).map(|slack| slack / 2)
+        (self.n - self.k)
+            .checked_sub(erasures)
+            .map(|slack| slack / 2)
     }
 
     /// Encode `k` message symbols (each `< 2^m`) into `n` codeword symbols.
     pub fn encode(&self, msg: &[u16]) -> Vec<u16> {
-        assert_eq!(msg.len(), self.k, "message must have k = {} symbols", self.k);
+        assert_eq!(
+            msg.len(),
+            self.k,
+            "message must have k = {} symbols",
+            self.k
+        );
         for &s in msg {
-            assert!(s < self.gf.size(), "symbol {s} outside GF(2^{})", self.gf.bits());
+            assert!(
+                s < self.gf.size(),
+                "symbol {s} outside GF(2^{})",
+                self.gf.bits()
+            );
         }
         self.points
             .iter()
@@ -101,7 +112,7 @@ impl ReedSolomon {
                 let disagreements = received
                     .iter()
                     .zip(&cw)
-                    .filter(|(r, c)| r.map_or(false, |v| v != **c))
+                    .filter(|(r, c)| r.is_some_and(|v| v != **c))
                     .count();
                 if disagreements <= e {
                     return Some(msg);
@@ -145,15 +156,15 @@ impl ReedSolomon {
             };
             mat.swap(rank, pr);
             let inv = gf.inv(mat[rank][col]);
-            for c in col..cols {
-                mat[rank][c] = gf.mul(mat[rank][c], inv);
+            for cell in mat[rank].iter_mut().skip(col) {
+                *cell = gf.mul(*cell, inv);
             }
-            for r in 0..t {
-                if r != rank && mat[r][col] != 0 {
-                    let f = mat[r][col];
-                    for c in col..cols {
-                        let sub = gf.mul(f, mat[rank][c]);
-                        mat[r][c] = gf.add(mat[r][c], sub);
+            let pivot_row = mat[rank].clone();
+            for (r, row) in mat.iter_mut().enumerate().take(t) {
+                if r != rank && row[col] != 0 {
+                    let f = row[col];
+                    for (cell, &pv) in row.iter_mut().zip(&pivot_row).skip(col) {
+                        *cell = gf.add(*cell, gf.mul(f, pv));
                     }
                 }
             }
@@ -331,7 +342,7 @@ mod tests {
                 let dis = received
                     .iter()
                     .zip(&recw)
-                    .filter(|(r, c)| r.map_or(false, |v| v != **c))
+                    .filter(|(r, c)| r.is_some_and(|v| v != **c))
                     .count();
                 assert!(dis <= 4, "returned word outside claimed radius");
                 junk_accepted += 1;

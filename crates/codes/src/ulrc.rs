@@ -105,7 +105,10 @@ impl UniqueListCode {
             params.domain_bits,
             params.num_coords
         );
-        assert!(params.num_coords * params.degree % 2 == 0, "M*d must be even");
+        assert!(
+            (params.num_coords * params.degree).is_multiple_of(2),
+            "M*d must be even"
+        );
         let max_alpha_erasures = (params.num_coords - k) as f64 / params.num_coords as f64;
         assert!(
             params.alpha <= max_alpha_erasures,
@@ -228,7 +231,12 @@ impl UniqueListCode {
     pub fn encode(&self, x: u64) -> Vec<(u64, u64)> {
         let cw = self.rs.encode(&self.message_symbols(x));
         (0..self.params.num_coords)
-            .map(|m| (self.coord_hash(m, x), self.enc_tilde_with_codeword(&cw, x, m)))
+            .map(|m| {
+                (
+                    self.coord_hash(m, x),
+                    self.enc_tilde_with_codeword(&cw, x, m),
+                )
+            })
             .collect()
     }
 
@@ -370,7 +378,7 @@ mod tests {
             })
             .collect();
         let mut lists: Vec<Vec<(u64, u64)>> = vec![Vec::new(); m_coords];
-        for m in 0..m_coords {
+        for (m, list) in lists.iter_mut().enumerate() {
             let mut used: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
             for (i, &x) in xs.iter().enumerate() {
                 if drops[i].contains(&m) {
@@ -379,13 +387,13 @@ mod tests {
                 let y = c.coord_hash(m, x);
                 if let Some(&other) = used.get(&y) {
                     // y-collision: coordinate becomes bad for both messages.
-                    lists[m].retain(|&(yy, _)| yy != y);
+                    list.retain(|&(yy, _)| yy != y);
                     drops[other].insert(m);
                     drops[i].insert(m);
                     continue;
                 }
                 used.insert(y, i);
-                lists[m].push((y, c.enc_tilde(x, m)));
+                list.push((y, c.enc_tilde(x, m)));
             }
         }
         let drop_counts = drops.iter().map(|s| s.len()).collect();
@@ -490,7 +498,10 @@ mod tests {
                 );
             }
         }
-        assert!(in_contract >= 4, "test degenerated: only {in_contract} in contract");
+        assert!(
+            in_contract >= 4,
+            "test degenerated: only {in_contract} in contract"
+        );
     }
 
     #[test]

@@ -89,9 +89,18 @@ impl HeavyHitterProtocol for BassilySmithHeavyHitters {
         self.oracle.respond(user_index, x, rng)
     }
 
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<BsReport> {
+        self.oracle.respond_batch(start_index, xs, client_seed)
+    }
+
     fn collect(&mut self, user_index: u64, report: BsReport) {
         assert!(!self.finished, "collect after finish");
         self.oracle.collect(user_index, report);
+    }
+
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<BsReport>) {
+        assert!(!self.finished, "collect after finish");
+        self.oracle.collect_batch(start_index, reports);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
@@ -144,7 +153,11 @@ mod tests {
         use rand::Rng;
         let heavy = 321u64;
         for i in 0..n {
-            let x = if i % 2 == 0 { heavy } else { rng.gen_range(0..domain) };
+            let x = if i % 2 == 0 {
+                heavy
+            } else {
+                rng.gen_range(0..domain)
+            };
             let rep = server.respond(i, x, &mut rng);
             server.collect(i, rep);
         }

@@ -22,7 +22,7 @@ use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport};
 use hh_freq::traits::FrequencyOracle;
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash};
-use hh_math::rng::derive_seed;
+use hh_math::rng::{client_rng, derive_seed};
 use rand::Rng;
 
 /// Configuration of the [`Bitstogram`] baseline.
@@ -142,8 +142,7 @@ impl Bitstogram {
         let hashes = (0..params.repetitions as u64)
             .map(|t| family.pairwise(labels::BITSTOGRAM_REP, t, params.hash_range))
             .collect();
-        let inner_proto =
-            Hashtogram::new(params.inner_oracle_params(), derive_seed(seed, 0xB175));
+        let inner_proto = Hashtogram::new(params.inner_oracle_params(), derive_seed(seed, 0xB175));
         let outer = Hashtogram::new(params.outer_oracle_params(), derive_seed(seed, 0x0074));
         let inner_reports = vec![Vec::new(); params.num_groups()];
         Self {
@@ -162,10 +161,26 @@ impl Bitstogram {
         &self.params
     }
 
+    /// The derivation seed of the public group assignment (hoistable by
+    /// batch paths; one value per protocol instance).
+    fn assignment_seed(&self) -> u64 {
+        derive_seed(self.seed, 0x617)
+    }
+
+    /// The group of `user_index` under a hoisted assignment seed — the
+    /// single definition both [`Bitstogram::group_of`] and the batch path
+    /// go through, so they cannot diverge.
+    fn group_at(assignment_seed: u64, user_index: u64, num_groups: u64) -> usize {
+        (derive_seed(assignment_seed, user_index) % num_groups) as usize
+    }
+
     /// Public group assignment `i ↦ (t, m)` flattened.
     pub fn group_of(&self, user_index: u64) -> usize {
-        (derive_seed(derive_seed(self.seed, 0x617), user_index)
-            % self.params.num_groups() as u64) as usize
+        Self::group_at(
+            self.assignment_seed(),
+            user_index,
+            self.params.num_groups() as u64,
+        )
     }
 
     /// The inner cell reported by a user holding `x` in group `(t, m)`.
@@ -191,11 +206,48 @@ impl HeavyHitterProtocol for Bitstogram {
         }
     }
 
+    fn respond_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+    ) -> Vec<BitstogramReport> {
+        // Inlined `respond` with the group-assignment seed hoisted; the
+        // per-user draw order (inner report, then outer report) matches
+        // the scalar path exactly.
+        let group_seed = self.assignment_seed();
+        let num_groups = self.params.num_groups() as u64;
+        let mut out = Vec::with_capacity(xs.len());
+        for (k, &x) in xs.iter().enumerate() {
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let group = Self::group_at(group_seed, i, num_groups);
+            let cell = self.cell_of(group, x);
+            out.push(BitstogramReport {
+                group: group as u32,
+                inner: self.inner_proto.respond(i, cell, &mut rng),
+                outer: self.outer.respond(i, x, &mut rng),
+            });
+        }
+        out
+    }
+
     fn collect(&mut self, user_index: u64, report: BitstogramReport) {
         assert!(!self.finished, "collect after finish");
         debug_assert_eq!(report.group as usize, self.group_of(user_index));
         self.inner_reports[report.group as usize].push((user_index, report.inner));
         self.outer.collect(user_index, report.outer);
+    }
+
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<BitstogramReport>) {
+        assert!(!self.finished, "collect after finish");
+        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+        for (k, rep) in reports.iter().enumerate() {
+            let i = start_index + k as u64;
+            debug_assert_eq!(rep.group as usize, self.group_of(i));
+            self.inner_reports[rep.group as usize].push((i, rep.inner));
+        }
+        self.outer.collect_batch(start_index, outer);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
@@ -217,9 +269,7 @@ impl HeavyHitterProtocol for Bitstogram {
                     oracle.collect(user, rep);
                 }
                 oracle.finalize();
-                estimates.push(
-                    (0..p.inner_cells()).map(|c| oracle.estimate(c)).collect(),
-                );
+                estimates.push((0..p.inner_cells()).map(|c| oracle.estimate(c)).collect());
             }
             for y in 0..p.hash_range {
                 let mut x = 0u64;

@@ -85,9 +85,23 @@ impl HeavyHitterProtocol for ScanHeavyHitters {
         self.oracle.respond(user_index, x, rng)
     }
 
+    fn respond_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+    ) -> Vec<HashtogramReport> {
+        self.oracle.respond_batch(start_index, xs, client_seed)
+    }
+
     fn collect(&mut self, user_index: u64, report: HashtogramReport) {
         assert!(!self.finished, "collect after finish");
         self.oracle.collect(user_index, report);
+    }
+
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<HashtogramReport>) {
+        assert!(!self.finished, "collect after finish");
+        self.oracle.collect_batch(start_index, reports);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {

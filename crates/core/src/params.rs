@@ -242,7 +242,12 @@ mod tests {
 
     #[test]
     fn optimal_profile_is_feasible() {
-        for &(n, bits) in &[(1u64 << 12, 16u32), (1 << 16, 24), (1 << 20, 32), (1 << 16, 40)] {
+        for &(n, bits) in &[
+            (1u64 << 12, 16u32),
+            (1 << 16, 24),
+            (1 << 20, 32),
+            (1 << 16, 40),
+        ] {
             let p = SketchParams::optimal(n, bits, 1.0, 0.05);
             assert!(p.num_coords <= 15);
             assert!(

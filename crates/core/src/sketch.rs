@@ -29,7 +29,7 @@ use hh_freq::hashtogram::{Hashtogram, HashtogramReport};
 use hh_freq::traits::FrequencyOracle;
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
-use hh_math::rng::derive_seed;
+use hh_math::rng::{client_rng, derive_seed};
 use rand::Rng;
 
 /// The single message a user sends: her coordinate report and her final
@@ -95,13 +95,27 @@ impl ExpanderSketch {
         &self.params
     }
 
+    /// The derivation seed of the public partition (hoistable by batch
+    /// paths; one value per sketch instance).
+    fn partition_seed(&self) -> u64 {
+        derive_seed(self.seed, labels::SKETCH_PARTITION)
+    }
+
+    /// The coordinate of `user_index` under a hoisted partition seed —
+    /// the single definition both [`ExpanderSketch::coord_of`] and the
+    /// batch path go through, so they cannot diverge.
+    fn coord_at(partition_seed: u64, user_index: u64, num_coords: u64) -> usize {
+        (derive_seed(partition_seed, user_index) % num_coords) as usize
+    }
+
     /// The public coordinate assignment `i ↦ m` (the random partition
     /// `I_1, …, I_M`).
     pub fn coord_of(&self, user_index: u64) -> usize {
-        (derive_seed(
-            derive_seed(self.seed, labels::SKETCH_PARTITION),
+        Self::coord_at(
+            self.partition_seed(),
             user_index,
-        ) % self.params.num_coords as u64) as usize
+            self.params.num_coords as u64,
+        )
     }
 
     /// The group hash `g(x) ∈ [B]`.
@@ -123,15 +137,14 @@ impl ExpanderSketch {
         let p = &self.params;
         let tau = p.standout_threshold();
         let z_card = p.z_cardinality();
-        let mut lists =
-            vec![vec![Vec::new(); p.num_coords]; p.num_buckets as usize];
-        for m in 0..p.num_coords {
+        let mut lists = vec![vec![Vec::new(); p.num_coords]; p.num_buckets as usize];
+        for (m, reports_m) in self.inner_reports.iter().enumerate() {
             // Materialize coordinate m's oracle, ingest its reports, scan.
             let mut oracle = self.inner_proto.clone();
-            for &(user, rep) in &self.inner_reports[m] {
+            for &(user, rep) in reports_m {
                 oracle.collect(user, rep);
             }
-            let n_m = self.inner_reports[m].len() as f64;
+            let n_m = reports_m.len() as f64;
             if n_m == 0.0 {
                 continue;
             }
@@ -173,12 +186,51 @@ impl HeavyHitterProtocol for ExpanderSketch {
         }
     }
 
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<SketchReport> {
+        // Inlined `respond` with the partition component seed hoisted out
+        // of the loop; draw order per user is identical (inner report,
+        // then outer report, from the user's derived stream).
+        let part_seed = self.partition_seed();
+        let num_coords = self.params.num_coords as u64;
+        let mut out = Vec::with_capacity(xs.len());
+        for (k, &x) in xs.iter().enumerate() {
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let m = Self::coord_at(part_seed, i, num_coords);
+            let cell = self.cell_of(m, x);
+            let inner = self.inner_proto.respond(i, cell, &mut rng);
+            let outer = self.outer.respond(i, x, &mut rng);
+            out.push(SketchReport {
+                coord: m as u16,
+                inner,
+                outer,
+            });
+        }
+        out
+    }
+
     fn collect(&mut self, user_index: u64, report: SketchReport) {
         assert!(!self.finished, "collect after finish");
         debug_assert_eq!(report.coord as usize, self.coord_of(user_index));
         self.inner_reports[report.coord as usize].push((user_index, report.inner));
         self.outer.collect(user_index, report.outer);
         self.users_seen += 1;
+    }
+
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<SketchReport>) {
+        assert!(!self.finished, "collect after finish");
+        // Inner reports are buffered per coordinate in arrival order (the
+        // coordinate oracles ingest them at finish through order-exact
+        // integer tallies); the outer oracle takes the whole range through
+        // its sharded parallel ingest.
+        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+        for (k, rep) in reports.iter().enumerate() {
+            let i = start_index + k as u64;
+            debug_assert_eq!(rep.coord as usize, self.coord_of(i));
+            self.inner_reports[rep.coord as usize].push((i, rep.inner));
+        }
+        self.users_seen += reports.len() as u64;
+        self.outer.collect_batch(start_index, outer);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
@@ -364,7 +416,11 @@ mod tests {
         let p = SketchParams::optimal(1 << 16, 24, 1.0, 0.05);
         let server = ExpanderSketch::new(p, 3);
         // Two Hadamard reports: well under 64 bits total payload.
-        assert!(server.report_bits() <= 64, "bits = {}", server.report_bits());
+        assert!(
+            server.report_bits() <= 64,
+            "bits = {}",
+            server.report_bits()
+        );
     }
 
     #[test]

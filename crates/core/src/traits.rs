@@ -1,6 +1,22 @@
 //! The protocol interface shared by `PrivateExpanderSketch` and its
 //! baselines.
+//!
+//! The interface is **batch-first**: drivers hand protocols whole slices
+//! of users at once ([`HeavyHitterProtocol::respond_batch`] /
+//! [`HeavyHitterProtocol::collect_batch`]), and protocols are free to
+//! ingest them with sharded parallel accumulators. The per-user methods
+//! remain the semantic ground truth — the batch methods have default
+//! implementations that delegate to them, and every override must be
+//! observationally identical (the `batch_equivalence` integration tests
+//! enforce this bit-for-bit).
+//!
+//! Reproducibility contract: user `i`'s client coins are always the
+//! stream [`hh_math::rng::client_rng`]`(client_seed, i)` — a pure
+//! function of the run seed and the user index — so the reports (and
+//! therefore the output of `finish`) do not depend on chunk boundaries,
+//! thread count, or processing order.
 
+use hh_math::rng::client_rng;
 use rand::Rng;
 
 /// A one-round LDP heavy-hitters protocol (Definition 3.1).
@@ -15,8 +31,38 @@ pub trait HeavyHitterProtocol {
     /// Client: user `user_index` holding `x` produces her message.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
 
+    /// Client, batched: produce the messages of the contiguous user range
+    /// `start_index .. start_index + xs.len()` holding inputs `xs`.
+    ///
+    /// User `start_index + k` must receive exactly the coins
+    /// [`client_rng`]`(client_seed, start_index + k)` — the default does —
+    /// so any chunking of the population produces identical reports.
+    /// Overrides may hoist per-call work but must preserve this contract.
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report> {
+        xs.iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                let i = start_index + k as u64;
+                self.respond(i, x, &mut client_rng(client_seed, i))
+            })
+            .collect()
+    }
+
     /// Server: ingest one message.
     fn collect(&mut self, user_index: u64, report: Self::Report);
+
+    /// Server, batched: ingest the messages of the contiguous user range
+    /// `start_index .. start_index + reports.len()`.
+    ///
+    /// Must leave the server in a state observationally identical to
+    /// per-user [`HeavyHitterProtocol::collect`] calls (the default).
+    /// Overrides may ingest through sharded accumulators in parallel as
+    /// long as the merge is order-exact (integer tallies, not floats).
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>) {
+        for (k, report) in reports.into_iter().enumerate() {
+            self.collect(start_index + k as u64, report);
+        }
+    }
 
     /// Server: run the aggregation/decoding pipeline; returns the
     /// estimated heavy-hitter list `Est = {(x, f̂_S(x))}`, sorted by

@@ -20,6 +20,7 @@ use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
+use hh_math::par::par_chunk_map;
 use rand::Rng;
 
 /// Bassily–Smith-style JL projection oracle.
@@ -34,7 +35,10 @@ pub struct BassilySmithOracle {
     /// independence across columns within a row suffices for the
     /// concentration the analysis needs.
     sign: KWiseHash,
-    /// Debiased projection accumulator ĝ (length w).
+    /// Per-row ±1 report tallies (before finalize). Integer, so sharded
+    /// parallel ingest merges exactly — see the Hashtogram tallies note.
+    tallies: Vec<i64>,
+    /// Debiased projection accumulator ĝ (length w, built by finalize).
     acc: Vec<f64>,
     total: u64,
     finalized: bool,
@@ -52,7 +56,8 @@ impl BassilySmithOracle {
             w,
             rr: BinaryRandomizedResponse::new(eps),
             sign: family.kwise(labels::BS_PROJECTION, 0, 20, 1 << 32),
-            acc: vec![0.0; w as usize],
+            tallies: vec![0i64; w as usize],
+            acc: Vec::new(),
             total: 0,
             finalized: false,
         }
@@ -62,7 +67,9 @@ impl BassilySmithOracle {
     #[inline]
     pub fn phi(&self, j: u64, x: u64) -> f64 {
         // Mix row and column through the k-wise hash; take one bit.
-        let v = self.sign.hash(j.wrapping_mul(0x9E37_79B9).wrapping_add(x) % ((1 << 48) - 59));
+        let v = self
+            .sign
+            .hash(j.wrapping_mul(0x9E37_79B9).wrapping_add(x) % ((1 << 48) - 59));
         if v & 1 == 0 {
             1.0
         } else {
@@ -96,13 +103,39 @@ impl FrequencyOracle for BassilySmithOracle {
 
     fn collect(&mut self, _user_index: u64, report: BsReport) {
         assert!(!self.finalized);
-        // Each user contributes c_ε·(±1) to her sampled row; the factor w
-        // undoes the row subsampling.
-        self.acc[report.row as usize] += self.rr.debias_factor() * f64::from(report.bit);
+        // Each user contributes c_ε·(±1) to her sampled row (the debias
+        // factor is applied at finalize over the exact integer tally).
+        self.tallies[report.row as usize] += i64::from(report.bit);
         self.total += 1;
     }
 
+    fn collect_batch(&mut self, _start_index: u64, reports: Vec<BsReport>) {
+        assert!(!self.finalized);
+        let w = self.w as usize;
+        let chunk = reports
+            .len()
+            .div_ceil(rayon::current_num_threads())
+            .max(4096);
+        let shards = par_chunk_map(&reports, chunk, 0, |_, reps| {
+            let mut tallies = vec![0i64; w];
+            for rep in reps {
+                tallies[rep.row as usize] += i64::from(rep.bit);
+            }
+            tallies
+        });
+        for shard in shards {
+            for (acc, add) in self.tallies.iter_mut().zip(&shard) {
+                *acc += add;
+            }
+        }
+        self.total += reports.len() as u64;
+    }
+
     fn finalize(&mut self) {
+        assert!(!self.finalized, "double finalize");
+        let c = self.rr.debias_factor();
+        self.acc = self.tallies.iter().map(|&t| c * t as f64).collect();
+        self.tallies = Vec::new();
         self.finalized = true;
     }
 
@@ -123,7 +156,7 @@ impl FrequencyOracle for BassilySmithOracle {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.acc.len() * std::mem::size_of::<f64>()
+        self.w as usize * std::mem::size_of::<f64>()
     }
 
     fn epsilon(&self) -> f64 {
@@ -166,6 +199,14 @@ mod tests {
             sum += oracle.phi(t % 256, t / 256);
         }
         assert!((sum / trials as f64).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "double finalize")]
+    fn double_finalize_panics() {
+        let mut oracle = BassilySmithOracle::new(1 << 10, 1.0, 64, 5);
+        oracle.finalize();
+        oracle.finalize();
     }
 
     #[test]

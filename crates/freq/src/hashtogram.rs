@@ -30,6 +30,8 @@ use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
+use hh_math::par::par_chunk_map;
+use hh_math::rng::{client_rng, derive_seed};
 use hh_math::stats::median;
 use hh_math::wht::{fwht, hadamard_entry};
 use rand::Rng;
@@ -127,8 +129,15 @@ pub struct Hashtogram {
     bucket_hashes: Vec<PairwiseHash>,
     sign_hashes: Vec<SignHash>,
     rr: BinaryRandomizedResponse,
-    /// Per-group accumulators over Hadamard rows (before finalize) /
-    /// bucket estimates (after finalize).
+    /// Per-group ±1 report tallies over Hadamard rows (before finalize).
+    ///
+    /// Integers, not debiased floats: integer addition is associative, so
+    /// ingesting reports in *any* order — including merging sharded
+    /// partial tallies from parallel `collect_batch` — leaves bit-for-bit
+    /// identical state. The debias factor is a constant multiplier and is
+    /// applied once at finalization.
+    tallies: Vec<Vec<i64>>,
+    /// Per-group bucket estimates (populated by finalize).
     acc: Vec<Vec<f64>>,
     /// Users seen per group.
     group_counts: Vec<u64>,
@@ -157,7 +166,7 @@ impl Hashtogram {
             .map(|r| family.sign(labels::HASHTOGRAM_BUCKET + 1000, r))
             .collect();
         let rr = BinaryRandomizedResponse::new(params.eps);
-        let acc = vec![vec![0.0; params.buckets as usize]; params.groups];
+        let tallies = vec![vec![0i64; params.buckets as usize]; params.groups];
         let group_counts = vec![0; params.groups];
         Self {
             params,
@@ -165,7 +174,8 @@ impl Hashtogram {
             bucket_hashes,
             sign_hashes,
             rr,
-            acc,
+            tallies,
+            acc: Vec::new(),
             group_counts,
             total_users: 0,
             finalized: false,
@@ -177,12 +187,26 @@ impl Hashtogram {
         &self.params
     }
 
+    /// The derivation seed of the public group assignment (hoistable by
+    /// batch paths; one value per oracle instance).
+    fn assignment_seed(&self) -> u64 {
+        self.family.component_seed(labels::HASHTOGRAM_ASSIGN, 0)
+    }
+
+    /// The group of `user_index` under a hoisted assignment seed — the
+    /// single definition both [`Hashtogram::group_of`] and the batch
+    /// paths go through, so they cannot diverge.
+    fn group_at(assignment_seed: u64, user_index: u64, groups: u64) -> u32 {
+        (derive_seed(assignment_seed, user_index) % groups) as u32
+    }
+
     /// The public group assignment of a user (uniform via seed mixing).
     pub fn group_of(&self, user_index: u64) -> u32 {
-        (hh_math::rng::derive_seed(
-            self.family.component_seed(labels::HASHTOGRAM_ASSIGN, 0),
+        Self::group_at(
+            self.assignment_seed(),
             user_index,
-        ) % self.params.groups as u64) as u32
+            self.params.groups as u64,
+        )
     }
 
     /// Bucket of `x` in group `r`.
@@ -234,23 +258,104 @@ impl FrequencyOracle for Hashtogram {
         }
     }
 
+    fn respond_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+    ) -> Vec<HashtogramReport> {
+        // Same per-user draws as `respond` with the contract's derived
+        // streams, with the group-assignment component seed hoisted out of
+        // the loop (it costs two SplitMix hops per user in the scalar
+        // path).
+        let assign_seed = self.assignment_seed();
+        let groups = self.params.groups as u64;
+        let buckets = self.params.buckets;
+        let mut out = Vec::with_capacity(xs.len());
+        for (k, &x) in xs.iter().enumerate() {
+            assert!(x < self.params.domain, "input {x} outside domain");
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let group = Self::group_at(assign_seed, i, groups);
+            let b = self.bucket(group, x);
+            let s = self.sign(group, x);
+            let ell = rng.gen_range(0..buckets);
+            let true_pm = i64::from(hadamard_entry(ell, b)) * s;
+            let true_bit = u64::from(true_pm > 0);
+            let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
+            out.push(HashtogramReport {
+                group,
+                ell,
+                bit: if sent == 1 { 1 } else { -1 },
+            });
+        }
+        out
+    }
+
     fn collect(&mut self, user_index: u64, report: HashtogramReport) {
         assert!(!self.finalized, "collect after finalize");
         debug_assert_eq!(report.group, self.group_of(user_index));
-        let c = self.rr.debias_factor();
-        self.acc[report.group as usize][report.ell as usize] += c * f64::from(report.bit);
+        self.tallies[report.group as usize][report.ell as usize] += i64::from(report.bit);
         self.group_counts[report.group as usize] += 1;
         self.total_users += 1;
     }
 
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<HashtogramReport>) {
+        assert!(!self.finalized, "collect after finalize");
+        if cfg!(debug_assertions) {
+            for (k, rep) in reports.iter().enumerate() {
+                debug_assert_eq!(rep.group, self.group_of(start_index + k as u64));
+            }
+        }
+        // Sharded parallel ingest: each chunk folds into its own zeroed
+        // tally shard; shards merge by integer addition, which is exact
+        // and order-invariant, so the final state is identical for every
+        // chunk and thread count (and to serial per-report collect).
+        let groups = self.params.groups;
+        let buckets = self.params.buckets as usize;
+        let chunk = reports
+            .len()
+            .div_ceil(rayon::current_num_threads())
+            .max(4096);
+        let shards = par_chunk_map(&reports, chunk, 0, |_, reps| {
+            let mut tallies = vec![0i64; groups * buckets];
+            let mut counts = vec![0u64; groups];
+            for rep in reps {
+                tallies[rep.group as usize * buckets + rep.ell as usize] += i64::from(rep.bit);
+                counts[rep.group as usize] += 1;
+            }
+            (tallies, counts)
+        });
+        for (tallies, counts) in shards {
+            for g in 0..groups {
+                let row = &mut self.tallies[g];
+                for (acc, add) in row.iter_mut().zip(&tallies[g * buckets..(g + 1) * buckets]) {
+                    *acc += add;
+                }
+                self.group_counts[g] += counts[g];
+            }
+        }
+        self.total_users += reports.len() as u64;
+    }
+
     fn finalize(&mut self) {
         assert!(!self.finalized, "double finalize");
-        for row in self.acc.iter_mut() {
-            // WHT turns accumulated coefficients into per-bucket sums:
-            // each user contributes (in expectation) W * (1/W) * 1 to her
-            // bucket via the orthogonality of Hadamard rows.
-            fwht(row);
-        }
+        let c = self.rr.debias_factor();
+        self.acc = self
+            .tallies
+            .iter()
+            .map(|row| {
+                // Debias once per cell (constant multiplier over the exact
+                // integer tally), then the WHT turns accumulated
+                // coefficients into per-bucket sums: each user contributes
+                // (in expectation) W * (1/W) * 1 to her bucket via the
+                // orthogonality of Hadamard rows.
+                let mut out: Vec<f64> = row.iter().map(|&t| c * t as f64).collect();
+                fwht(&mut out);
+                out
+            })
+            .collect();
+        self.tallies = Vec::new();
         self.finalized = true;
     }
 
@@ -335,7 +440,9 @@ mod tests {
             oracle.estimate(7)
         );
         assert!((oracle.estimate(42) - true42).abs() < tol);
-        assert!((oracle.estimate(13) - data.iter().filter(|&&x| x == 13).count() as f64).abs() < tol);
+        assert!(
+            (oracle.estimate(13) - data.iter().filter(|&&x| x == 13).count() as f64).abs() < tol
+        );
     }
 
     #[test]
@@ -345,10 +452,17 @@ mod tests {
         let hx = 0x23_4567_89ABu64; // fits in 38 bits
         let data = planted_data(n, domain, &[(hx, 0.25)], 3);
         let truth = data.iter().filter(|&&x| x == hx).count() as f64;
-        let oracle = run(HashtogramParams::hashed(n as u64, domain, 1.0, 0.05), &data, 4);
+        let oracle = run(
+            HashtogramParams::hashed(n as u64, domain, 1.0, 0.05),
+            &data,
+            4,
+        );
         let tol = oracle.params().error_bound(n as u64, 0.01);
         let est = oracle.estimate(hx);
-        assert!((est - truth).abs() < tol, "est {est} vs {truth} (tol {tol})");
+        assert!(
+            (est - truth).abs() < tol,
+            "est {est} vs {truth} (tol {tol})"
+        );
         // A random absent element estimates near zero.
         let est0 = oracle.estimate(999_999_999);
         assert!(est0.abs() < tol, "absent element estimate {est0}");

@@ -58,7 +58,8 @@ impl FrequencyOracle for KrrOracle {
 
     fn estimate(&self, x: u64) -> f64 {
         assert!(self.finalized, "estimate before finalize");
-        self.grr.debias(self.counts[x as usize] as f64, self.total as f64)
+        self.grr
+            .debias(self.counts[x as usize] as f64, self.total as f64)
     }
 
     fn report_bits(&self) -> usize {

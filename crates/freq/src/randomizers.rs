@@ -59,6 +59,20 @@ impl LocalRandomizer for BinaryRandomizedResponse {
         }
     }
 
+    fn sample_batch<R: Rng + ?Sized>(&self, xs: &[RandomizerInput], rng: &mut R) -> Vec<u64> {
+        // Branch-light bulk path: one uniform draw per input, flip by
+        // comparison. Draw order matches repeated `sample` calls, so the
+        // output stream is identical to the default implementation.
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            out.push(match x {
+                RandomizerInput::Value(v) => (v & 1) ^ u64::from(rng.gen::<f64>() >= self.keep),
+                RandomizerInput::Null => rng.gen_range(0..2),
+            });
+        }
+        out
+    }
+
     fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
         assert!(y < 2, "binary output expected");
         match x {
@@ -205,7 +219,7 @@ impl LocalRandomizer for HadamardResponse {
                 let bit = self.rr.sample(RandomizerInput::Value(true_bit), rng);
                 2 * ell + bit
             }
-            RandomizerInput::Null => 2 * ell + rng.gen_range(0..2),
+            RandomizerInput::Null => 2 * ell + rng.gen_range(0..2u64),
         }
     }
 
@@ -362,8 +376,7 @@ impl DiscreteGaussianRandomizer {
     pub fn exact_delta(&self, eps: f64) -> f64 {
         let p0 = self.distribution(RandomizerInput::Value(0));
         let p1 = self.distribution(RandomizerInput::Value(1));
-        hh_math::info::hockey_stick(&p0, &p1, eps)
-            .max(hh_math::info::hockey_stick(&p1, &p0, eps))
+        hh_math::info::hockey_stick(&p0, &p1, eps).max(hh_math::info::hockey_stick(&p1, &p0, eps))
     }
 
     /// Noise scale.
@@ -448,6 +461,29 @@ mod tests {
     }
 
     #[test]
+    fn sample_batch_matches_repeated_sample() {
+        // The bulk path must reproduce the scalar draw stream exactly,
+        // for both the overridden (BinaryRandomizedResponse) and default
+        // (GeneralizedRandomizedResponse, HadamardResponse) impls.
+        let inputs: Vec<RandomizerInput> = (0..200u64)
+            .map(|i| match i % 3 {
+                0 => RandomizerInput::Null,
+                1 => RandomizerInput::Value(0),
+                _ => RandomizerInput::Value(1),
+            })
+            .collect();
+        fn check<A: LocalRandomizer>(a: &A, inputs: &[RandomizerInput], seed: u64) {
+            let batch = a.sample_batch(inputs, &mut SmallRng::seed_from_u64(seed));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let scalar: Vec<u64> = inputs.iter().map(|&x| a.sample(x, &mut rng)).collect();
+            assert_eq!(batch, scalar);
+        }
+        check(&BinaryRandomizedResponse::new(0.7), &inputs, 11);
+        check(&GeneralizedRandomizedResponse::new(2, 1.0), &inputs, 12);
+        check(&HadamardResponse::new(2, 0.5), &inputs, 13);
+    }
+
+    #[test]
     fn binary_rr_debias_is_unbiased() {
         let eps = 1.0;
         let rr = BinaryRandomizedResponse::new(eps);
@@ -479,7 +515,7 @@ mod tests {
         let g = GeneralizedRandomizedResponse::new(5, 1.0);
         let mut rng = SmallRng::seed_from_u64(2);
         let trials = 300_000u64;
-        let mut counts = vec![0u64; 5];
+        let mut counts = [0u64; 5];
         for _ in 0..trials {
             counts[g.sample(RandomizerInput::Value(2), &mut rng) as usize] += 1;
         }
@@ -497,7 +533,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 40_000u64;
         // 70% of users hold 3, 30% hold 5.
-        let mut counts = vec![0u64; 8];
+        let mut counts = [0u64; 8];
         for i in 0..n {
             let x = if i % 10 < 7 { 3 } else { 5 };
             counts[g.sample(RandomizerInput::Value(x), &mut rng) as usize] += 1;
@@ -525,7 +561,7 @@ mod tests {
         let h = HadamardResponse::new(8, 1.0);
         let mut rng = SmallRng::seed_from_u64(4);
         let trials = 400_000u64;
-        let mut counts = vec![0u64; 16];
+        let mut counts = [0u64; 16];
         for _ in 0..trials {
             counts[h.sample(RandomizerInput::Value(5), &mut rng) as usize] += 1;
         }

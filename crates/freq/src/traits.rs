@@ -1,5 +1,11 @@
 //! Core protocol abstractions.
+//!
+//! Both traits here are **batch-first** (see `hh_core::traits` for the
+//! full contract): the batch methods default to per-item delegation, and
+//! overrides must be observationally identical while being free to
+//! vectorize or ingest through sharded parallel accumulators.
 
+use hh_math::rng::client_rng;
 use rand::Rng;
 
 /// Input to a local randomizer: a real domain element or the null symbol
@@ -35,6 +41,18 @@ pub trait LocalRandomizer {
     /// `ln Pr[A(x) = y]`.
     fn log_density(&self, x: RandomizerInput, y: u64) -> f64;
 
+    /// Draw one output per input, sharing `rng` sequentially.
+    ///
+    /// Draw-order identical to repeated [`LocalRandomizer::sample`]
+    /// calls (the default — overrides may batch the arithmetic but must
+    /// preserve the output stream). This is the bulk entry point for
+    /// simulation-side consumers that draw many samples from one stream,
+    /// e.g. GenProt's public candidate lists; the per-user protocol path
+    /// keeps per-user coin streams instead.
+    fn sample_batch<R: Rng + ?Sized>(&self, xs: &[RandomizerInput], rng: &mut R) -> Vec<u64> {
+        xs.iter().map(|&x| self.sample(x, rng)).collect()
+    }
+
     /// The pure-DP parameter the randomizer claims (`f64::INFINITY` for
     /// approximate-only randomizers).
     fn claimed_epsilon(&self) -> f64;
@@ -65,8 +83,33 @@ pub trait FrequencyOracle {
     /// Client-side: user `user_index` holding `x` produces her report.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
 
+    /// Client-side, batched: reports of the contiguous user range
+    /// `start_index .. start_index + xs.len()`, where user
+    /// `start_index + k` draws her coins from
+    /// [`client_rng`]`(client_seed, start_index + k)` — the same contract
+    /// as `hh_core::traits::HeavyHitterProtocol::respond_batch`.
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report> {
+        xs.iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                let i = start_index + k as u64;
+                self.respond(i, x, &mut client_rng(client_seed, i))
+            })
+            .collect()
+    }
+
     /// Server-side: ingest one report.
     fn collect(&mut self, user_index: u64, report: Self::Report);
+
+    /// Server-side, batched ingest of a contiguous user range. Must be
+    /// observationally identical to per-report
+    /// [`FrequencyOracle::collect`] calls (the default); overrides may
+    /// use sharded parallel accumulators with order-exact merges.
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>) {
+        for (k, report) in reports.into_iter().enumerate() {
+            self.collect(start_index + k as u64, report);
+        }
+    }
 
     /// Server-side: finish ingestion (e.g. apply the inverse transform).
     /// Must be called before [`FrequencyOracle::estimate`].

@@ -87,7 +87,7 @@ pub fn best_sweep_cut(g: &Graph, seed: u64) -> Option<(Vec<u32>, f64)> {
             continue;
         }
         let phi = boundary as f64 / denom as f64;
-        if best.map_or(true, |(_, b)| phi < b) {
+        if best.is_none_or(|(_, b)| phi < b) {
             best = Some((idx, phi));
         }
     }
@@ -221,6 +221,24 @@ pub fn is_eta_cluster_sampled(g: &Graph, w: &[u32], eta: f64, samples: usize, se
             return false;
         }
     }
+    // Fiedler sweep cuts of the induced subgraph. Subset-condition
+    // violations are witnessed by sparse cuts of W, and uniform subset
+    // sampling essentially never finds one (a planted half/half split is
+    // hit with probability 2^-|W|); the sweep family contains a
+    // near-minimum-conductance cut whenever one exists (Cheeger), so it
+    // catches exactly the witnesses sampling misses.
+    let (induced, verts) = g.induced(w);
+    if verts.len() >= 3 && induced.num_edges() > 0 {
+        let emb = fiedler_embedding(&induced, derive_seed(seed, 0xF1ED));
+        let mut order: Vec<usize> = (0..verts.len()).collect();
+        order.sort_by(|&a, &b| emb[a].total_cmp(&emb[b]));
+        for cut in 1..order.len() {
+            let a: Vec<u32> = order[..cut].iter().map(|&i| verts[i]).collect();
+            if !check(&a) {
+                return false;
+            }
+        }
+    }
     for _ in 0..samples {
         let a: Vec<u32> = w.iter().copied().filter(|_| rng.gen::<bool>()).collect();
         if a.is_empty() || a.len() == w.len() {
@@ -240,7 +258,13 @@ mod tests {
 
     /// Disjoint union of `k` expander copies with `noise` random cross
     /// edges — the shape App. B's decoder feeds the clustering algorithm.
-    fn planted_clusters(k: usize, m: usize, d: usize, noise: usize, seed: u64) -> (Graph, Vec<Vec<u32>>) {
+    fn planted_clusters(
+        k: usize,
+        m: usize,
+        d: usize,
+        noise: usize,
+        seed: u64,
+    ) -> (Graph, Vec<Vec<u32>>) {
         use rand::Rng;
         let base = expander(m, d, 2.3 * ((d - 1) as f64).sqrt(), seed);
         let mut g = Graph::new(k * m);
@@ -296,10 +320,7 @@ mod tests {
         let found = spectral_clusters(&g, &ClusterParams::default());
         assert_eq!(found.len(), 4, "found {} clusters", found.len());
         for t in &truth {
-            let best = found
-                .iter()
-                .map(|f| jaccard(f, t))
-                .fold(0.0f64, f64::max);
+            let best = found.iter().map(|f| jaccard(f, t)).fold(0.0f64, f64::max);
             assert!(best > 0.999, "cluster missed: jaccard {best}");
         }
     }

@@ -73,7 +73,9 @@ fn random_regular(m: usize, d: usize, seed: u64) -> Option<Graph> {
     // Pairing model with up to a few repair attempts per matching.
     'outer: for _attempt in 0..200 {
         let mut adj: Vec<Vec<u32>> = vec![Vec::with_capacity(d); m];
-        let mut stubs: Vec<u32> = (0..m as u32).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<u32> = (0..m as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut used: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
         let mut ok = true;
@@ -113,7 +115,7 @@ pub fn expander(m: usize, d: usize, lambda0: f64, seed: u64) -> ExpanderGraph {
     assert!(m >= 3, "need at least 3 vertices, got {m}");
     assert!(d >= 3, "degree must be >= 3 for expansion, got {d}");
     assert!(d < m, "degree {d} must be below vertex count {m}");
-    assert!(m * d % 2 == 0, "M*d must be even (M={m}, d={d})");
+    assert!((m * d).is_multiple_of(2), "M*d must be even (M={m}, d={d})");
     let ramanujan = 2.0 * ((d - 1) as f64).sqrt();
     assert!(
         lambda0 >= ramanujan.min(d as f64 * 0.99),

@@ -101,8 +101,7 @@ pub fn fiedler_embedding(g: &Graph, seed: u64) -> Vec<f64> {
 fn apply_adjacency(g: &Graph, x: &[f64]) -> Vec<f64> {
     let n = g.num_vertices();
     let mut y = vec![0.0; n];
-    for v in 0..n {
-        let xv = x[v];
+    for (v, &xv) in x.iter().enumerate() {
         for &u in g.neighbors(v as u32) {
             y[u as usize] += xv;
         }

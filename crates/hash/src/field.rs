@@ -117,7 +117,11 @@ mod tests {
     fn field_axioms_randomized() {
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..2_000 {
-            let (a, b, c) = (rand_elem(&mut rng), rand_elem(&mut rng), rand_elem(&mut rng));
+            let (a, b, c) = (
+                rand_elem(&mut rng),
+                rand_elem(&mut rng),
+                rand_elem(&mut rng),
+            );
             // Commutativity / associativity / distributivity.
             assert_eq!(PrimeField::add(a, b), PrimeField::add(b, a));
             assert_eq!(PrimeField::mul(a, b), PrimeField::mul(b, a));

@@ -212,7 +212,10 @@ mod tests {
             sum += s(1) * s(2) * s(3);
         }
         let m = sum as f64 / trials as f64;
-        assert!(m.abs() < 6.0 / (trials as f64).sqrt() + 0.01, "third moment {m}");
+        assert!(
+            m.abs() < 6.0 / (trials as f64).sqrt() + 0.01,
+            "third moment {m}"
+        );
     }
 
     #[test]

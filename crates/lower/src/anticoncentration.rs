@@ -14,15 +14,13 @@ pub fn poisson_binomial_pmf(ps: &[f64]) -> Vec<f64> {
     let n = ps.len();
     let mut pmf = vec![0.0f64; n + 1];
     pmf[0] = 1.0;
-    let mut len = 1usize;
-    for &p in ps {
+    for (len, &p) in (1usize..).zip(ps.iter()) {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         for k in (0..len).rev() {
             let v = pmf[k];
             pmf[k] = v * (1.0 - p);
             pmf[k + 1] += v * p;
         }
-        len += 1;
     }
     pmf
 }

@@ -13,9 +13,8 @@ use hh_math::info::{conditional_entropy_bits, mutual_information_bits};
 /// `d` ε-RR reports of `X`): `joint[x][count]`.
 pub fn duplicated_bit_joint(d: u64, eps: f64) -> Vec<Vec<f64>> {
     let keep = eps.exp() / (eps.exp() + 1.0);
-    let row = |p_one: f64| -> Vec<f64> {
-        (0..=d).map(|k| 0.5 * binomial::pmf(d, p_one, k)).collect()
-    };
+    let row =
+        |p_one: f64| -> Vec<f64> { (0..=d).map(|k| 0.5 * binomial::pmf(d, p_one, k)).collect() };
     // X = 0: each report is 1 w.p. (1 − keep); X = 1: w.p. keep.
     vec![row(1.0 - keep), row(keep)]
 }
@@ -51,11 +50,8 @@ pub fn duplication_factor(c: f64, eps: f64) -> u64 {
 pub fn good_index_probability(d: u64, eps: f64) -> f64 {
     let joint = duplicated_bit_joint(d, eps);
     // Pr over transcripts with H(X | B = b) >= 1/2.
-    let ncols = joint[0].len();
     let mut good = 0.0;
-    for b in 0..ncols {
-        let p0 = joint[0][b];
-        let p1 = joint[1][b];
+    for (&p0, &p1) in joint[0].iter().zip(&joint[1]) {
         let pb = p0 + p1;
         if pb == 0.0 {
             continue;

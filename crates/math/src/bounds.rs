@@ -35,7 +35,9 @@ pub fn hoeffding_two_sided(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
 /// One-sided Hoeffding bound.
 pub fn hoeffding_one_sided(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
     assert!(hi > lo);
-    (-2.0 * t * t / (n as f64 * (hi - lo) * (hi - lo))).exp().min(1.0)
+    (-2.0 * t * t / (n as f64 * (hi - lo) * (hi - lo)))
+        .exp()
+        .min(1.0)
 }
 
 /// Theorem 3.12 (Kane–Nelson–Porat–Woodruff, Lemma 2): for `k`-wise
@@ -46,7 +48,10 @@ pub fn hoeffding_one_sided(n: u64, lo: f64, hi: f64, t: f64) -> f64 {
 /// `c` is the absolute constant; the paper leaves it unspecified, tests use
 /// the conventional `c = 2` and only assert shape, not tight constants.
 pub fn bernstein_kwise(k: u32, sigma: f64, t_bound: f64, lambda: f64, c: f64) -> f64 {
-    assert!(k >= 2 && k % 2 == 0, "k must be an even integer >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be an even integer >= 2"
+    );
     assert!(lambda > 0.0);
     let kf = f64::from(k);
     let term1 = (sigma * kf.sqrt() / lambda).powi(k as i32);
@@ -180,10 +185,7 @@ mod tests {
                 if let Some(lb) = uniform_anticoncentration(k, t) {
                     let threshold = (k as f64 / 2.0 + t * (k as f64).sqrt()).ceil() as u64;
                     let exact = binomial::ln_sf(k, 0.5, threshold).exp();
-                    assert!(
-                        lb <= exact + 1e-12,
-                        "k={k} t={t}: {lb} > exact {exact}"
-                    );
+                    assert!(lb <= exact + 1e-12, "k={k} t={t}: {lb} > exact {exact}");
                 }
             }
         }

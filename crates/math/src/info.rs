@@ -41,9 +41,11 @@ pub fn entropy_bits(p: &[f64]) -> f64 {
 pub fn mutual_information_bits(joint: &[Vec<f64>]) -> f64 {
     let total: f64 = joint.iter().flat_map(|r| r.iter()).sum();
     assert!(total > 0.0, "empty joint distribution");
-    let nx = joint.len();
     let ny = joint[0].len();
-    let px: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / total).collect();
+    let px: Vec<f64> = joint
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / total)
+        .collect();
     let mut py = vec![0.0; ny];
     for row in joint {
         assert_eq!(row.len(), ny, "ragged joint table");
@@ -52,11 +54,11 @@ pub fn mutual_information_bits(joint: &[Vec<f64>]) -> f64 {
         }
     }
     let mut mi = 0.0;
-    for i in 0..nx {
-        for j in 0..ny {
-            let pxy = joint[i][j] / total;
+    for (row, &pxi) in joint.iter().zip(&px) {
+        for (j, &v) in row.iter().enumerate() {
+            let pxy = v / total;
             if pxy > 0.0 {
-                mi += pxy * (pxy / (px[i] * py[j])).log2();
+                mi += pxy * (pxy / (pxi * py[j])).log2();
             }
         }
     }
@@ -67,7 +69,6 @@ pub fn mutual_information_bits(joint: &[Vec<f64>]) -> f64 {
 pub fn conditional_entropy_bits(joint: &[Vec<f64>]) -> f64 {
     let total: f64 = joint.iter().flat_map(|r| r.iter()).sum();
     assert!(total > 0.0);
-    let nx = joint.len();
     let ny = joint[0].len();
     let mut py = vec![0.0; ny];
     for row in joint {
@@ -80,8 +81,8 @@ pub fn conditional_entropy_bits(joint: &[Vec<f64>]) -> f64 {
         if py[j] == 0.0 {
             continue;
         }
-        for i in 0..nx {
-            let pxy = joint[i][j] / total;
+        for row in joint {
+            let pxy = row[j] / total;
             if pxy > 0.0 {
                 h -= pxy * (pxy / py[j]).log2();
             }
@@ -112,10 +113,7 @@ pub fn empirical_distribution(samples: &[usize], k: usize) -> Vec<f64> {
 pub fn hockey_stick(p: &[f64], q: &[f64], eps: f64) -> f64 {
     assert_eq!(p.len(), q.len());
     let e = eps.exp();
-    p.iter()
-        .zip(q)
-        .map(|(&a, &b)| (a - e * b).max(0.0))
-        .sum()
+    p.iter().zip(q).map(|(&a, &b)| (a - e * b).max(0.0)).sum()
 }
 
 #[cfg(test)]

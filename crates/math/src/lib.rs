@@ -22,16 +22,21 @@
 //! * [`info`] — statistical distance, KL divergence, entropy and mutual
 //!   information on finite spaces.
 //! * [`stats`] — summary statistics and Monte-Carlo confidence intervals.
-//! * [`rng`] — deterministic seed derivation for protocol public randomness.
+//! * [`rng`] — deterministic seed derivation for protocol public randomness
+//!   and the per-user client coin streams of the batch pipeline.
+//! * [`par`] — deterministic parallel chunk mapping (the batched drivers'
+//!   execution substrate).
 
 pub mod binomial;
 pub mod bounds;
 pub mod dist;
 pub mod info;
+pub mod par;
 pub mod poisson;
 pub mod rng;
 pub mod special;
 pub mod stats;
 pub mod wht;
 
-pub use rng::{derive_seed, seeded_rng};
+pub use par::par_chunk_map;
+pub use rng::{client_rng, derive_seed, seeded_rng};

@@ -1,0 +1,142 @@
+//! Deterministic parallel chunk mapping — the substrate of the batched
+//! execution pipeline.
+//!
+//! [`par_chunk_map`] partitions a slice into fixed-size chunks and maps a
+//! function over them on a small pool of scoped worker threads, returning
+//! the results **in chunk order**. Chunks are claimed dynamically (an
+//! atomic cursor), but because each chunk's result depends only on the
+//! chunk's own contents and index, the output is identical for every
+//! thread count — determinism lives in the chunking, not the scheduling.
+//!
+//! Protocol code layers exact reproducibility on top of this in two ways:
+//!
+//! * client side: user `i`'s coins come from [`crate::rng::client_rng`],
+//!   a pure function of `(seed, i)`, so chunk boundaries cannot perturb
+//!   reports;
+//! * server side: accumulators ingest reports as *integer* tallies, so
+//!   merge order cannot perturb sums (no floating-point reassociation).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The worker count [`par_chunk_map`] will use for `num_items` items in
+/// chunks of `chunk_size` when asked for `threads` workers (`0` = the
+/// available hardware parallelism). Exposed so callers that *report*
+/// parallelism (the sim drivers' resource accounting) cannot drift from
+/// the scheduling policy actually used.
+pub fn planned_threads(threads: usize, num_items: usize, chunk_size: usize) -> usize {
+    let hw = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    hw.min(num_items.div_ceil(chunk_size.max(1))).max(1)
+}
+
+/// Map `f` over `items` in chunks of `chunk_size`, in parallel, returning
+/// one result per chunk in chunk order. `f` receives `(chunk_index,
+/// chunk)`; chunk `c` covers `items[c * chunk_size ..]`.
+///
+/// `threads == 0` means "use the available hardware parallelism". The
+/// result is independent of `threads`.
+pub fn par_chunk_map<T, U, F>(items: &[T], chunk_size: usize, threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let num_chunks = items.len().div_ceil(chunk_size);
+    let threads = planned_threads(threads, items.len(), chunk_size);
+
+    if threads <= 1 {
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| f(c, chunk))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    rayon::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= num_chunks {
+                    break;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(items.len());
+                let out = f(c, &items[lo..hi]);
+                if tx.send((c, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<U>> = (0..num_chunks).map(|_| None).collect();
+    for (c, out) in rx {
+        slots[c] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(c, s)| s.unwrap_or_else(|| panic!("chunk {c} produced no result")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_chunk_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sums = par_chunk_map(&items, 64, 0, |c, chunk| (c, chunk.iter().sum::<u64>()));
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        for (i, &(c, _)) in sums.iter().enumerate() {
+            assert_eq!(c, i);
+        }
+        let total: u64 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn independent_of_thread_count() {
+        let items: Vec<u64> = (0..777).collect();
+        let expect: Vec<u64> = par_chunk_map(&items, 10, 1, |c, chunk| {
+            chunk.iter().sum::<u64>() + c as u64
+        });
+        for threads in [2, 3, 8] {
+            let got = par_chunk_map(&items, 10, threads, |c, chunk| {
+                chunk.iter().sum::<u64>() + c as u64
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let out = par_chunk_map(&[] as &[u64], 8, 0, |_, chunk| chunk.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_oversized_chunk() {
+        let items = [1u64, 2, 3];
+        let out = par_chunk_map(&items, 100, 4, |c, chunk| (c, chunk.to_vec()));
+        assert_eq!(out, vec![(0, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn rejects_zero_chunk() {
+        let _ = par_chunk_map(&[1u64], 0, 0, |_, _| ());
+    }
+}

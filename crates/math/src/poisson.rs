@@ -88,9 +88,7 @@ mod tests {
         let mu = 9.0;
         let hi = 200u64;
         let mean: f64 = (0..=hi).map(|k| k as f64 * pmf(mu, k)).sum();
-        let var: f64 = (0..=hi)
-            .map(|k| (k as f64 - mu).powi(2) * pmf(mu, k))
-            .sum();
+        let var: f64 = (0..=hi).map(|k| (k as f64 - mu).powi(2) * pmf(mu, k)).sum();
         assert!((mean - mu).abs() < 1e-8);
         assert!((var - mu).abs() < 1e-6);
     }

@@ -32,6 +32,18 @@ pub fn seeded_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
 }
 
+/// The per-user client coin stream of the batch execution contract.
+///
+/// Every driver (serial or batched) gives user `i` the stream
+/// `client_rng(client_seed, i)`, so a user's coins depend only on the run
+/// seed and her own index — never on chunk boundaries, thread count, or
+/// the order other users are processed. This is what makes
+/// `run_heavy_hitter_batched` bit-for-bit equivalent to the serial runner
+/// at any parallelism.
+pub fn client_rng(client_seed: u64, user_index: u64) -> SmallRng {
+    seeded_rng(derive_seed(client_seed, user_index))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,7 +59,10 @@ mod tests {
         let parent = 0xDEAD_BEEF;
         let mut seen = std::collections::HashSet::new();
         for label in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(parent, label)), "collision at {label}");
+            assert!(
+                seen.insert(derive_seed(parent, label)),
+                "collision at {label}"
+            );
         }
     }
 

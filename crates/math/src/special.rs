@@ -14,10 +14,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7.
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -121,7 +121,10 @@ pub fn log_sub_exp(a: f64, b: f64) -> f64 {
 /// `H(0) = H(1) = 0` by continuity. Appendix A of the paper uses the bound
 /// `H(1/2 − η) >= 1 − 4η²`, which tests validate against this function.
 pub fn binary_entropy(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "entropy argument out of [0,1]: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "entropy argument out of [0,1]: {p}"
+    );
     if p == 0.0 || p == 1.0 {
         return 0.0;
     }

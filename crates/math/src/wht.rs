@@ -12,7 +12,7 @@
 /// u64 so callers enforce the range.
 #[inline]
 pub fn hadamard_entry(i: u64, j: u64) -> i8 {
-    if (i & j).count_ones() % 2 == 0 {
+    if (i & j).count_ones().is_multiple_of(2) {
         1
     } else {
         -1
@@ -25,7 +25,10 @@ pub fn hadamard_entry(i: u64, j: u64) -> i8 {
 /// multiplies by `len`: `WHT(WHT(x)) = len · x`.
 pub fn fwht(data: &mut [f64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "WHT length must be a power of two: {n}");
+    assert!(
+        n.is_power_of_two(),
+        "WHT length must be a power of two: {n}"
+    );
     let mut h = 1;
     while h < n {
         let mut i = 0;

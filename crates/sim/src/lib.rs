@@ -1,15 +1,39 @@
-//! Workload generation and protocol simulation with resource accounting.
+//! Workload generation and protocol execution — serial and batched —
+//! with the paper's Table 1 resource accounting.
 //!
 //! The paper's Table 1 compares protocols on seven metrics (server/user
 //! time, server/user memory, communication, public randomness, error).
-//! This crate provides the harness that measures them on a single
-//! machine: [`workload`] generates the distributed inputs, [`run`]
-//! executes a protocol user-by-user with phase timing and resource
-//! accounting, and [`metrics`] summarizes accuracy against ground truth.
+//! This crate is the harness that measures them on one machine, at
+//! population scale:
+//!
+//! * [`workload`] generates the distributed inputs (planted heavy
+//!   hitters, Zipf skew, the URL-telemetry mixture);
+//! * [`run`] executes a protocol over the population and times each
+//!   phase. Two drivers share one reproducibility contract:
+//!   - [`run_heavy_hitter`] / [`run_oracle`] — the serial reference
+//!     path, one user at a time;
+//!   - [`run_heavy_hitter_batched`] / [`run_oracle_batched`] — the
+//!     batch-first parallel pipeline: chunked `respond_batch` on scoped
+//!     worker threads, chunk-ordered sharded-accumulator `collect_batch`
+//!     ingest, then the unchanged `finish`. Configured by [`BatchPlan`]
+//!     (chunk size, thread count — neither affects output).
+//! * [`metrics`] summarizes accuracy against ground truth.
+//!
+//! **Determinism:** user `i`'s client coins are the derived stream
+//! `client_rng(client_seed, i)` in both drivers, and every protocol
+//! ingests reports through order-exact integer tallies, so for a fixed
+//! seed the batched driver is bit-for-bit equivalent to the serial one
+//! at any chunk size and thread count. This is load-bearing for the
+//! experiment harness (perf changes can never silently change results)
+//! and is pinned by the `batch_equivalence` integration tests at the
+//! workspace root.
 
 pub mod metrics;
 pub mod run;
 pub mod workload;
 
-pub use run::{run_heavy_hitter, run_oracle, OracleRun, ProtocolRun};
+pub use run::{
+    run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
+    OracleRun, ProtocolRun,
+};
 pub use workload::Workload;

@@ -61,8 +61,7 @@ pub fn aggregate(summaries: &[TrialSummary]) -> Aggregate {
         min_recall: recalls.iter().copied().fold(f64::INFINITY, f64::min),
         median_max_error: stats::median(&errors),
         p90_max_error: stats::quantile(&errors, 0.9),
-        success_rate: recalls.iter().filter(|&&r| r >= 1.0).count() as f64
-            / summaries.len() as f64,
+        success_rate: recalls.iter().filter(|&&r| r >= 1.0).count() as f64 / summaries.len() as f64,
         median_list_len: stats::median(&lens),
     }
 }

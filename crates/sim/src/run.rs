@@ -1,9 +1,71 @@
-//! Protocol execution with the Table 1 resource accounting.
+//! Protocol execution with the Table 1 resource accounting: a serial
+//! reference driver and a batched, parallel driver with identical output.
+//!
+//! # The reproducibility contract
+//!
+//! Both drivers give user `i` the client coin stream
+//! [`client_rng`]`(client_seed, i)` where `client_seed` is derived from
+//! the run seed. A user's report is therefore a pure function of
+//! `(seed, i, x)`: the serial runner, and the batched runner at *any*
+//! chunk size and thread count, produce bit-for-bit identical reports —
+//! and, because every protocol ingests through order-exact integer
+//! accumulators, bit-for-bit identical `finish()` output. The
+//! `batch_equivalence` integration tests pin this down protocol by
+//! protocol.
+//!
+//! # The batched pipeline
+//!
+//! [`run_heavy_hitter_batched`] executes in three phases:
+//!
+//! 1. **respond** — the population is partitioned into chunks of
+//!    [`BatchPlan::chunk_size`]; scoped worker threads map
+//!    `respond_batch` over the chunks ([`hh_math::par::par_chunk_map`])
+//!    and the per-chunk report vectors are reassembled in user order;
+//! 2. **ingest** — `collect_batch` hands the server each chunk's reports
+//!    in user order (freeing each chunk as it lands, so peak driver
+//!    memory is one report set, never two); protocols shard ingestion
+//!    into per-thread integer tallies internally and merge exactly;
+//! 3. **finish** — unchanged single-threaded aggregation/decoding.
 
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
-use hh_math::rng::{derive_seed, seeded_rng};
+use hh_math::par::par_chunk_map;
+use hh_math::rng::{client_rng, derive_seed};
 use std::time::{Duration, Instant};
+
+/// Seed label for heavy-hitter client coins (one hop off the run seed).
+const HH_CLIENT_LABEL: u64 = 0xC11E57;
+/// Seed label for frequency-oracle client coins.
+const ORACLE_CLIENT_LABEL: u64 = 0x04AC1E;
+
+/// Execution shape of the batched drivers.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Users per chunk in the respond phase. Does not affect output.
+    pub chunk_size: usize,
+    /// Worker threads (`0` = available hardware parallelism). Does not
+    /// affect output.
+    pub threads: usize,
+}
+
+impl Default for BatchPlan {
+    fn default() -> Self {
+        Self {
+            chunk_size: 1 << 15,
+            threads: 0,
+        }
+    }
+}
+
+impl BatchPlan {
+    /// A plan with an explicit chunk size, auto thread count.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        Self {
+            chunk_size,
+            ..Self::default()
+        }
+    }
+}
 
 /// Measured resources of one heavy-hitter protocol run.
 #[derive(Debug, Clone)]
@@ -12,13 +74,16 @@ pub struct ProtocolRun {
     pub estimates: Vec<(u64, f64)>,
     /// Number of users simulated.
     pub n: usize,
-    /// Total client-side time across all users (Table 1 "User time" is
-    /// this divided by `n`).
+    /// Client-side time. Serial driver: summed per-user `respond` time
+    /// (Table 1 "User time" is this divided by `n`). Batched driver:
+    /// wall-clock time of the parallel respond phase.
     pub client_total: Duration,
-    /// Server-side ingestion time (collect calls).
+    /// Server-side ingestion time (collect / collect_batch).
     pub server_ingest: Duration,
     /// Server-side aggregation/decoding time (finish).
     pub server_finish: Duration,
+    /// Worker threads used by the respond phase (1 for the serial driver).
+    pub threads: usize,
     /// Per-user communication in bits.
     pub report_bits: usize,
     /// Server working memory in bytes.
@@ -28,7 +93,8 @@ pub struct ProtocolRun {
 }
 
 impl ProtocolRun {
-    /// Mean per-user client time.
+    /// Mean per-user client time (serial driver) / mean wall-clock cost
+    /// per user of the respond phase (batched driver).
     pub fn user_time(&self) -> Duration {
         self.client_total / self.n.max(1) as u32
     }
@@ -37,12 +103,19 @@ impl ProtocolRun {
     pub fn server_time(&self) -> Duration {
         self.server_ingest + self.server_finish
     }
+
+    /// End-to-end time of the run (client phase + server phases).
+    pub fn total_time(&self) -> Duration {
+        self.client_total + self.server_ingest + self.server_finish
+    }
 }
 
-/// Run a heavy-hitter protocol over a dataset, timing each phase.
+/// Run a heavy-hitter protocol over a dataset serially, timing each phase.
 ///
-/// Client randomness is derived per user from `seed`, so runs are exactly
-/// reproducible and each user's coins are independent.
+/// User `i` draws her coins from the stream `(seed, i)` (see the module
+/// docs), so runs are exactly reproducible, each user's coins are
+/// independent, and the output is identical to
+/// [`run_heavy_hitter_batched`].
 pub fn run_heavy_hitter<P: HeavyHitterProtocol>(
     server: &mut P,
     data: &[u64],
@@ -50,9 +123,10 @@ pub fn run_heavy_hitter<P: HeavyHitterProtocol>(
 ) -> ProtocolRun {
     let mut client_total = Duration::ZERO;
     let mut server_ingest = Duration::ZERO;
-    let mut rng = seeded_rng(derive_seed(seed, 0xC11E57));
+    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
     for (i, &x) in data.iter().enumerate() {
         let t0 = Instant::now();
+        let mut rng = client_rng(client_seed, i as u64);
         let report = server.respond(i as u64, x, &mut rng);
         client_total += t0.elapsed();
         let t1 = Instant::now();
@@ -68,10 +142,67 @@ pub fn run_heavy_hitter<P: HeavyHitterProtocol>(
         client_total,
         server_ingest,
         server_finish,
+        threads: 1,
         report_bits: server.report_bits(),
         memory_bytes: server.memory_bytes(),
         detection_threshold: server.detection_threshold(),
     }
+}
+
+/// Run a heavy-hitter protocol through the batched, parallel pipeline.
+///
+/// Output is bit-for-bit identical to [`run_heavy_hitter`] with the same
+/// `seed`, for every `plan` (chunk size and thread count only change the
+/// schedule, never the result).
+pub fn run_heavy_hitter_batched<P>(
+    server: &mut P,
+    data: &[u64],
+    seed: u64,
+    plan: &BatchPlan,
+) -> ProtocolRun
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send,
+{
+    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
+    let threads = effective_threads(plan, data.len());
+    let t0 = Instant::now();
+    let chunk_reports = {
+        let server = &*server;
+        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
+            server.respond_batch((c * plan.chunk_size) as u64, xs, client_seed)
+        })
+    };
+    let client_total = t0.elapsed();
+    // Ingest chunk by chunk, in user order, dropping each chunk's reports
+    // as it lands — identical output to one whole-stream call (ingest is
+    // order-exact) without flattening into a second n-sized buffer.
+    let t1 = Instant::now();
+    for (c, reports) in chunk_reports.into_iter().enumerate() {
+        server.collect_batch((c * plan.chunk_size) as u64, reports);
+    }
+    let server_ingest = t1.elapsed();
+    let t2 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t2.elapsed();
+    ProtocolRun {
+        estimates,
+        n: data.len(),
+        client_total,
+        server_ingest,
+        server_finish,
+        threads,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// The thread count the respond phase will actually use — delegated to
+/// the scheduler's own policy so the reported number cannot drift from
+/// [`par_chunk_map`]'s behavior.
+fn effective_threads(plan: &BatchPlan, n: usize) -> usize {
+    hh_math::par::planned_threads(plan.threads, n, plan.chunk_size)
 }
 
 /// Measured resources of one frequency-oracle run.
@@ -81,19 +212,22 @@ pub struct OracleRun {
     pub answers: Vec<f64>,
     /// Number of users simulated.
     pub n: usize,
-    /// Total client-side time.
+    /// Client-side time (summed serial / wall-clock batched, as in
+    /// [`ProtocolRun::client_total`]).
     pub client_total: Duration,
     /// Server ingestion + finalization time.
     pub server_build: Duration,
     /// Total query time.
     pub query_total: Duration,
+    /// Worker threads used by the respond phase (1 for the serial driver).
+    pub threads: usize,
     /// Per-user communication bits.
     pub report_bits: usize,
     /// Server memory bytes.
     pub memory_bytes: usize,
 }
 
-/// Run a frequency oracle over a dataset and a query set.
+/// Run a frequency oracle over a dataset and a query set, serially.
 pub fn run_oracle<O: FrequencyOracle>(
     oracle: &mut O,
     data: &[u64],
@@ -102,9 +236,10 @@ pub fn run_oracle<O: FrequencyOracle>(
 ) -> OracleRun {
     let mut client_total = Duration::ZERO;
     let mut server_build = Duration::ZERO;
-    let mut rng = seeded_rng(derive_seed(seed, 0x04AC1E));
+    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
     for (i, &x) in data.iter().enumerate() {
         let t0 = Instant::now();
+        let mut rng = client_rng(client_seed, i as u64);
         let report = oracle.respond(i as u64, x, &mut rng);
         client_total += t0.elapsed();
         let t1 = Instant::now();
@@ -123,6 +258,53 @@ pub fn run_oracle<O: FrequencyOracle>(
         client_total,
         server_build,
         query_total,
+        threads: 1,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+/// Run a frequency oracle through the batched, parallel pipeline.
+///
+/// Output is bit-for-bit identical to [`run_oracle`] with the same seed,
+/// for every `plan`.
+pub fn run_oracle_batched<O>(
+    oracle: &mut O,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+    plan: &BatchPlan,
+) -> OracleRun
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send,
+{
+    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
+    let threads = effective_threads(plan, data.len());
+    let t0 = Instant::now();
+    let chunk_reports = {
+        let oracle = &*oracle;
+        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
+            oracle.respond_batch((c * plan.chunk_size) as u64, xs, client_seed)
+        })
+    };
+    let client_total = t0.elapsed();
+    let t1 = Instant::now();
+    for (c, reports) in chunk_reports.into_iter().enumerate() {
+        oracle.collect_batch((c * plan.chunk_size) as u64, reports);
+    }
+    oracle.finalize();
+    let server_build = t1.elapsed();
+    let t3 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t3.elapsed();
+    OracleRun {
+        answers,
+        n: data.len(),
+        client_total,
+        server_build,
+        query_total,
+        threads,
         report_bits: oracle.report_bits(),
         memory_bytes: oracle.memory_bytes(),
     }
@@ -148,6 +330,7 @@ mod tests {
         assert!(run.memory_bytes > 0);
         assert!(run.server_time() > Duration::ZERO);
         assert!(run.user_time() < Duration::from_millis(10));
+        assert_eq!(run.threads, 1);
     }
 
     #[test]
@@ -155,10 +338,7 @@ mod tests {
         let n = 10_000usize;
         let w = Workload::planted(1 << 16, vec![(42, 0.5)]);
         let data = w.generate(n, 4);
-        let mut oracle = Hashtogram::new(
-            HashtogramParams::hashed(n as u64, 1 << 16, 1.0, 0.1),
-            5,
-        );
+        let mut oracle = Hashtogram::new(HashtogramParams::hashed(n as u64, 1 << 16, 1.0, 0.1), 5);
         let run = run_oracle(&mut oracle, &data, &[42, 77], 6);
         assert_eq!(run.answers.len(), 2);
         assert!(run.answers[0] > 0.3 * n as f64, "answer {}", run.answers[0]);
@@ -179,5 +359,66 @@ mod tests {
             run_heavy_hitter(&mut s, &data, 9).estimates
         };
         assert_eq!(est1, est2);
+    }
+
+    #[test]
+    fn batched_matches_serial_exactly() {
+        let n = 12_000usize;
+        let w = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]);
+        let data = w.generate(n, 11);
+        let serial = {
+            let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 512, 2.0, 0.1), 12);
+            run_heavy_hitter(&mut s, &data, 13).estimates
+        };
+        for chunk_size in [n, n / 2 + 1, n / 8, 777] {
+            for threads in [0, 1, 2, 4] {
+                let plan = BatchPlan {
+                    chunk_size,
+                    threads,
+                };
+                let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 512, 2.0, 0.1), 12);
+                let run = run_heavy_hitter_batched(&mut s, &data, 13, &plan);
+                assert_eq!(
+                    run.estimates, serial,
+                    "chunk_size {chunk_size}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_oracle_matches_serial_exactly() {
+        let n = 9_000usize;
+        let w = Workload::zipf(1 << 14, 1.3);
+        let data = w.generate(n, 17);
+        let queries = [0u64, 1, 5, 1000];
+        let params = || HashtogramParams::hashed(n as u64, 1 << 14, 1.0, 0.1);
+        let serial = {
+            let mut o = Hashtogram::new(params(), 18);
+            run_oracle(&mut o, &data, &queries, 19).answers
+        };
+        for chunk_size in [n, 1 << 10, 333] {
+            let mut o = Hashtogram::new(params(), 18);
+            let run = run_oracle_batched(
+                &mut o,
+                &data,
+                &queries,
+                19,
+                &BatchPlan::with_chunk_size(chunk_size),
+            );
+            assert_eq!(run.answers, serial, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn effective_threads_is_bounded() {
+        let plan = BatchPlan {
+            chunk_size: 100,
+            threads: 8,
+        };
+        assert_eq!(effective_threads(&plan, 100), 1);
+        assert_eq!(effective_threads(&plan, 250), 3);
+        assert_eq!(effective_threads(&plan, 10_000), 8);
+        assert_eq!(effective_threads(&plan, 0), 1);
     }
 }

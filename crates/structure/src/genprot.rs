@@ -38,6 +38,9 @@ pub struct GenProt<A: LocalRandomizer> {
     eps: f64,
     /// Seed for the public candidate samples.
     seed: u64,
+    /// `T` copies of `⊥`, cached so the per-user `public_samples` bulk
+    /// draw allocates no input buffer.
+    null_inputs: Vec<RandomizerInput>,
 }
 
 impl<A: LocalRandomizer> GenProt<A> {
@@ -50,6 +53,7 @@ impl<A: LocalRandomizer> GenProt<A> {
             t,
             eps,
             seed,
+            null_inputs: vec![RandomizerInput::Null; t],
         }
     }
 
@@ -76,15 +80,12 @@ impl<A: LocalRandomizer> GenProt<A> {
     }
 
     /// The public candidate list `y_{i,1..T}` of a user (deterministic in
-    /// the seed — genuinely public randomness).
+    /// the seed — genuinely public randomness). Drawn through the
+    /// randomizer's bulk path; `sample_batch` is draw-order identical to
+    /// repeated `sample` calls, so the list is unchanged either way.
     pub fn public_samples(&self, user_index: u64) -> Vec<u64> {
-        let mut rng = seeded_rng(derive_seed(
-            derive_seed(self.seed, 0x6E_9607),
-            user_index,
-        ));
-        (0..self.t)
-            .map(|_| self.inner.sample(RandomizerInput::Null, &mut rng))
-            .collect()
+        let mut rng = seeded_rng(derive_seed(derive_seed(self.seed, 0x6E_9607), user_index));
+        self.inner.sample_batch(&self.null_inputs, &mut rng)
     }
 
     /// The clipped acceptance probabilities `p_{i,t}` for input `x`
@@ -182,8 +183,8 @@ impl<A: LocalRandomizer> GenProt<A> {
                 if a == b {
                     continue;
                 }
-                for g in 0..self.t {
-                    let ratio = (dists[a][g] / dists[b][g]).ln();
+                for (&pa, &pb) in dists[a].iter().zip(&dists[b]) {
+                    let ratio = (pa / pb).ln();
                     worst = worst.max(ratio);
                 }
             }
@@ -228,7 +229,7 @@ mod tests {
         let exact = gp.report_distribution(x, &gp.public_samples(5));
         let mut rng = seeded_rng(8);
         let trials = 200_000u64;
-        let mut counts = vec![0u64; 12];
+        let mut counts = [0u64; 12];
         for _ in 0..trials {
             counts[gp.respond(5, x, &mut rng) as usize] += 1;
         }
@@ -273,10 +274,7 @@ mod tests {
         let inputs: Vec<u64> = (0..6).collect();
         for user in 0..20u64 {
             let got = gp.exact_epsilon(user, &inputs);
-            assert!(
-                got <= 10.0 * eps + 1e-9,
-                "user {user}: exact eps {got}"
-            );
+            assert!(got <= 10.0 * eps + 1e-9, "user {user}: exact eps {got}");
         }
     }
 
@@ -302,7 +300,7 @@ mod tests {
         let x = 2u64;
         let mut rng = seeded_rng(100);
         let trials = 120_000u64;
-        let mut counts = vec![0u64; 4];
+        let mut counts = [0u64; 4];
         for trial in 0..trials {
             // Fresh public randomness per trial: vary the user index.
             let g = gp.respond(trial, x, &mut rng);

@@ -53,7 +53,7 @@ pub fn exact_joint<A: LocalRandomizer>(a: &A, input_dist: &[(f64, Vec<u64>)]) ->
 /// `joint[i][j]` (nats): the smallest `k` with
 /// `Σ_{(i,j)} max(joint − e^k·marginal_product, 0) ≤ β`.
 pub fn exact_max_information(joint: &[Vec<f64>], beta: f64) -> f64 {
-    assert!(beta >= 0.0 && beta < 1.0);
+    assert!((0.0..1.0).contains(&beta));
     let ni = joint.len();
     let nj = joint[0].len();
     let pi: Vec<f64> = joint.iter().map(|r| r.iter().sum()).collect();

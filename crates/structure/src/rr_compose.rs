@@ -82,9 +82,7 @@ impl LocalRandomizer for ComposedRr {
                 flips |= 1 << i;
             }
         }
-        match flips {
-            f => x ^ f,
-        }
+        x ^ flips
     }
 
     fn log_density(&self, x: RandomizerInput, y: u64) -> f64 {
@@ -146,7 +144,10 @@ impl ApproxComposedRr {
             .collect();
         let outside_distance = ConditionalBinomial::new(u64::from(k), 0.5, outside.iter().copied());
         // |outside| = Σ_{d outside} C(k, d).
-        let lw: Vec<f64> = outside.iter().map(|&d| ln_binomial(u64::from(k), d)).collect();
+        let lw: Vec<f64> = outside
+            .iter()
+            .map(|&d| ln_binomial(u64::from(k), d))
+            .collect();
         let ln_outside_count = hh_math::special::log_sum_exp(&lw);
         // Pr[M(x) ∉ G_x]: binomial(k, q) mass outside [lo, hi].
         let ln_inside = binomial::ln_interval(u64::from(k), m.q, shell_lo, shell_hi);
@@ -317,7 +318,8 @@ mod tests {
         // satisfying the theorem's preconditions
         // (β < (ε√k/2(k+1))^{2/3}, ε̃ <= 1).
         for &(k, eps) in &[(36u32, 0.02f64), (49, 0.02)] {
-            let precondition = (eps * f64::from(k).sqrt() / (2.0 * f64::from(k + 1.0 as u32 - 1) + 2.0))
+            let precondition = (eps * f64::from(k).sqrt()
+                / (2.0 * f64::from(k + 1.0 as u32 - 1) + 2.0))
                 .powf(2.0 / 3.0);
             let beta = (0.8 * precondition).min(0.2);
             let mt = ApproxComposedRr::new(k, eps, beta);

@@ -6,8 +6,7 @@
 //! enumeration (no sampling noise).
 
 use hh_freq::randomizers::{
-    BinaryRandomizedResponse, GeneralizedRandomizedResponse, HadamardResponse,
-    RevealingRandomizer,
+    BinaryRandomizedResponse, GeneralizedRandomizedResponse, HadamardResponse, RevealingRandomizer,
 };
 use hh_freq::traits::{LocalRandomizer, RandomizerInput};
 use hh_structure::audit::{exact_delta, exact_pure_epsilon};

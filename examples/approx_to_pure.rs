@@ -17,7 +17,7 @@ use ldp_heavy_hitters::structure::audit;
 
 fn main() {
     let k = 8u64; // domain: favourite pizza topping, say
-    // Theorem 6.1's regime: eps <= 1/4 and delta = o(1/(n log n)).
+                  // Theorem 6.1's regime: eps <= 1/4 and delta = o(1/(n log n)).
     let (eps, delta) = (0.25, 1e-9);
     let n: u64 = 20_000;
 
@@ -40,7 +40,10 @@ fn main() {
     let t = GenProt::<RevealingRandomizer>::recommended_t(n, beta).max(64);
     let gp = GenProt::new(base, eps, t, 4242);
     println!("\nGenProt with T = {t} public candidates per user:");
-    println!("  report size          : {} bits (vs log|Y| for the raw report)", gp.report_bits());
+    println!(
+        "  report size          : {} bits (vs log|Y| for the raw report)",
+        gp.report_bits()
+    );
 
     // Exact privacy certificate per user (fixing of public randomness).
     let mut worst: f64 = 0.0;

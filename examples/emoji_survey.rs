@@ -42,7 +42,10 @@ fn main() {
     let mut rappor = Rappor::new(domain, eps);
     let rp = run_oracle(&mut rappor, &data, &queries, 24);
 
-    println!("{:<6} {:>9} {:>12} {:>12} {:>12}", "emoji", "true", "hashtogram", "k-RR", "RAPPOR");
+    println!(
+        "{:<6} {:>9} {:>12} {:>12} {:>12}",
+        "emoji", "true", "hashtogram", "k-RR", "RAPPOR"
+    );
     for e in 0..domain as usize {
         println!(
             "{:<6} {:>9} {:>12.0} {:>12.0} {:>12.0}",
@@ -57,7 +60,12 @@ fn main() {
             .map(|(&a, &t)| (a - t as f64).abs())
             .fold(0.0, f64::max)
     };
-    println!("\nmax |error|: hashtogram {:.0}, k-RR {:.0}, RAPPOR {:.0}", max_err(&ht.answers), max_err(&kr.answers), max_err(&rp.answers));
+    println!(
+        "\nmax |error|: hashtogram {:.0}, k-RR {:.0}, RAPPOR {:.0}",
+        max_err(&ht.answers),
+        max_err(&kr.answers),
+        max_err(&rp.answers)
+    );
     println!(
         "report bits: hashtogram {}, k-RR {}, RAPPOR {}",
         ht.report_bits, kr.report_bits, rp.report_bits

@@ -65,7 +65,10 @@ fn main() {
     println!("  per-user communication   : {} bits", run.report_bits);
     println!("  mean per-user time       : {:?}", run.user_time());
     println!("  server time              : {:?}", run.server_time());
-    println!("  server memory            : {} KiB", run.memory_bytes / 1024);
+    println!(
+        "  server memory            : {} KiB",
+        run.memory_bytes / 1024
+    );
     assert!(report.missed_heavy.is_empty(), "contract violated!");
     println!("\nOK: every Δ-heavy element recovered.");
 }

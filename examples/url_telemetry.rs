@@ -44,14 +44,21 @@ fn main() {
     println!("\ntop URLs under eps = {eps} local DP:");
     for &(x, est) in &run.estimates {
         let truth = *hist.get(&x).unwrap_or(&0);
-        let marker = if homepage_ids.contains(&x) { "planted" } else { "      " };
+        let marker = if homepage_ids.contains(&x) {
+            "planted"
+        } else {
+            "      "
+        };
         println!("  {x:#14x}  est {est:>9.0}  true {truth:>7}  {marker}");
     }
     let recovered = homepage_ids
         .iter()
         .filter(|id| run.estimates.iter().any(|&(x, _)| x == **id))
         .count();
-    println!("\nrecovered {recovered}/{} planted homepages", homepage_ids.len());
+    println!(
+        "\nrecovered {recovered}/{} planted homepages",
+        homepage_ids.len()
+    );
 
     // Cost contrast with the industrial baseline from the paper's intro.
     println!("\nper-user report size:");

@@ -18,12 +18,11 @@
 //! let data: Vec<u64> = Workload::zipf(1 << 32, 1.2).generate(n as usize, 1);
 //! let params = SketchParams::optimal(n, 32, 2.0, 0.05);
 //! let mut server = ExpanderSketch::new(params, 42);
-//! let mut rng = seeded_rng(7);
-//! for (i, &x) in data.iter().enumerate() {
-//!     let report = server.respond(i as u64, x, &mut rng); // client side
-//!     server.collect(i as u64, report);
-//! }
-//! let heavy_hitters: Vec<(u64, f64)> = server.finish();
+//! // The batched parallel pipeline: chunked client respond on worker
+//! // threads, sharded server ingest, then finish. Bit-for-bit identical
+//! // to the serial `run_heavy_hitter` at any chunk/thread count.
+//! let run = run_heavy_hitter_batched(&mut server, &data, 7, &BatchPlan::default());
+//! let heavy_hitters: Vec<(u64, f64)> = run.estimates;
 //! ```
 
 pub use hh_codes as codes;
@@ -43,7 +42,10 @@ pub mod prelude {
     pub use hh_core::{ExpanderSketch, SketchParams};
     pub use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
     pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-    pub use hh_math::{derive_seed, seeded_rng};
-    pub use hh_sim::{run_heavy_hitter, run_oracle, Workload};
+    pub use hh_math::{client_rng, derive_seed, seeded_rng};
+    pub use hh_sim::{
+        run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
+        Workload,
+    };
     pub use hh_structure::{ApproxComposedRr, ComposedRr, GenProt};
 }

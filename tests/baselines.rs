@@ -46,7 +46,10 @@ fn sketch_agrees_with_scan_on_small_domain() {
         let mut s = ScanHeavyHitters::new(ScanParams::new(n as u64, 1 << 16, eps, 0.1), 34);
         run_heavy_hitter(&mut s, &data, 35).estimates
     };
-    assert!(sketch_est.iter().any(|&(x, _)| x == 0xFEED), "{sketch_est:?}");
+    assert!(
+        sketch_est.iter().any(|&(x, _)| x == 0xFEED),
+        "{sketch_est:?}"
+    );
     assert!(scan_est.iter().any(|&(x, _)| x == 0xFEED));
     // Both estimate the count consistently (within their noise scales).
     let truth = verify::histogram(&data)[&0xFEED] as f64;

@@ -1,0 +1,178 @@
+//! Batch-vs-serial equivalence: for every heavy-hitter protocol (and the
+//! Hashtogram frequency oracle), `run_heavy_hitter_batched` must produce
+//! `finish()` output bit-for-bit identical to the serial `run_heavy_hitter`
+//! for the same seed — across 1, 2 and 8 chunks, and across thread counts.
+//!
+//! This is the acceptance gate of the batched pipeline: chunking and
+//! parallelism are pure schedule changes, never result changes. It holds
+//! because (a) user `i`'s client coins are a pure function of
+//! `(seed, i)` in both drivers, and (b) servers ingest reports through
+//! order-exact integer tallies, so shard merges cannot reassociate
+//! floating-point sums.
+
+use ldp_heavy_hitters::core::baselines::{
+    BassilySmithHeavyHitters, Bitstogram, BitstogramParams, BsHhParams, ScanHeavyHitters,
+    ScanParams,
+};
+use ldp_heavy_hitters::prelude::*;
+use ldp_heavy_hitters::sim::{run_heavy_hitter_batched, run_oracle_batched, BatchPlan};
+
+fn assert_equivalent<P, F>(
+    make: F,
+    input: &[u64],
+    seed: u64,
+    chunk_sizes: &[usize],
+    threads: &[usize],
+    protocol: &str,
+) where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send,
+    F: Fn() -> P,
+{
+    let serial = {
+        let mut server = make();
+        run_heavy_hitter(&mut server, input, seed).estimates
+    };
+    assert!(
+        !serial.is_empty(),
+        "{protocol}: serial run found nothing — test is vacuous"
+    );
+    for &chunk_size in chunk_sizes {
+        for &t in threads {
+            let mut server = make();
+            let plan = BatchPlan {
+                chunk_size,
+                threads: t,
+            };
+            let batched = run_heavy_hitter_batched(&mut server, input, seed, &plan).estimates;
+            assert_eq!(
+                batched, serial,
+                "{protocol}: batched output diverged at chunk_size {chunk_size}, threads {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expander_sketch_batched_equals_serial() {
+    // Sized against the protocol's own threshold: at n = 2^15, eps = 4
+    // the keep threshold sits at ~0.24 n, so a 0.45-mass heavy element
+    // clears it with margin and the comparison is non-vacuous (checked by
+    // the assert below; the run is fully deterministic).
+    let n = 1usize << 15;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.45)]).generate(n, 71);
+    let params = SketchParams::optimal(n as u64, 16, 4.0, 0.1);
+    // 1, 2 and 8 chunks.
+    assert_equivalent(
+        || ExpanderSketch::new(params.clone(), 101),
+        &input,
+        102,
+        &[n, n / 2, n / 8],
+        &[2],
+        "expander_sketch",
+    );
+}
+
+#[test]
+fn bitstogram_batched_equals_serial() {
+    let n = 1usize << 15;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.45)]).generate(n, 72);
+    let mut params = BitstogramParams::optimal(n as u64, 16, 4.0, 0.5);
+    params.repetitions = 1; // high-eps single-repetition profile, as in its unit tests
+    assert_equivalent(
+        || Bitstogram::new(params.clone(), 103),
+        &input,
+        104,
+        &[n, n / 2, n / 8],
+        &[2],
+        "bitstogram",
+    );
+}
+
+#[test]
+fn scan_batched_equals_serial() {
+    let n = 1usize << 14;
+    let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 73);
+    let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+    // 1, 2 and 8 chunks plus a ragged chunking and thread sweeps (cheap
+    // protocol, so exercise the wider grid here).
+    assert_equivalent(
+        || ScanHeavyHitters::new(params.clone(), 105),
+        &input,
+        106,
+        &[n, n / 2, n / 8, 3000],
+        &[1, 2, 8],
+        "scan",
+    );
+}
+
+#[test]
+fn bassily_smith_batched_equals_serial() {
+    // Small instance: this baseline's finish() is the Θ(n·|X|) domain
+    // scan the paper indicts, so the equivalence grid stays modest.
+    let n = 1usize << 13;
+    let input = Workload::planted(1 << 10, vec![(0x321, 0.5)]).generate(n, 74);
+    let params = BsHhParams::optimal(n as u64, 1 << 10, 4.0, 0.2);
+    assert_equivalent(
+        || BassilySmithHeavyHitters::new(params.clone(), 107),
+        &input,
+        108,
+        &[n, n / 2, n / 8, 3000],
+        &[2],
+        "bassily_smith",
+    );
+}
+
+#[test]
+fn hashtogram_oracle_batched_equals_serial() {
+    let n = 1usize << 14;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.25), (0x123, 0.15)]).generate(n, 75);
+    let queries = [0xBEEu64, 0x123, 7, 60_000];
+    let params = || HashtogramParams::hashed(n as u64, 1 << 16, 1.0, 0.05);
+    let serial = {
+        let mut o = Hashtogram::new(params(), 109);
+        run_oracle(&mut o, &input, &queries, 110).answers
+    };
+    assert!(serial[0] > 0.1 * n as f64, "vacuous: {serial:?}");
+    for chunk_size in [n, n / 2, n / 8, 3000] {
+        for threads in [1usize, 4] {
+            let mut o = Hashtogram::new(params(), 109);
+            let plan = BatchPlan {
+                chunk_size,
+                threads,
+            };
+            let batched = run_oracle_batched(&mut o, &input, &queries, 110, &plan).answers;
+            assert_eq!(
+                batched, serial,
+                "oracle diverged at chunk_size {chunk_size}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn direct_trait_batch_calls_equal_per_user_calls() {
+    // The trait-level contract, independent of the drivers: respond_batch
+    // must equal per-user respond on the derived streams, and
+    // collect_batch must leave observationally identical server state.
+    use ldp_heavy_hitters::math::rng::client_rng;
+    let n = 1usize << 13;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.3)]).generate(n, 76);
+    let params = ScanParams::new(n as u64, 1 << 10, 2.0, 0.1);
+    let input: Vec<u64> = input.iter().map(|&x| x & 0x3FF).collect();
+    let client_seed = 0xABCD_EF01u64;
+
+    let server = ScanHeavyHitters::new(params.clone(), 111);
+    let batch = server.respond_batch(0, &input, client_seed);
+    let mut via_batch_server = ScanHeavyHitters::new(params.clone(), 111);
+    via_batch_server.collect_batch(0, batch);
+    let via_batch = via_batch_server.finish();
+
+    let mut serial_server = ScanHeavyHitters::new(params, 111);
+    for (i, &x) in input.iter().enumerate() {
+        let mut rng = client_rng(client_seed, i as u64);
+        let rep = serial_server.respond(i as u64, x, &mut rng);
+        serial_server.collect(i as u64, rep);
+    }
+    assert_eq!(via_batch, serial_server.finish());
+}

@@ -18,7 +18,10 @@ fn hashtogram_report_audits_exactly() {
     let inputs: Vec<u64> = (0..64).collect();
     audit::assert_pure_ldp(&atom, &inputs, 0.8);
     let measured = audit::exact_pure_epsilon(&atom, &inputs);
-    assert!((measured - 0.8).abs() < 1e-9, "audit should be tight: {measured}");
+    assert!(
+        (measured - 0.8).abs() < 1e-9,
+        "audit should be tight: {measured}"
+    );
 }
 
 /// GenProt ∘ Hashtogram: wrap the report randomizer, reconstruct reports

@@ -44,7 +44,10 @@ fn definition_3_1_contract_across_seeds() {
     // beta = 0.1 advertised; 3 trials all succeeding is the expected
     // outcome (P[>=1 failure] < 0.28 even at the advertised rate, and the
     // protocol is calibrated conservatively).
-    assert_eq!(failures, 0, "{failures}/{trials} trials missed a heavy element");
+    assert_eq!(
+        failures, 0,
+        "{failures}/{trials} trials missed a heavy element"
+    );
 }
 
 #[test]
