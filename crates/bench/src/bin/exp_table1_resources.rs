@@ -1,10 +1,11 @@
 //! Experiments T1.time / T1.mem / T1.comm — the resource rows of Table 1.
 //!
 //! Measures server time, per-user time, server memory, per-user
-//! communication and public-randomness size for `PrivateExpanderSketch`,
-//! Bitstogram (\[3\]) and the Bassily–Smith-style projection oracle (\[4\],
-//! with its heavy-hitter search realized as the domain scan the paper
-//! deems impractical), across n. Expected shapes per Table 1: ours/\[3\]
+//! communication (claimed bits *and* measured wire bytes) and
+//! public-randomness size for `PrivateExpanderSketch`, Bitstogram (\[3\])
+//! and the Bassily–Smith-style projection oracle (\[4\], with its
+//! heavy-hitter search realized as the domain scan the paper deems
+//! impractical), across n. Expected shapes per Table 1: ours/\[3\]
 //! near-linear server time and O~(1) user cost with O~(√n) memory;
 //! \[4\] linear-in-n memory and a per-query cost that makes domain scans
 //! explode.
@@ -14,38 +15,105 @@
 //! * `--serial` — drive the table rows through the serial reference
 //!   runner instead of the batched parallel pipeline (the default), for
 //!   before/after comparison.
-//! * `--json` — additionally run the n = 10^6 planted-workload
-//!   serial-vs-batched comparison and write `BENCH_table1.json` (the
-//!   perf-trajectory baseline tracked across PRs).
+//! * `--distributed` — drive the table rows through the distributed
+//!   collector-fleet pipeline (8 nodes, tree merge): every report is
+//!   round-tripped through its wire encoding on the way to a collector.
+//! * `--quick` — small-n profile (CI smoke runs).
+//! * `--json` — additionally run the serial-vs-batched comparison and
+//!   the collector-count merge-scaling sweep, and write the
+//!   machine-readable record (the perf-trajectory baseline tracked
+//!   across PRs).
+//! * `--json-out <path>` — where `--json` writes (default
+//!   `BENCH_table1.json`).
 
 use hh_bench::{banner, fmt_dur, json_array, JsonObject, Table};
 use hh_core::baselines::{Bitstogram, BitstogramParams};
-use hh_core::traits::HeavyHitterProtocol;
+use hh_core::traits::{HeavyHitterProtocol, WireReport};
 use hh_core::{ExpanderSketch, SketchParams};
 use hh_freq::bassily_smith::BassilySmithOracle;
+use hh_freq::traits::FrequencyOracle;
 use hh_math::rng::derive_seed;
 use hh_sim::{
-    run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
-    ProtocolRun, Workload,
+    run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
+    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, ProtocolRun, Workload,
 };
 
-fn drive<P>(server: &mut P, data: &[u64], seed: u64, serial: bool) -> ProtocolRun
+/// Which pipeline drives the table rows.
+#[derive(Clone, Copy, PartialEq)]
+enum Driver {
+    Serial,
+    Batched,
+    Distributed,
+}
+
+/// A table row's timing plus the measured wire accounting.
+struct RowRun {
+    run: ProtocolRun,
+    /// Mean measured wire bytes per user (end-to-end in distributed
+    /// mode, sampled from real reports otherwise).
+    wire_bytes_per_user: f64,
+}
+
+/// How many leading users the non-distributed rows sample to measure
+/// mean wire bytes (the distributed driver measures end-to-end instead).
+const WIRE_SAMPLE_CAP: usize = 1 << 13;
+/// Client seed of the wire-size sample (any fixed value works — report
+/// sizes concentrate; fixed so reruns print identical columns).
+const WIRE_SAMPLE_SEED: u64 = 0x317E;
+
+/// Mean encoded size of a batch of reports.
+fn mean_wire_bytes<R: WireReport>(reports: &[R]) -> f64 {
+    let total: usize = reports.iter().map(|r| r.encoded_len()).sum();
+    total as f64 / reports.len().max(1) as f64
+}
+
+fn drive<P>(server: &mut P, data: &[u64], seed: u64, driver: Driver) -> RowRun
 where
     P: HeavyHitterProtocol + Sync,
-    P::Report: Send,
+    P::Report: Send + Sync,
 {
-    if serial {
-        run_heavy_hitter(server, data, seed)
-    } else {
-        run_heavy_hitter_batched(server, data, seed, &BatchPlan::default())
+    match driver {
+        Driver::Serial | Driver::Batched => {
+            let sample = &data[..data.len().min(WIRE_SAMPLE_CAP)];
+            let wire_bytes_per_user =
+                mean_wire_bytes(&server.respond_batch(0, sample, WIRE_SAMPLE_SEED));
+            let run = if driver == Driver::Serial {
+                run_heavy_hitter(server, data, seed)
+            } else {
+                run_heavy_hitter_batched(server, data, seed, &BatchPlan::default())
+            };
+            RowRun {
+                run,
+                wire_bytes_per_user,
+            }
+        }
+        Driver::Distributed => {
+            let d = run_heavy_hitter_distributed(server, data, seed, &DistPlan::default());
+            RowRun {
+                wire_bytes_per_user: d.wire_bytes_per_user(),
+                run: ProtocolRun {
+                    estimates: d.estimates,
+                    n: d.n,
+                    client_total: d.client_total,
+                    server_ingest: d.server_ingest + d.server_merge,
+                    server_finish: d.server_finish,
+                    threads: d.threads,
+                    report_bits: d.report_bits,
+                    memory_bytes: d.memory_bytes,
+                    detection_threshold: d.detection_threshold,
+                },
+            }
+        }
     }
 }
 
-/// One serial-vs-batched wall-clock comparison, returned as a JSON value.
-fn compare_at_scale<P, F>(make: F, name: &str, data: &[u64], seed: u64) -> String
+/// One serial-vs-batched wall-clock comparison. Returns the JSON record
+/// and the serial estimates (reused by [`merge_scaling`] as the
+/// equality reference, so the serial run happens once).
+fn compare_at_scale<P, F>(make: F, name: &str, data: &[u64], seed: u64) -> (String, Vec<(u64, f64)>)
 where
     P: HeavyHitterProtocol + Sync,
-    P::Report: Send,
+    P::Report: Send + Sync,
     F: Fn() -> P,
 {
     let serial = {
@@ -69,7 +137,7 @@ where
         batched.threads,
         plan.chunk_size,
     );
-    JsonObject::new()
+    let json = JsonObject::new()
         .str("protocol", name)
         .int("n", data.len() as u64)
         .int("threads", batched.threads as u64)
@@ -83,13 +151,93 @@ where
         .num("batched_ingest_secs", batched.server_ingest.as_secs_f64())
         .num("batched_finish_secs", batched.server_finish.as_secs_f64())
         .num("speedup_total", speedup)
-        .build()
+        .build();
+    (json, serial.estimates)
+}
+
+/// Collector-count scaling: distributed runs at k ∈ {1, 2, 8}, each
+/// checked bit-for-bit against the caller's serial reference estimates,
+/// returned as JSON records.
+fn merge_scaling<P, F>(
+    make: F,
+    name: &str,
+    data: &[u64],
+    seed: u64,
+    serial: &[(u64, f64)],
+) -> Vec<String>
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+    F: Fn() -> P,
+{
+    let mut out = Vec::new();
+    for collectors in [1usize, 2, 8] {
+        let mut s = make();
+        let run = run_heavy_hitter_distributed(
+            &mut s,
+            data,
+            seed,
+            &DistPlan::with_collectors(collectors),
+        );
+        assert_eq!(
+            run.estimates, serial,
+            "{name}: distributed output diverged at k = {collectors}"
+        );
+        println!(
+            "  {name:>16} @ k={collectors}: wire {:.2} B/user | ingest {} | merge {} | total {}",
+            run.wire_bytes_per_user(),
+            fmt_dur(run.server_ingest),
+            fmt_dur(run.server_merge),
+            fmt_dur(run.total_time()),
+        );
+        out.push(
+            JsonObject::new()
+                .str("protocol", name)
+                .int("n", data.len() as u64)
+                .int("collectors", collectors as u64)
+                .int("wire_bytes_total", run.wire_bytes)
+                .num("wire_bytes_per_user", run.wire_bytes_per_user())
+                .num("client_secs", run.client_total.as_secs_f64())
+                .num("ingest_secs", run.server_ingest.as_secs_f64())
+                .num("merge_secs", run.server_merge.as_secs_f64())
+                .num("finish_secs", run.server_finish.as_secs_f64())
+                .num("total_secs", run.total_time().as_secs_f64())
+                .build(),
+        );
+    }
+    out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let serial = args.iter().any(|a| a == "--serial");
-    let emit_json = args.iter().any(|a| a == "--json");
+    let distributed = args.iter().any(|a| a == "--distributed");
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_out_value = args.iter().position(|a| a == "--json-out").map(|i| {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--json-out needs a path"));
+        assert!(
+            !path.starts_with("--"),
+            "--json-out needs a path, got flag-like value {path:?}"
+        );
+        path.clone()
+    });
+    // --json-out implies --json: asking for an output path is asking for
+    // the JSON phase.
+    let emit_json = args.iter().any(|a| a == "--json") || json_out_value.is_some();
+    let json_out = json_out_value.unwrap_or_else(|| "BENCH_table1.json".to_string());
+    assert!(
+        !(serial && distributed),
+        "--serial and --distributed are mutually exclusive"
+    );
+    let driver = if serial {
+        Driver::Serial
+    } else if distributed {
+        Driver::Distributed
+    } else {
+        Driver::Batched
+    };
 
     banner(
         "T1.time / T1.mem / T1.comm — Table 1 resource rows",
@@ -97,15 +245,17 @@ fn main() {
     );
     println!(
         "driver: {}\n",
-        if serial {
-            "serial (--serial)"
-        } else {
-            "batched parallel pipeline (default; pass --serial to compare)"
+        match driver {
+            Driver::Serial => "serial (--serial)",
+            Driver::Batched => "batched parallel pipeline (default)",
+            Driver::Distributed =>
+                "distributed collector fleet (--distributed; 8 nodes, wire round-trip, tree merge)",
         }
     );
     let bits = 20u32;
     let eps = 4.0;
     let beta = 0.1;
+    let logns: &[u32] = if quick { &[12, 13] } else { &[14, 16, 18] };
 
     let mut t = Table::new(&[
         "protocol",
@@ -113,37 +263,40 @@ fn main() {
         "server",
         "user(mean)",
         "memory",
-        "report bits",
+        "claim bits",
+        "wire B/user",
         "pub rand",
     ]);
-    for &logn in &[14u32, 16, 18] {
+    for &logn in logns {
         let n = 1u64 << logn;
         let workload = Workload::zipf(1u64 << bits, 1.2);
         let data = workload.generate(n as usize, derive_seed(7, u64::from(logn)));
 
         let p = SketchParams::optimal(n, bits, eps, beta);
         let mut s = ExpanderSketch::new(p, 1);
-        let run = drive(&mut s, &data, 2, serial);
+        let row = drive(&mut s, &data, 2, driver);
         t.row(&[
             "ours".into(),
             format!("2^{logn}"),
-            fmt_dur(run.server_time()),
-            fmt_dur(run.user_time()),
-            format!("{} KiB", run.memory_bytes / 1024),
-            run.report_bits.to_string(),
+            fmt_dur(row.run.server_time()),
+            fmt_dur(row.run.user_time()),
+            format!("{} KiB", row.run.memory_bytes / 1024),
+            row.run.report_bits.to_string(),
+            format!("{:.2}", row.wire_bytes_per_user),
             "64 bits (one seed)".into(),
         ]);
 
         let p = BitstogramParams::optimal(n, bits, eps, beta);
         let mut s = Bitstogram::new(p, 3);
-        let run = drive(&mut s, &data, 4, serial);
+        let row = drive(&mut s, &data, 4, driver);
         t.row(&[
             "bitstogram [3]".into(),
             format!("2^{logn}"),
-            fmt_dur(run.server_time()),
-            fmt_dur(run.user_time()),
-            format!("{} KiB", run.memory_bytes / 1024),
-            run.report_bits.to_string(),
+            fmt_dur(row.run.server_time()),
+            fmt_dur(row.run.user_time()),
+            format!("{} KiB", row.run.memory_bytes / 1024),
+            row.run.report_bits.to_string(),
+            format!("{:.2}", row.wire_bytes_per_user),
             "64 bits (one seed)".into(),
         ]);
 
@@ -152,35 +305,67 @@ fn main() {
         // slice and extrapolate.
         let mut o = BassilySmithOracle::new(1u64 << bits, eps, n, 5);
         let queries: Vec<u64> = (0..512u64).collect();
-        let run = if serial {
-            run_oracle(&mut o, &data, &queries, 6)
-        } else {
-            run_oracle_batched(&mut o, &data, &queries, 6, &BatchPlan::default())
+        // (server_build, client_total, query_total, wire B/user) under
+        // the same driver as the other rows.
+        let (server_build, client_total, query_total, wire, mem, bits_claim) = match driver {
+            Driver::Serial | Driver::Batched => {
+                let sample = &data[..data.len().min(WIRE_SAMPLE_CAP)];
+                let wire = mean_wire_bytes(&o.respond_batch(0, sample, WIRE_SAMPLE_SEED));
+                let run = if serial {
+                    run_oracle(&mut o, &data, &queries, 6)
+                } else {
+                    run_oracle_batched(&mut o, &data, &queries, 6, &BatchPlan::default())
+                };
+                (
+                    run.server_build,
+                    run.client_total,
+                    run.query_total,
+                    wire,
+                    run.memory_bytes,
+                    run.report_bits,
+                )
+            }
+            Driver::Distributed => {
+                let run = run_oracle_distributed(&mut o, &data, &queries, 6, &DistPlan::default());
+                (
+                    run.server_build,
+                    run.client_total,
+                    run.query_total,
+                    run.wire_bytes_per_user(),
+                    run.memory_bytes,
+                    run.report_bits,
+                )
+            }
         };
-        let full_scan = run.query_total.as_secs_f64() / 512.0 * (1u64 << bits) as f64;
+        let full_scan = query_total.as_secs_f64() / 512.0 * (1u64 << bits) as f64;
         t.row(&[
             "bassily-smith [4]".into(),
             format!("2^{logn}"),
             format!(
                 "{} (+{} scan-extrapolated)",
-                fmt_dur(run.server_build),
+                fmt_dur(server_build),
                 fmt_dur(std::time::Duration::from_secs_f64(full_scan))
             ),
             fmt_dur(std::time::Duration::from_nanos(
-                (run.client_total.as_nanos() as u64) / n,
+                (client_total.as_nanos() as u64) / n,
             )),
-            format!("{} KiB", run.memory_bytes / 1024),
-            run.report_bits.to_string(),
+            format!("{} KiB", mem / 1024),
+            bits_claim.to_string(),
+            format!("{wire:.2}"),
             "64 bits (hash-compressed Phi)".into(),
         ]);
     }
     t.print();
     println!("\nnotes:");
-    if !serial {
+    if driver == Driver::Batched {
         println!("  - batched driver: user(mean) is the parallel respond phase's wall-clock / n,");
         println!("    a lower bound on per-user compute at >1 thread; use --serial for the");
         println!("    paper's per-user cost metric.");
     }
+    println!("  - claim bits is report_bits() (the protocol's worst-case message claim);");
+    println!("    wire B/user is the measured mean size of the actual encoded reports");
+    println!("    (end-to-end through the collector fleet under --distributed). The");
+    println!("    wire_conformance tests pin wire <= ceil(claim / 8) bytes per report.");
     println!("  - [4]'s Table-1 entries (n^1.5 user, n^2.5 server, n^1.5 public coins)");
     println!("    assume explicitly materialized public randomness; our implementation");
     println!("    hash-compresses Phi (the option their footnote 2 concedes), so the");
@@ -189,28 +374,47 @@ fn main() {
     println!("  - ours/[3]: user time flat in n, memory ~sqrt(n) — the Table 1 shapes.");
 
     if emit_json {
-        println!("\n— serial vs batched pipeline at n = 10^6 (planted workload) —\n");
-        let n = 1_000_000usize;
+        let n = if quick { 100_000usize } else { 1_000_000 };
+        println!("\n— serial vs batched pipeline at n = {n} (planted workload) —\n");
         let workload = Workload::planted(1u64 << bits, vec![(0xBEEF, 0.3)]);
         let data = workload.generate(n, 97);
         let mut runs = Vec::new();
 
         let p = SketchParams::optimal(n as u64, bits, eps, beta);
-        runs.push(compare_at_scale(
+        let (json, sketch_serial) = compare_at_scale(
             || ExpanderSketch::new(p.clone(), 11),
             "expander_sketch",
             &data,
             12,
-        ));
+        );
+        runs.push(json);
 
         let scan_domain = 1u64 << 16;
         let scan_data: Vec<u64> = data.iter().map(|&x| x & (scan_domain - 1)).collect();
         let sp = hh_core::baselines::ScanParams::new(n as u64, scan_domain, eps, beta);
-        runs.push(compare_at_scale(
+        let (json, scan_serial) = compare_at_scale(
             || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 13),
             "scan",
             &scan_data,
             14,
+        );
+        runs.push(json);
+
+        println!("\n— collector-count scaling (wire round-trip, tree merge) —\n");
+        let mut scaling = Vec::new();
+        scaling.extend(merge_scaling(
+            || ExpanderSketch::new(p.clone(), 11),
+            "expander_sketch",
+            &data,
+            12,
+            &sketch_serial,
+        ));
+        scaling.extend(merge_scaling(
+            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 13),
+            "scan",
+            &scan_data,
+            14,
+            &scan_serial,
         ));
 
         let doc = JsonObject::new()
@@ -219,8 +423,10 @@ fn main() {
             .int("hardware_threads", rayon::current_num_threads() as u64)
             .str("workload", "planted(0.3 heavy over 2^20 / 2^16 domains)")
             .raw("runs", json_array(runs))
+            .raw("merge_scaling", json_array(scaling))
             .build();
-        std::fs::write("BENCH_table1.json", format!("{doc}\n")).expect("write BENCH_table1.json");
-        println!("\nwrote BENCH_table1.json");
+        std::fs::write(&json_out, format!("{doc}\n"))
+            .unwrap_or_else(|e| panic!("write {json_out}: {e}"));
+        println!("\nwrote {json_out}");
     }
 }

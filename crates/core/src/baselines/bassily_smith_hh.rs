@@ -11,7 +11,7 @@
 //! full-domain cost.
 
 use crate::traits::HeavyHitterProtocol;
-use hh_freq::bassily_smith::{BassilySmithOracle, BsReport};
+use hh_freq::bassily_smith::{BassilySmithOracle, BsReport, BsShard};
 use hh_freq::calibrate;
 use hh_freq::traits::FrequencyOracle;
 use rand::Rng;
@@ -84,6 +84,7 @@ impl BassilySmithHeavyHitters {
 
 impl HeavyHitterProtocol for BassilySmithHeavyHitters {
     type Report = BsReport;
+    type Shard = BsShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> BsReport {
         self.oracle.respond(user_index, x, rng)
@@ -98,9 +99,21 @@ impl HeavyHitterProtocol for BassilySmithHeavyHitters {
         self.oracle.collect(user_index, report);
     }
 
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<BsReport>) {
+    fn new_shard(&self) -> BsShard {
+        self.oracle.new_shard()
+    }
+
+    fn absorb(&self, shard: &mut BsShard, start_index: u64, reports: &[BsReport]) {
+        self.oracle.absorb(shard, start_index, reports);
+    }
+
+    fn merge(&self, a: BsShard, b: BsShard) -> BsShard {
+        self.oracle.merge(a, b)
+    }
+
+    fn finish_shard(&mut self, shard: BsShard) {
         assert!(!self.finished, "collect after finish");
-        self.oracle.collect_batch(start_index, reports);
+        self.oracle.finish_shard(shard);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {

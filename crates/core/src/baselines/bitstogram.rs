@@ -16,10 +16,11 @@
 //! enters the error. `PrivateExpanderSketch` removes it; the
 //! `exp_error_vs_beta` bench measures the two side by side.
 
-use crate::traits::HeavyHitterProtocol;
+use crate::traits::{HeavyHitterProtocol, WireError, WireReport};
 use hh_freq::calibrate;
-use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport};
+use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire;
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash};
 use hh_math::rng::{client_rng, derive_seed};
@@ -112,16 +113,42 @@ impl BitstogramParams {
     }
 }
 
-/// A user's message: her `(repetition, bit-coordinate)` group, the inner
-/// pair report, and the outer frequency-oracle report.
-#[derive(Debug, Clone, Copy)]
+/// A user's message: the inner pair report and the outer
+/// frequency-oracle report. Her `(repetition, bit-coordinate)` group is
+/// a public function of her index, recomputed server-side rather than
+/// transported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BitstogramReport {
-    /// Flat group index `t·M' + m`.
-    pub group: u32,
     /// Report of the `(h_t(x), x[m])` pair.
     pub inner: HashtogramReport,
     /// Report of `x` for the final estimates.
     pub outer: HashtogramReport,
+}
+
+/// Wire format: the shared [`wire::encode_pair`] composite frame, the
+/// same layout as `SketchReport` (one split byte, then each Hadamard
+/// payload in its own minimal encoding).
+impl WireReport for BitstogramReport {
+    fn encoded_len(&self) -> usize {
+        wire::pair_encoded_len(&self.inner, &self.outer)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::encode_pair(&self.inner, &self.outer, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (inner, outer) = wire::decode_pair(bytes)?;
+        Ok(BitstogramReport { inner, outer })
+    }
+}
+
+/// Mergeable partial aggregate of a [`Bitstogram`]: buffered inner
+/// reports per `(t, m)` group plus the outer oracle's integer-tally
+/// shard.
+pub struct BitstogramShard {
+    inner: Vec<Vec<(u64, HashtogramReport)>>,
+    outer: HashtogramShard,
 }
 
 /// The Bitstogram protocol object.
@@ -195,12 +222,12 @@ impl Bitstogram {
 
 impl HeavyHitterProtocol for Bitstogram {
     type Report = BitstogramReport;
+    type Shard = BitstogramShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> BitstogramReport {
         let group = self.group_of(user_index);
         let cell = self.cell_of(group, x);
         BitstogramReport {
-            group: group as u32,
             inner: self.inner_proto.respond(user_index, cell, rng),
             outer: self.outer.respond(user_index, x, rng),
         }
@@ -224,7 +251,6 @@ impl HeavyHitterProtocol for Bitstogram {
             let group = Self::group_at(group_seed, i, num_groups);
             let cell = self.cell_of(group, x);
             out.push(BitstogramReport {
-                group: group as u32,
                 inner: self.inner_proto.respond(i, cell, &mut rng),
                 outer: self.outer.respond(i, x, &mut rng),
             });
@@ -234,20 +260,44 @@ impl HeavyHitterProtocol for Bitstogram {
 
     fn collect(&mut self, user_index: u64, report: BitstogramReport) {
         assert!(!self.finished, "collect after finish");
-        debug_assert_eq!(report.group as usize, self.group_of(user_index));
-        self.inner_reports[report.group as usize].push((user_index, report.inner));
+        let group = self.group_of(user_index);
+        self.inner_reports[group].push((user_index, report.inner));
         self.outer.collect(user_index, report.outer);
     }
 
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<BitstogramReport>) {
-        assert!(!self.finished, "collect after finish");
-        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+    fn new_shard(&self) -> BitstogramShard {
+        BitstogramShard {
+            inner: vec![Vec::new(); self.params.num_groups()],
+            outer: self.outer.new_shard(),
+        }
+    }
+
+    fn absorb(&self, shard: &mut BitstogramShard, start_index: u64, reports: &[BitstogramReport]) {
+        let group_seed = self.assignment_seed();
+        let num_groups = self.params.num_groups() as u64;
         for (k, rep) in reports.iter().enumerate() {
             let i = start_index + k as u64;
-            debug_assert_eq!(rep.group as usize, self.group_of(i));
-            self.inner_reports[rep.group as usize].push((i, rep.inner));
+            let group = Self::group_at(group_seed, i, num_groups);
+            shard.inner[group].push((i, rep.inner));
         }
-        self.outer.collect_batch(start_index, outer);
+        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+        self.outer.absorb(&mut shard.outer, start_index, &outer);
+    }
+
+    fn merge(&self, mut a: BitstogramShard, b: BitstogramShard) -> BitstogramShard {
+        for (acc, mut add) in a.inner.iter_mut().zip(b.inner) {
+            acc.append(&mut add);
+        }
+        a.outer = self.outer.merge(a.outer, b.outer);
+        a
+    }
+
+    fn finish_shard(&mut self, shard: BitstogramShard) {
+        assert!(!self.finished, "collect after finish");
+        for (acc, mut add) in self.inner_reports.iter_mut().zip(shard.inner) {
+            acc.append(&mut add);
+        }
+        self.outer.finish_shard(shard.outer);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
@@ -303,7 +353,9 @@ impl HeavyHitterProtocol for Bitstogram {
     }
 
     fn report_bits(&self) -> usize {
-        self.inner_proto.report_bits() + self.outer.report_bits()
+        // Exact worst-case wire size of the composite message, as for
+        // `SketchReport`.
+        wire::pair_wire_bits(self.inner_proto.report_bits(), self.outer.report_bits())
     }
 
     fn memory_bytes(&self) -> usize {

@@ -9,7 +9,7 @@
 //! small-domain reference the benches use for ground truth.
 
 use crate::traits::HeavyHitterProtocol;
-use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport};
+use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 use hh_freq::traits::FrequencyOracle;
 use rand::Rng;
 
@@ -80,6 +80,7 @@ impl ScanHeavyHitters {
 
 impl HeavyHitterProtocol for ScanHeavyHitters {
     type Report = HashtogramReport;
+    type Shard = HashtogramShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> HashtogramReport {
         self.oracle.respond(user_index, x, rng)
@@ -99,9 +100,21 @@ impl HeavyHitterProtocol for ScanHeavyHitters {
         self.oracle.collect(user_index, report);
     }
 
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<HashtogramReport>) {
+    fn new_shard(&self) -> HashtogramShard {
+        self.oracle.new_shard()
+    }
+
+    fn absorb(&self, shard: &mut HashtogramShard, start_index: u64, reports: &[HashtogramReport]) {
+        self.oracle.absorb(shard, start_index, reports);
+    }
+
+    fn merge(&self, a: HashtogramShard, b: HashtogramShard) -> HashtogramShard {
+        self.oracle.merge(a, b)
+    }
+
+    fn finish_shard(&mut self, shard: HashtogramShard) {
         assert!(!self.finished, "collect after finish");
-        self.oracle.collect_batch(start_index, reports);
+        self.oracle.finish_shard(shard);
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {

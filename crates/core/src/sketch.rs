@@ -23,26 +23,53 @@
 //! estimates of the decoded candidates (steps 5–6).
 
 use crate::params::SketchParams;
-use crate::traits::HeavyHitterProtocol;
+use crate::traits::{HeavyHitterProtocol, WireError, WireReport};
 use hh_codes::ulrc::UniqueListCode;
-use hh_freq::hashtogram::{Hashtogram, HashtogramReport};
+use hh_freq::hashtogram::{Hashtogram, HashtogramReport, HashtogramShard};
 use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire;
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
 use hh_math::rng::{client_rng, derive_seed};
 use rand::Rng;
 
 /// The single message a user sends: her coordinate report and her final
-/// frequency-oracle report.
-#[derive(Debug, Clone, Copy)]
+/// frequency-oracle report. The user's coordinate `m` is a public
+/// function of her index and is recomputed server-side, not transported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SketchReport {
-    /// The user's coordinate `m` (a public function of her index,
-    /// included for transport convenience).
-    pub coord: u16,
     /// Hashtogram report of the `(g(x), h_m(x), E~nc(x)_m)` cell.
     pub inner: HashtogramReport,
     /// Hashtogram report of `x` for the outer oracle.
     pub outer: HashtogramReport,
+}
+
+/// Wire format: the shared [`wire::encode_pair`] composite frame — the
+/// two Hadamard payloads in their own minimal encodings behind a
+/// one-byte split marker, so the decoder needs no protocol parameters.
+/// `report_bits()` counts exactly this layout.
+impl WireReport for SketchReport {
+    fn encoded_len(&self) -> usize {
+        wire::pair_encoded_len(&self.inner, &self.outer)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        wire::encode_pair(&self.inner, &self.outer, out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (inner, outer) = wire::decode_pair(bytes)?;
+        Ok(SketchReport { inner, outer })
+    }
+}
+
+/// Mergeable partial aggregate of an [`ExpanderSketch`]: buffered inner
+/// reports per coordinate (the coordinate oracles materialize lazily at
+/// finish) plus the outer oracle's integer-tally shard.
+pub struct SketchShard {
+    inner: Vec<Vec<(u64, HashtogramReport)>>,
+    outer: HashtogramShard,
+    users: u64,
 }
 
 /// `PrivateExpanderSketch`: public randomness + server state.
@@ -173,17 +200,14 @@ impl ExpanderSketch {
 
 impl HeavyHitterProtocol for ExpanderSketch {
     type Report = SketchReport;
+    type Shard = SketchShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> SketchReport {
         let m = self.coord_of(user_index);
         let cell = self.cell_of(m, x);
         let inner = self.inner_proto.respond(user_index, cell, rng);
         let outer = self.outer.respond(user_index, x, rng);
-        SketchReport {
-            coord: m as u16,
-            inner,
-            outer,
-        }
+        SketchReport { inner, outer }
     }
 
     fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<SketchReport> {
@@ -200,37 +224,59 @@ impl HeavyHitterProtocol for ExpanderSketch {
             let cell = self.cell_of(m, x);
             let inner = self.inner_proto.respond(i, cell, &mut rng);
             let outer = self.outer.respond(i, x, &mut rng);
-            out.push(SketchReport {
-                coord: m as u16,
-                inner,
-                outer,
-            });
+            out.push(SketchReport { inner, outer });
         }
         out
     }
 
     fn collect(&mut self, user_index: u64, report: SketchReport) {
         assert!(!self.finished, "collect after finish");
-        debug_assert_eq!(report.coord as usize, self.coord_of(user_index));
-        self.inner_reports[report.coord as usize].push((user_index, report.inner));
+        let m = self.coord_of(user_index);
+        self.inner_reports[m].push((user_index, report.inner));
         self.outer.collect(user_index, report.outer);
         self.users_seen += 1;
     }
 
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<SketchReport>) {
-        assert!(!self.finished, "collect after finish");
-        // Inner reports are buffered per coordinate in arrival order (the
+    fn new_shard(&self) -> SketchShard {
+        SketchShard {
+            inner: vec![Vec::new(); self.params.num_coords],
+            outer: self.outer.new_shard(),
+            users: 0,
+        }
+    }
+
+    fn absorb(&self, shard: &mut SketchShard, start_index: u64, reports: &[SketchReport]) {
+        // Inner reports buffer per (recomputed) coordinate — the
         // coordinate oracles ingest them at finish through order-exact
-        // integer tallies); the outer oracle takes the whole range through
-        // its sharded parallel ingest.
-        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+        // integer tallies, so buffer order across shards is immaterial.
+        let part_seed = self.partition_seed();
+        let num_coords = self.params.num_coords as u64;
         for (k, rep) in reports.iter().enumerate() {
             let i = start_index + k as u64;
-            debug_assert_eq!(rep.coord as usize, self.coord_of(i));
-            self.inner_reports[rep.coord as usize].push((i, rep.inner));
+            let m = Self::coord_at(part_seed, i, num_coords);
+            shard.inner[m].push((i, rep.inner));
         }
-        self.users_seen += reports.len() as u64;
-        self.outer.collect_batch(start_index, outer);
+        let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
+        self.outer.absorb(&mut shard.outer, start_index, &outer);
+        shard.users += reports.len() as u64;
+    }
+
+    fn merge(&self, mut a: SketchShard, b: SketchShard) -> SketchShard {
+        for (acc, mut add) in a.inner.iter_mut().zip(b.inner) {
+            acc.append(&mut add);
+        }
+        a.outer = self.outer.merge(a.outer, b.outer);
+        a.users += b.users;
+        a
+    }
+
+    fn finish_shard(&mut self, shard: SketchShard) {
+        assert!(!self.finished, "collect after finish");
+        for (acc, mut add) in self.inner_reports.iter_mut().zip(shard.inner) {
+            acc.append(&mut add);
+        }
+        self.outer.finish_shard(shard.outer);
+        self.users_seen += shard.users;
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
@@ -262,7 +308,9 @@ impl HeavyHitterProtocol for ExpanderSketch {
     }
 
     fn report_bits(&self) -> usize {
-        self.inner_proto.report_bits() + self.outer.report_bits()
+        // Exact worst-case wire size of the composite message (still
+        // Θ(log) — the components claim 1 + log₂W bits each).
+        wire::pair_wire_bits(self.inner_proto.report_bits(), self.outer.report_bits())
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,32 +1,65 @@
 //! The protocol interface shared by `PrivateExpanderSketch` and its
-//! baselines.
+//! baselines: an explicit encoder/aggregator split.
 //!
-//! The interface is **batch-first**: drivers hand protocols whole slices
-//! of users at once ([`HeavyHitterProtocol::respond_batch`] /
-//! [`HeavyHitterProtocol::collect_batch`]), and protocols are free to
-//! ingest them with sharded parallel accumulators. The per-user methods
-//! remain the semantic ground truth — the batch methods have default
-//! implementations that delegate to them, and every override must be
-//! observationally identical (the `batch_equivalence` integration tests
-//! enforce this bit-for-bit).
+//! # Encoder / aggregator architecture
+//!
+//! A [`HeavyHitterProtocol`] is two machines connected by a wire:
+//!
+//! * the **encoder** (client side): [`HeavyHitterProtocol::respond`] /
+//!   [`HeavyHitterProtocol::respond_batch`] turn a user's input into a
+//!   `Report`, and every `Report` implements [`WireReport`] — an exact
+//!   byte encoding — so the paper's logarithmic-message claim is a
+//!   measured property (`report_bits()` bounds the encoding up to byte
+//!   alignment; pinned by the `wire_conformance` integration tests);
+//! * the **aggregator** (server side): ingestion state is first-class
+//!   and *mergeable*. A [`HeavyHitterProtocol::Shard`] is the
+//!   self-contained partial aggregate one collector node holds;
+//!   [`HeavyHitterProtocol::new_shard`] makes an empty one,
+//!   [`HeavyHitterProtocol::absorb`] folds a contiguous user range of
+//!   reports into it, [`HeavyHitterProtocol::merge`] combines two
+//!   shards, and [`HeavyHitterProtocol::finish_shard`] folds a shard
+//!   into the server. Shards hold exact integer state, so `merge` is
+//!   associative and commutative (observationally) with `new_shard()`
+//!   as identity: any shard tree over any partition of the reports
+//!   leaves the server bit-for-bit identical to serial per-user
+//!   [`HeavyHitterProtocol::collect`] calls.
+//!
+//! [`HeavyHitterProtocol::collect_batch`]'s default is the one shared
+//! sharding path — absorb chunks on worker threads, merge tree-wise,
+//! fold in — replacing the per-protocol parallel accumulators that each
+//! implementation used to carry. The distributed driver
+//! (`hh_sim::run_heavy_hitter_distributed`) runs the same primitives
+//! across simulated collector fleets, with every report round-tripped
+//! through its wire encoding.
 //!
 //! Reproducibility contract: user `i`'s client coins are always the
 //! stream [`hh_math::rng::client_rng`]`(client_seed, i)` — a pure
 //! function of the run seed and the user index — so the reports (and
 //! therefore the output of `finish`) do not depend on chunk boundaries,
-//! thread count, or processing order.
+//! thread count, collector assignment, or merge order. The
+//! `batch_equivalence` and `distributed_merge` integration tests enforce
+//! this bit-for-bit.
 
+pub use hh_freq::wire::{WireError, WireReport};
+
+use hh_freq::traits::{merge_tree, shard_chunk_size};
+use hh_math::par::par_chunk_map;
 use hh_math::rng::client_rng;
 use rand::Rng;
 
-/// A one-round LDP heavy-hitters protocol (Definition 3.1).
+/// A one-round LDP heavy-hitters protocol (Definition 3.1), split into a
+/// wire-format encoder and a mergeable aggregator (see the module docs).
 ///
 /// The object carries the public randomness and server state;
 /// [`HeavyHitterProtocol::respond`] is the client algorithm and reads only
 /// public state plus the user's own input.
 pub trait HeavyHitterProtocol {
-    /// The single message a user sends.
-    type Report;
+    /// The single message a user sends, as it crosses the wire.
+    type Report: WireReport;
+
+    /// Self-contained, mergeable partial aggregation state: what one
+    /// collector node holds after ingesting a subset of the reports.
+    type Shard: Send;
 
     /// Client: user `user_index` holding `x` produces her message.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
@@ -48,19 +81,57 @@ pub trait HeavyHitterProtocol {
             .collect()
     }
 
-    /// Server: ingest one message.
+    /// Server: ingest one message. The semantic ground truth every shard
+    /// path must match observationally.
     fn collect(&mut self, user_index: u64, report: Self::Report);
 
-    /// Server, batched: ingest the messages of the contiguous user range
-    /// `start_index .. start_index + reports.len()`.
+    /// An empty partial aggregate (the identity of
+    /// [`HeavyHitterProtocol::merge`]).
+    fn new_shard(&self) -> Self::Shard;
+
+    /// Fold the reports of the contiguous user range
+    /// `start_index .. start_index + reports.len()` into `shard`.
     ///
-    /// Must leave the server in a state observationally identical to
-    /// per-user [`HeavyHitterProtocol::collect`] calls (the default).
-    /// Overrides may ingest through sharded accumulators in parallel as
-    /// long as the merge is order-exact (integer tallies, not floats).
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>) {
-        for (k, report) in reports.into_iter().enumerate() {
-            self.collect(start_index + k as u64, report);
+    /// Must be observationally identical to per-user
+    /// [`HeavyHitterProtocol::collect`] calls over the same range
+    /// (absorbed state is exact — integer tallies, never floats — so
+    /// ranges may be absorbed in any order across any number of shards).
+    fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+
+    /// Combine two partial aggregates. Associative and commutative
+    /// (observationally), with [`HeavyHitterProtocol::new_shard`] as
+    /// identity.
+    fn merge(&self, a: Self::Shard, b: Self::Shard) -> Self::Shard;
+
+    /// Fold a partial aggregate into the server state (before
+    /// [`HeavyHitterProtocol::finish`]).
+    fn finish_shard(&mut self, shard: Self::Shard);
+
+    /// Server, batched: ingest the messages of the contiguous user range
+    /// `start_index .. start_index + reports.len()` through the shared
+    /// sharding path — absorb chunks into per-thread shards in parallel,
+    /// merge tree-wise, fold the result in. Must be (and, with the
+    /// default, is) observationally identical to per-user
+    /// [`HeavyHitterProtocol::collect`] calls.
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>)
+    where
+        Self: Sync,
+        Self::Report: Sync,
+    {
+        if reports.is_empty() {
+            return;
+        }
+        let chunk = shard_chunk_size(reports.len());
+        let shards = {
+            let this: &Self = self;
+            par_chunk_map(&reports, chunk, 0, |c, reps| {
+                let mut shard = this.new_shard();
+                this.absorb(&mut shard, start_index + (c * chunk) as u64, reps);
+                shard
+            })
+        };
+        if let Some(shard) = merge_tree(shards, |a, b| self.merge(a, b)) {
+            self.finish_shard(shard);
         }
     }
 
@@ -69,7 +140,9 @@ pub trait HeavyHitterProtocol {
     /// decreasing estimate.
     fn finish(&mut self) -> Vec<(u64, f64)>;
 
-    /// Communication per user in bits.
+    /// Communication per user in bits. The wire encoding satisfies
+    /// `encoded_len() <= report_bits().div_ceil(8)` — pinned by the
+    /// `wire_conformance` integration tests.
     fn report_bits(&self) -> usize;
 
     /// Server working-memory estimate in bytes.

@@ -18,9 +18,9 @@
 
 use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use crate::wire::{read_uint, uint_len, write_uint, WireError, WireReport};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
-use hh_math::par::par_chunk_map;
 use rand::Rng;
 
 /// Bassily–Smith-style JL projection oracle.
@@ -79,7 +79,7 @@ impl BassilySmithOracle {
 }
 
 /// A user's report: the sampled row and the randomized bit.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BsReport {
     /// Row index `j ∈ [w]`.
     pub row: u64,
@@ -87,8 +87,37 @@ pub struct BsReport {
     pub bit: i8,
 }
 
+/// Wire format: the `1 + ceil(log2 w)`-bit payload `row·2 + [bit > 0]`
+/// as a minimal little-endian integer.
+impl WireReport for BsReport {
+    fn encoded_len(&self) -> usize {
+        uint_len(self.row << 1 | u64::from(self.bit > 0))
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uint(out, self.row << 1 | u64::from(self.bit > 0));
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let v = read_uint(bytes)?;
+        Ok(BsReport {
+            row: v >> 1,
+            bit: if v & 1 == 1 { 1 } else { -1 },
+        })
+    }
+}
+
+/// Mergeable partial aggregate of a [`BassilySmithOracle`]: per-row ±1
+/// integer tallies (merge is exact addition).
+#[derive(Debug, Clone)]
+pub struct BsShard {
+    tallies: Vec<i64>,
+    users: u64,
+}
+
 impl FrequencyOracle for BassilySmithOracle {
     type Report = BsReport;
+    type Shard = BsShard;
 
     fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> BsReport {
         assert!(x < self.domain);
@@ -109,26 +138,35 @@ impl FrequencyOracle for BassilySmithOracle {
         self.total += 1;
     }
 
-    fn collect_batch(&mut self, _start_index: u64, reports: Vec<BsReport>) {
-        assert!(!self.finalized);
-        let w = self.w as usize;
-        let chunk = reports
-            .len()
-            .div_ceil(rayon::current_num_threads())
-            .max(4096);
-        let shards = par_chunk_map(&reports, chunk, 0, |_, reps| {
-            let mut tallies = vec![0i64; w];
-            for rep in reps {
-                tallies[rep.row as usize] += i64::from(rep.bit);
-            }
-            tallies
-        });
-        for shard in shards {
-            for (acc, add) in self.tallies.iter_mut().zip(&shard) {
-                *acc += add;
-            }
+    fn new_shard(&self) -> BsShard {
+        BsShard {
+            tallies: vec![0i64; self.w as usize],
+            users: 0,
         }
-        self.total += reports.len() as u64;
+    }
+
+    fn absorb(&self, shard: &mut BsShard, _start_index: u64, reports: &[BsReport]) {
+        for rep in reports {
+            shard.tallies[rep.row as usize] += i64::from(rep.bit);
+        }
+        shard.users += reports.len() as u64;
+    }
+
+    fn merge(&self, mut a: BsShard, b: BsShard) -> BsShard {
+        debug_assert_eq!(a.tallies.len(), b.tallies.len());
+        for (acc, add) in a.tallies.iter_mut().zip(&b.tallies) {
+            *acc += add;
+        }
+        a.users += b.users;
+        a
+    }
+
+    fn finish_shard(&mut self, shard: BsShard) {
+        assert!(!self.finalized);
+        for (acc, add) in self.tallies.iter_mut().zip(&shard.tallies) {
+            *acc += add;
+        }
+        self.total += shard.users;
     }
 
     fn finalize(&mut self) {

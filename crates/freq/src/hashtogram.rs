@@ -28,9 +28,9 @@
 
 use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use crate::wire::{read_uint, uint_len, write_uint, WireError, WireReport};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
-use hh_math::par::par_chunk_map;
 use hh_math::rng::{client_rng, derive_seed};
 use hh_math::stats::median;
 use hh_math::wht::{fwht, hadamard_entry};
@@ -107,18 +107,50 @@ impl HashtogramParams {
     }
 }
 
-/// One user's report: her group, the sampled Hadamard row, and the
-/// randomized bit. `1 + log2(W)` payload bits (the group index is
-/// recomputable from the public randomness and the user index).
+/// One user's report: the sampled Hadamard row and the randomized bit —
+/// `1 + log2(W)` payload bits. The user's group is a pure function of
+/// her index and the public randomness, so it is *not* part of the
+/// report (the server recomputes it at ingest; see [`WireReport`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashtogramReport {
-    /// The user's group (public function of her index; included for
-    /// transport convenience).
-    pub group: u32,
     /// Sampled Hadamard row `ℓ ∈ [W]`.
     pub ell: u64,
     /// Randomized response of `s_r(x)·H[ℓ, h_r(x)]`, as ±1.
     pub bit: i8,
+}
+
+/// Wire format: the `1 + log2(W)`-bit payload `ℓ·2 + [bit > 0]` as a
+/// minimal little-endian integer — `report_bits().div_ceil(8)` bytes or
+/// fewer.
+impl WireReport for HashtogramReport {
+    fn encoded_len(&self) -> usize {
+        uint_len(self.ell << 1 | u64::from(self.bit > 0))
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uint(out, self.ell << 1 | u64::from(self.bit > 0));
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let v = read_uint(bytes)?;
+        Ok(HashtogramReport {
+            ell: v >> 1,
+            bit: if v & 1 == 1 { 1 } else { -1 },
+        })
+    }
+}
+
+/// Mergeable partial aggregate of a [`Hashtogram`]: flat
+/// `groups × buckets` integer tallies plus per-group user counts.
+/// Integer state merges by addition — exact and order-invariant.
+#[derive(Debug, Clone)]
+pub struct HashtogramShard {
+    /// Row-major `groups × buckets` ±1 report tallies.
+    tallies: Vec<i64>,
+    /// Users seen per group.
+    group_counts: Vec<u64>,
+    /// Total users absorbed.
+    users: u64,
 }
 
 /// The Hashtogram oracle: public randomness + server sketch state.
@@ -241,6 +273,7 @@ impl Hashtogram {
 
 impl FrequencyOracle for Hashtogram {
     type Report = HashtogramReport;
+    type Shard = HashtogramShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> HashtogramReport {
         assert!(x < self.params.domain, "input {x} outside domain");
@@ -252,7 +285,6 @@ impl FrequencyOracle for Hashtogram {
         let true_bit = u64::from(true_pm > 0);
         let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
         HashtogramReport {
-            group,
             ell,
             bit: if sent == 1 { 1 } else { -1 },
         }
@@ -284,7 +316,6 @@ impl FrequencyOracle for Hashtogram {
             let true_bit = u64::from(true_pm > 0);
             let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
             out.push(HashtogramReport {
-                group,
                 ell,
                 bit: if sent == 1 { 1 } else { -1 },
             });
@@ -294,48 +325,69 @@ impl FrequencyOracle for Hashtogram {
 
     fn collect(&mut self, user_index: u64, report: HashtogramReport) {
         assert!(!self.finalized, "collect after finalize");
-        debug_assert_eq!(report.group, self.group_of(user_index));
-        self.tallies[report.group as usize][report.ell as usize] += i64::from(report.bit);
-        self.group_counts[report.group as usize] += 1;
+        let group = self.group_of(user_index) as usize;
+        self.tallies[group][report.ell as usize] += i64::from(report.bit);
+        self.group_counts[group] += 1;
         self.total_users += 1;
     }
 
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<HashtogramReport>) {
-        assert!(!self.finalized, "collect after finalize");
-        if cfg!(debug_assertions) {
-            for (k, rep) in reports.iter().enumerate() {
-                debug_assert_eq!(rep.group, self.group_of(start_index + k as u64));
-            }
+    fn new_shard(&self) -> HashtogramShard {
+        HashtogramShard {
+            tallies: vec![0i64; self.params.groups * self.params.buckets as usize],
+            group_counts: vec![0u64; self.params.groups],
+            users: 0,
         }
-        // Sharded parallel ingest: each chunk folds into its own zeroed
-        // tally shard; shards merge by integer addition, which is exact
-        // and order-invariant, so the final state is identical for every
-        // chunk and thread count (and to serial per-report collect).
-        let groups = self.params.groups;
+    }
+
+    fn absorb(&self, shard: &mut HashtogramShard, start_index: u64, reports: &[HashtogramReport]) {
+        // The group is recomputed from the user index under a hoisted
+        // assignment seed — reports carry payload only.
+        let assign_seed = self.assignment_seed();
+        let groups = self.params.groups as u64;
         let buckets = self.params.buckets as usize;
-        let chunk = reports
-            .len()
-            .div_ceil(rayon::current_num_threads())
-            .max(4096);
-        let shards = par_chunk_map(&reports, chunk, 0, |_, reps| {
-            let mut tallies = vec![0i64; groups * buckets];
-            let mut counts = vec![0u64; groups];
-            for rep in reps {
-                tallies[rep.group as usize * buckets + rep.ell as usize] += i64::from(rep.bit);
-                counts[rep.group as usize] += 1;
-            }
-            (tallies, counts)
-        });
-        for (tallies, counts) in shards {
-            for g in 0..groups {
-                let row = &mut self.tallies[g];
-                for (acc, add) in row.iter_mut().zip(&tallies[g * buckets..(g + 1) * buckets]) {
-                    *acc += add;
-                }
-                self.group_counts[g] += counts[g];
-            }
+        for (k, rep) in reports.iter().enumerate() {
+            // The row index must be validated here: a corrupt decoded
+            // frame with ell >= W would otherwise alias into a
+            // *neighboring group's* row of the flat tally (the serial
+            // `collect` path panics on the same corruption via its
+            // per-group indexing).
+            assert!(
+                (rep.ell as usize) < buckets,
+                "report row {} outside W = {buckets}",
+                rep.ell
+            );
+            let g = Self::group_at(assign_seed, start_index + k as u64, groups) as usize;
+            shard.tallies[g * buckets + rep.ell as usize] += i64::from(rep.bit);
+            shard.group_counts[g] += 1;
         }
-        self.total_users += reports.len() as u64;
+        shard.users += reports.len() as u64;
+    }
+
+    fn merge(&self, mut a: HashtogramShard, b: HashtogramShard) -> HashtogramShard {
+        debug_assert_eq!(a.tallies.len(), b.tallies.len());
+        for (acc, add) in a.tallies.iter_mut().zip(&b.tallies) {
+            *acc += add;
+        }
+        for (acc, add) in a.group_counts.iter_mut().zip(&b.group_counts) {
+            *acc += add;
+        }
+        a.users += b.users;
+        a
+    }
+
+    fn finish_shard(&mut self, shard: HashtogramShard) {
+        assert!(!self.finalized, "collect after finalize");
+        let buckets = self.params.buckets as usize;
+        for (g, row) in self.tallies.iter_mut().enumerate() {
+            for (acc, add) in row
+                .iter_mut()
+                .zip(&shard.tallies[g * buckets..(g + 1) * buckets])
+            {
+                *acc += add;
+            }
+            self.group_counts[g] += shard.group_counts[g];
+        }
+        self.total_users += shard.users;
     }
 
     fn finalize(&mut self) {
@@ -534,6 +586,41 @@ mod tests {
         assert!(rep.ell < 64);
         assert!(rep.bit == 1 || rep.bit == -1);
         assert_eq!(oracle.report_bits(), 1 + 6);
+        // The wire encoding honors the claim up to byte alignment.
+        assert!(rep.encoded_len() <= oracle.report_bits().div_ceil(8));
+        assert_eq!(HashtogramReport::decode(&rep.encode()), Ok(rep));
+    }
+
+    #[test]
+    fn shard_path_matches_serial_collect() {
+        let n = 4_000u64;
+        let params = HashtogramParams::hashed(n, 1 << 20, 1.0, 0.1);
+        let oracle = Hashtogram::new(params.clone(), 21);
+        let reports = oracle.respond_batch(0, &(0..n).map(|i| i % 97).collect::<Vec<_>>(), 22);
+
+        let mut serial = Hashtogram::new(params.clone(), 21);
+        for (i, &rep) in reports.iter().enumerate() {
+            serial.collect(i as u64, rep);
+        }
+
+        // Split in three ragged ranges, absorb out of order, merge.
+        let mut sharded = Hashtogram::new(params, 21);
+        let (a, rest) = reports.split_at(700);
+        let (b, c) = rest.split_at(1_999);
+        let mut sh_a = sharded.new_shard();
+        sharded.absorb(&mut sh_a, 0, a);
+        let mut sh_b = sharded.new_shard();
+        sharded.absorb(&mut sh_b, 700, b);
+        let mut sh_c = sharded.new_shard();
+        sharded.absorb(&mut sh_c, 700 + 1_999, c);
+        let merged = sharded.merge(sh_c, sharded.merge(sh_a, sh_b));
+        sharded.finish_shard(merged);
+
+        serial.finalize();
+        sharded.finalize();
+        for q in [0u64, 5, 96, 1 << 19] {
+            assert_eq!(serial.estimate(q).to_bits(), sharded.estimate(q).to_bits());
+        }
     }
 
     #[test]

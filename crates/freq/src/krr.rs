@@ -38,8 +38,19 @@ impl KrrOracle {
     }
 }
 
+/// Mergeable partial aggregate of a [`KrrOracle`]: a plain histogram of
+/// received reports (merge is exact addition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KrrShard {
+    counts: Vec<u64>,
+    users: u64,
+}
+
 impl FrequencyOracle for KrrOracle {
+    /// The GRR output itself — wire format is the minimal little-endian
+    /// encoding of the value (`ceil(log2 k)` claimed bits).
     type Report = u64;
+    type Shard = KrrShard;
 
     fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> u64 {
         self.grr.sample(RandomizerInput::Value(x), rng)
@@ -50,6 +61,38 @@ impl FrequencyOracle for KrrOracle {
         assert!(report < self.k);
         self.counts[report as usize] += 1;
         self.total += 1;
+    }
+
+    fn new_shard(&self) -> KrrShard {
+        KrrShard {
+            counts: vec![0; self.k as usize],
+            users: 0,
+        }
+    }
+
+    fn absorb(&self, shard: &mut KrrShard, _start_index: u64, reports: &[u64]) {
+        for &report in reports {
+            assert!(report < self.k);
+            shard.counts[report as usize] += 1;
+        }
+        shard.users += reports.len() as u64;
+    }
+
+    fn merge(&self, mut a: KrrShard, b: KrrShard) -> KrrShard {
+        debug_assert_eq!(a.counts.len(), b.counts.len());
+        for (acc, add) in a.counts.iter_mut().zip(&b.counts) {
+            *acc += add;
+        }
+        a.users += b.users;
+        a
+    }
+
+    fn finish_shard(&mut self, shard: KrrShard) {
+        assert!(!self.finalized);
+        for (acc, add) in self.counts.iter_mut().zip(&shard.counts) {
+            *acc += add;
+        }
+        self.total += shard.users;
     }
 
     fn finalize(&mut self) {

@@ -19,6 +19,10 @@
 //!   exact privacy auditor in `hh-structure`.
 //! * [`calibrate`] — the shared noise-scale and union-bound threshold
 //!   calculations that connect oracle noise to protocol thresholds.
+//! * [`wire`] — the byte-exact report wire format ([`WireReport`]) every
+//!   oracle's `Report` implements, making the Table 1 communication
+//!   claims measurable (and the protocols deployable across a real
+//!   serialization boundary).
 //!
 //! Every protocol here is **non-interactive**: clients see only public
 //! randomness (a single seed) and their own input.
@@ -30,6 +34,8 @@ pub mod krr;
 pub mod randomizers;
 pub mod rappor;
 pub mod traits;
+pub mod wire;
 
-pub use hashtogram::{Hashtogram, HashtogramParams, HashtogramReport};
+pub use hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 pub use traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+pub use wire::{WireError, WireReport};

@@ -48,14 +48,23 @@ impl Rappor {
     }
 }
 
-impl FrequencyOracle for Rappor {
-    /// The perturbed bitvector, packed into words.
-    type Report = Vec<u64>;
+/// Mergeable partial aggregate of a [`Rappor`] oracle: per-position
+/// one-counts (merge is exact addition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RapporShard {
+    ones: Vec<u64>,
+    users: u64,
+}
 
-    fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> Vec<u64> {
+impl FrequencyOracle for Rappor {
+    /// The perturbed bitvector, byte-packed — the report *is* its wire
+    /// format (`ceil(domain / 8)` bytes against the `domain`-bit claim).
+    type Report = Vec<u8>;
+    type Shard = RapporShard;
+
+    fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> Vec<u8> {
         assert!(x < self.domain);
-        let words = (self.domain as usize).div_ceil(64);
-        let mut out = vec![0u64; words];
+        let mut out = vec![0u8; (self.domain as usize).div_ceil(8)];
         for j in 0..self.domain {
             let true_bit = j == x;
             let sent = if rng.gen::<f64>() < self.keep {
@@ -64,20 +73,57 @@ impl FrequencyOracle for Rappor {
                 !true_bit
             };
             if sent {
-                out[(j / 64) as usize] |= 1 << (j % 64);
+                out[(j / 8) as usize] |= 1 << (j % 8);
             }
         }
         out
     }
 
-    fn collect(&mut self, _user_index: u64, report: Vec<u64>) {
+    fn collect(&mut self, _user_index: u64, report: Vec<u8>) {
         assert!(!self.finalized);
+        assert_eq!(report.len(), (self.domain as usize).div_ceil(8));
         for j in 0..self.domain {
-            if report[(j / 64) as usize] >> (j % 64) & 1 == 1 {
+            if report[(j / 8) as usize] >> (j % 8) & 1 == 1 {
                 self.ones[j as usize] += 1;
             }
         }
         self.total += 1;
+    }
+
+    fn new_shard(&self) -> RapporShard {
+        RapporShard {
+            ones: vec![0; self.domain as usize],
+            users: 0,
+        }
+    }
+
+    fn absorb(&self, shard: &mut RapporShard, _start_index: u64, reports: &[Vec<u8>]) {
+        for report in reports {
+            assert_eq!(report.len(), (self.domain as usize).div_ceil(8));
+            for j in 0..self.domain {
+                if report[(j / 8) as usize] >> (j % 8) & 1 == 1 {
+                    shard.ones[j as usize] += 1;
+                }
+            }
+        }
+        shard.users += reports.len() as u64;
+    }
+
+    fn merge(&self, mut a: RapporShard, b: RapporShard) -> RapporShard {
+        debug_assert_eq!(a.ones.len(), b.ones.len());
+        for (acc, add) in a.ones.iter_mut().zip(&b.ones) {
+            *acc += add;
+        }
+        a.users += b.users;
+        a
+    }
+
+    fn finish_shard(&mut self, shard: RapporShard) {
+        assert!(!self.finalized);
+        for (acc, add) in self.ones.iter_mut().zip(&shard.ones) {
+            *acc += add;
+        }
+        self.total += shard.users;
     }
 
     fn finalize(&mut self) {

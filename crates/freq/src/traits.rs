@@ -1,12 +1,76 @@
-//! Core protocol abstractions.
+//! Core protocol abstractions: local randomizers and the
+//! encoder/aggregator split of the frequency-oracle interface.
 //!
-//! Both traits here are **batch-first** (see `hh_core::traits` for the
-//! full contract): the batch methods default to per-item delegation, and
-//! overrides must be observationally identical while being free to
-//! vectorize or ingest through sharded parallel accumulators.
+//! # Encoder / aggregator architecture
+//!
+//! A [`FrequencyOracle`] is two machines connected by a wire:
+//!
+//! * the **encoder** (client side): [`FrequencyOracle::respond`] /
+//!   [`FrequencyOracle::respond_batch`] turn a user's input into a
+//!   `Report`, and every `Report` implements [`WireReport`] — an exact
+//!   byte encoding, so "logarithmic-size message" is a measured property,
+//!   not a theoretical one;
+//! * the **aggregator** (server side): ingestion state is first-class and
+//!   *mergeable*. A [`FrequencyOracle::Shard`] is a self-contained
+//!   partial aggregate; [`FrequencyOracle::new_shard`] makes an empty
+//!   one, [`FrequencyOracle::absorb`] folds a contiguous range of
+//!   reports into it, [`FrequencyOracle::merge`] combines two shards,
+//!   and [`FrequencyOracle::finish_shard`] folds a shard into the
+//!   server. Shards are exact integer state, so `merge` is associative
+//!   and commutative with `new_shard()` as the identity — any shard
+//!   tree, over any partition of the reports, yields bit-for-bit the
+//!   state of serial per-user [`FrequencyOracle::collect`] calls (the
+//!   `batch_equivalence` and `distributed_merge` integration tests pin
+//!   this).
+//!
+//! [`FrequencyOracle::collect_batch`] is no longer a per-protocol
+//! parallel accumulator: its default is the one shared sharding path —
+//! absorb chunks on worker threads, merge tree-wise, fold the result in.
+//! Protocols implement the four shard primitives and get batched (and
+//! distributed — see `hh_sim::run_oracle_distributed`) ingestion for
+//! free.
+//!
+//! Reproducibility contract (unchanged from the batch-first interface):
+//! user `i`'s client coins are always the stream
+//! [`hh_math::rng::client_rng`]`(client_seed, i)` — a pure function of
+//! the run seed and the user index — so reports, and therefore every
+//! aggregate, do not depend on chunk boundaries, thread count, collector
+//! assignment, or merge order.
 
+use crate::wire::WireReport;
+use hh_math::par::{par_chunk_map, planned_threads};
 use hh_math::rng::client_rng;
 use rand::Rng;
+
+/// Smallest per-shard chunk the shared sharding path will create:
+/// shard setup/merge is O(state size), so tiny chunks would be all
+/// overhead.
+pub const MIN_SHARD_CHUNK: usize = 4096;
+
+/// The chunk size the shared sharding path uses for `n` reports (one
+/// chunk per available worker, floored at [`MIN_SHARD_CHUNK`]). Shared
+/// with `hh_core::traits` so both trait defaults shard identically.
+pub fn shard_chunk_size(n: usize) -> usize {
+    n.div_ceil(planned_threads(0, n, 1)).max(MIN_SHARD_CHUNK)
+}
+
+/// Fold shards pairwise, level by level (`(s0⊕s1) ⊕ (s2⊕s3) ⊕ …`) —
+/// the one tree reduction both trait defaults and the distributed
+/// driver's tree merge go through. `None` for an empty input.
+pub fn merge_tree<S>(mut shards: Vec<S>, mut merge: impl FnMut(S, S) -> S) -> Option<S> {
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => merge(a, b),
+                None => a,
+            });
+        }
+        shards = next;
+    }
+    shards.pop()
+}
 
 /// Input to a local randomizer: a real domain element or the null symbol
 /// `⊥` used by GenProt's public sampling (Algorithm GenProt, step 1).
@@ -70,15 +134,21 @@ pub trait LocalRandomizer {
     }
 }
 
-/// A one-round LDP frequency-oracle protocol (Definition 3.2).
+/// A one-round LDP frequency-oracle protocol (Definition 3.2), split into
+/// a wire-format encoder and a mergeable aggregator (see the module
+/// docs).
 ///
 /// The object holds the *public randomness* (derived from one seed) and
 /// the server state; [`FrequencyOracle::respond`] is the client algorithm
 /// (it reads only public state and the user's own input, never other
 /// users' reports — non-interactivity by construction).
 pub trait FrequencyOracle {
-    /// The client's single message to the server.
-    type Report;
+    /// The client's single message to the server, as it crosses the wire.
+    type Report: WireReport;
+
+    /// Self-contained, mergeable partial aggregation state: what one
+    /// collector node holds after ingesting a subset of the reports.
+    type Shard: Send;
 
     /// Client-side: user `user_index` holding `x` produces her report.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
@@ -98,16 +168,56 @@ pub trait FrequencyOracle {
             .collect()
     }
 
-    /// Server-side: ingest one report.
+    /// Server-side: ingest one report. The semantic ground truth every
+    /// shard path must match observationally.
     fn collect(&mut self, user_index: u64, report: Self::Report);
 
-    /// Server-side, batched ingest of a contiguous user range. Must be
-    /// observationally identical to per-report
-    /// [`FrequencyOracle::collect`] calls (the default); overrides may
-    /// use sharded parallel accumulators with order-exact merges.
-    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>) {
-        for (k, report) in reports.into_iter().enumerate() {
-            self.collect(start_index + k as u64, report);
+    /// An empty partial aggregate (the identity of
+    /// [`FrequencyOracle::merge`]).
+    fn new_shard(&self) -> Self::Shard;
+
+    /// Fold the reports of the contiguous user range
+    /// `start_index .. start_index + reports.len()` into `shard`.
+    ///
+    /// Must be observationally identical to per-user
+    /// [`FrequencyOracle::collect`] calls over the same range (absorbed
+    /// state is exact — integer tallies, never floats — so ranges may be
+    /// absorbed in any order across any number of shards).
+    fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+
+    /// Combine two partial aggregates. Associative and commutative
+    /// (observationally), with [`FrequencyOracle::new_shard`] as
+    /// identity.
+    fn merge(&self, a: Self::Shard, b: Self::Shard) -> Self::Shard;
+
+    /// Fold a partial aggregate into the server state (before
+    /// [`FrequencyOracle::finalize`]).
+    fn finish_shard(&mut self, shard: Self::Shard);
+
+    /// Server-side, batched ingest of a contiguous user range through
+    /// the shared sharding path: absorb chunks into per-thread shards in
+    /// parallel, merge them tree-wise, fold the result in. Must be (and,
+    /// with the default, is) observationally identical to per-report
+    /// [`FrequencyOracle::collect`] calls.
+    fn collect_batch(&mut self, start_index: u64, reports: Vec<Self::Report>)
+    where
+        Self: Sync,
+        Self::Report: Sync,
+    {
+        if reports.is_empty() {
+            return;
+        }
+        let chunk = shard_chunk_size(reports.len());
+        let shards = {
+            let this: &Self = self;
+            par_chunk_map(&reports, chunk, 0, |c, reps| {
+                let mut shard = this.new_shard();
+                this.absorb(&mut shard, start_index + (c * chunk) as u64, reps);
+                shard
+            })
+        };
+        if let Some(shard) = merge_tree(shards, |a, b| self.merge(a, b)) {
+            self.finish_shard(shard);
         }
     }
 
@@ -118,7 +228,10 @@ pub trait FrequencyOracle {
     /// Estimate `f_S(x)`.
     fn estimate(&self, x: u64) -> f64;
 
-    /// Communication per user in bits (for the Table 1 accounting).
+    /// Communication per user in bits (for the Table 1 accounting). The
+    /// wire encoding satisfies
+    /// `encoded_len() <= report_bits().div_ceil(8)` — pinned by the
+    /// `wire_conformance` integration tests.
     fn report_bits(&self) -> usize;
 
     /// Server working-memory estimate in bytes (sketch state only).
@@ -135,5 +248,13 @@ mod tests {
     #[test]
     fn randomizer_input_from_u64() {
         assert_eq!(RandomizerInput::from(7), RandomizerInput::Value(7));
+    }
+
+    #[test]
+    fn shard_chunks_cover_hardware() {
+        let n = 1usize << 20;
+        let chunk = shard_chunk_size(n);
+        assert!(chunk >= MIN_SHARD_CHUNK);
+        assert!(chunk * planned_threads(0, n, 1) >= n);
     }
 }

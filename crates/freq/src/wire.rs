@@ -1,0 +1,228 @@
+//! The wire format of client reports.
+//!
+//! The paper's protocols are client/server with logarithmic-size
+//! messages; this module is where that claim meets bytes. Every
+//! `Report` type in the workspace implements [`WireReport`]: an exact,
+//! byte-oriented encoding (`encode_into` / `decode`) whose length is
+//! known up front (`encoded_len`), so a report can cross a real
+//! serialization boundary — a socket, a collector queue, a disk spool —
+//! and arrive bit-for-bit intact. The distributed driver
+//! (`hh_sim::run_heavy_hitter_distributed`) round-trips every report
+//! through this format, and the `wire_conformance` integration tests pin
+//! `decode(encode(r)) == r` plus the size bound
+//! `encoded_len <= report_bits().div_ceil(8)` for every protocol and
+//! oracle (a byte transport cannot beat bit granularity, so the claimed
+//! Θ(log)-bit payload rounds up to the next whole byte).
+//!
+//! Encoding conventions:
+//!
+//! * Scalar payloads are **minimal little-endian**: the value is written
+//!   in the fewest bytes that hold it (at least one), and the decoder
+//!   reads the entire slice, rejecting non-canonical (zero-padded)
+//!   encodings. Framing — knowing where one report ends — is the
+//!   transport's job; the simulated collectors frame with
+//!   [`WireReport::encoded_len`].
+//! * Fields that are pure functions of the user index and public
+//!   randomness (Hashtogram's group, the sketch's coordinate) are **not
+//!   on the wire**: the server recomputes them from the index it already
+//!   has. Reports carry payload only.
+//! * Composite reports (one message wrapping two oracle reports)
+//!   prefix the first component with a one-byte length so the decoder
+//!   can split without protocol parameters.
+
+use std::fmt;
+
+/// Why a byte slice failed to decode as a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The slice is shorter than the format requires.
+    Truncated,
+    /// The slice holds bytes beyond the end of the report.
+    Trailing,
+    /// The bytes violate the format (non-canonical length, bad range).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire report truncated"),
+            WireError::Trailing => write!(f, "trailing bytes after wire report"),
+            WireError::Invalid(why) => write!(f, "invalid wire report: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client report with an exact byte encoding.
+///
+/// Implementations must satisfy, for every value `r`:
+///
+/// 1. **Round trip:** `decode(&encode(r)) == Ok(r)`.
+/// 2. **Exact length:** `encode_into` appends exactly
+///    [`WireReport::encoded_len`] bytes.
+/// 3. **Size claim:** when `r` was produced by a protocol whose
+///    per-user communication claim is `report_bits()`,
+///    `encoded_len() <= report_bits().div_ceil(8)`.
+pub trait WireReport: Sized {
+    /// Exact number of bytes [`WireReport::encode_into`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Append the encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decode a report from a slice holding exactly one encoded report.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        debug_assert_eq!(out.len(), self.encoded_len(), "encoded_len lied");
+        out
+    }
+}
+
+/// Bytes needed for the minimal little-endian encoding of `v` (≥ 1).
+pub fn uint_len(v: u64) -> usize {
+    (8 - (v.leading_zeros() as usize) / 8).max(1)
+}
+
+/// Append the minimal little-endian encoding of `v` (see [`uint_len`]).
+pub fn write_uint(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes()[..uint_len(v)]);
+}
+
+/// Read a minimal little-endian integer spanning the whole slice.
+///
+/// Rejects empty slices, slices longer than 8 bytes, and non-canonical
+/// encodings (a most-significant byte of zero in a multi-byte slice).
+pub fn read_uint(bytes: &[u8]) -> Result<u64, WireError> {
+    if bytes.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    if bytes.len() > 8 {
+        return Err(WireError::Trailing);
+    }
+    if bytes.len() > 1 && bytes[bytes.len() - 1] == 0 {
+        return Err(WireError::Invalid("zero-padded integer"));
+    }
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Exact wire length in bytes of a `[first_len: u8][first][second]`
+/// composite frame (see [`encode_pair`]).
+pub fn pair_encoded_len<A: WireReport, B: WireReport>(first: &A, second: &B) -> usize {
+    1 + first.encoded_len() + second.encoded_len()
+}
+
+/// Append a two-component composite frame: the first component's length
+/// in one byte (so the decoder can split without protocol parameters),
+/// then each component's own encoding.
+pub fn encode_pair<A: WireReport, B: WireReport>(first: &A, second: &B, out: &mut Vec<u8>) {
+    debug_assert!(first.encoded_len() <= u8::MAX as usize);
+    out.push(first.encoded_len() as u8);
+    first.encode_into(out);
+    second.encode_into(out);
+}
+
+/// Decode a frame produced by [`encode_pair`].
+pub fn decode_pair<A: WireReport, B: WireReport>(bytes: &[u8]) -> Result<(A, B), WireError> {
+    let (&first_len, rest) = bytes.split_first().ok_or(WireError::Truncated)?;
+    let first_len = first_len as usize;
+    if rest.len() < first_len {
+        return Err(WireError::Truncated);
+    }
+    let (first, second) = rest.split_at(first_len);
+    Ok((A::decode(first)?, B::decode(second)?))
+}
+
+/// Worst-case size, in (byte-aligned) bits, of a composite
+/// [`encode_pair`] message whose components claim `first_bits` and
+/// `second_bits` — the `report_bits()` of the composite protocols.
+pub fn pair_wire_bits(first_bits: usize, second_bits: usize) -> usize {
+    8 * (1 + first_bits.div_ceil(8) + second_bits.div_ceil(8))
+}
+
+/// Raw `u64` reports (generalized randomized response): the value itself,
+/// minimal little-endian.
+impl WireReport for u64 {
+    fn encoded_len(&self) -> usize {
+        uint_len(*self)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_uint(out, *self);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        read_uint(bytes)
+    }
+}
+
+/// Dense bitvector reports (one-hot RAPPOR): the bytes are the wire
+/// format — identity encoding.
+impl WireReport for Vec<u8> {
+    fn encoded_len(&self) -> usize {
+        self.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        Ok(bytes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_len_boundaries() {
+        assert_eq!(uint_len(0), 1);
+        assert_eq!(uint_len(255), 1);
+        assert_eq!(uint_len(256), 2);
+        assert_eq!(uint_len(u64::MAX), 8);
+    }
+
+    #[test]
+    fn uint_round_trips_minimal() {
+        for v in [0u64, 1, 127, 255, 256, 65_535, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uint(&mut buf, v);
+            assert_eq!(buf.len(), uint_len(v));
+            assert_eq!(read_uint(&buf), Ok(v));
+        }
+    }
+
+    #[test]
+    fn read_uint_rejects_malformed() {
+        assert_eq!(read_uint(&[]), Err(WireError::Truncated));
+        assert_eq!(read_uint(&[1; 9]), Err(WireError::Trailing));
+        assert_eq!(
+            read_uint(&[7, 0]),
+            Err(WireError::Invalid("zero-padded integer"))
+        );
+    }
+
+    #[test]
+    fn u64_wire_round_trip() {
+        for v in [0u64, 42, 1 << 33] {
+            assert_eq!(u64::decode(&v.encode()), Ok(v));
+            assert_eq!(v.encode().len(), v.encoded_len());
+        }
+    }
+
+    #[test]
+    fn bytes_wire_round_trip() {
+        let v = vec![0xAAu8, 0, 0x55];
+        assert_eq!(Vec::<u8>::decode(&v.encode()), Ok(v.clone()));
+        assert_eq!(v.encoded_len(), 3);
+    }
+}

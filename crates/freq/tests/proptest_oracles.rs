@@ -1,9 +1,10 @@
 //! Property tests for the frequency-oracle layer: estimator consistency
 //! and report-space invariants under randomized parameters.
 
-use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
+use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport};
 use hh_freq::krr::KrrOracle;
 use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire::WireReport;
 use hh_math::rng::seeded_rng;
 use proptest::prelude::*;
 
@@ -29,8 +30,12 @@ proptest! {
             let rep = oracle.respond(i, i % (1 << logw), &mut rng);
             prop_assert!(rep.ell < 1 << logw);
             prop_assert!(rep.bit == 1 || rep.bit == -1);
-            prop_assert!((rep.group as usize) < 3);
-            prop_assert_eq!(rep.group, oracle.group_of(i));
+            prop_assert!((oracle.group_of(i) as usize) < 3);
+            // Wire round trip is exact and within the claimed size.
+            let bytes = rep.encode();
+            prop_assert_eq!(bytes.len(), rep.encoded_len());
+            prop_assert_eq!(HashtogramReport::decode(&bytes), Ok(rep));
+            prop_assert!(8 * rep.encoded_len() <= oracle.report_bits().next_multiple_of(8));
         }
     }
 

@@ -9,23 +9,32 @@
 //! * [`workload`] generates the distributed inputs (planted heavy
 //!   hitters, Zipf skew, the URL-telemetry mixture);
 //! * [`run`] executes a protocol over the population and times each
-//!   phase. Two drivers share one reproducibility contract:
+//!   phase. Three drivers share one reproducibility contract:
 //!   - [`run_heavy_hitter`] / [`run_oracle`] — the serial reference
 //!     path, one user at a time;
 //!   - [`run_heavy_hitter_batched`] / [`run_oracle_batched`] — the
 //!     batch-first parallel pipeline: chunked `respond_batch` on scoped
-//!     worker threads, chunk-ordered sharded-accumulator `collect_batch`
-//!     ingest, then the unchanged `finish`. Configured by [`BatchPlan`]
-//!     (chunk size, thread count — neither affects output).
+//!     worker threads, shard-based `collect_batch` ingest, then the
+//!     unchanged `finish`. Configured by [`BatchPlan`] (chunk size,
+//!     thread count — neither affects output);
+//!   - [`run_heavy_hitter_distributed`] / [`run_oracle_distributed`] —
+//!     a simulated collector fleet: every report is round-tripped
+//!     through its `WireReport` byte encoding, routed to one of `k`
+//!     collector nodes, absorbed into that node's shard, and the shards
+//!     are merged (tree-wise by default) before `finish`. Configured by
+//!     [`DistPlan`] (collector count, chunk size, threads,
+//!     [`MergeOrder`] — none affects output); also accounts measured
+//!     wire bytes.
 //! * [`metrics`] summarizes accuracy against ground truth.
 //!
 //! **Determinism:** user `i`'s client coins are the derived stream
-//! `client_rng(client_seed, i)` in both drivers, and every protocol
-//! ingests reports through order-exact integer tallies, so for a fixed
-//! seed the batched driver is bit-for-bit equivalent to the serial one
-//! at any chunk size and thread count. This is load-bearing for the
-//! experiment harness (perf changes can never silently change results)
-//! and is pinned by the `batch_equivalence` integration tests at the
+//! `client_rng(client_seed, i)` in every driver, and every protocol
+//! aggregates through order-exact integer shards, so for a fixed seed
+//! the batched and distributed drivers are bit-for-bit equivalent to
+//! the serial one at any chunk size, thread count, collector count and
+//! merge order. This is load-bearing for the experiment harness (perf
+//! changes can never silently change results) and is pinned by the
+//! `batch_equivalence` and `distributed_merge` integration tests at the
 //! workspace root.
 
 pub mod metrics;
@@ -33,7 +42,8 @@ pub mod run;
 pub mod workload;
 
 pub use run::{
-    run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
-    OracleRun, ProtocolRun,
+    run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
+    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, DistributedOracleRun,
+    DistributedRun, MergeOrder, OracleRun, ProtocolRun,
 };
 pub use workload::Workload;

@@ -1,17 +1,19 @@
 //! Protocol execution with the Table 1 resource accounting: a serial
-//! reference driver and a batched, parallel driver with identical output.
+//! reference driver, a batched parallel driver, and a distributed
+//! collector-fleet driver — all with identical output.
 //!
 //! # The reproducibility contract
 //!
-//! Both drivers give user `i` the client coin stream
+//! Every driver gives user `i` the client coin stream
 //! [`client_rng`]`(client_seed, i)` where `client_seed` is derived from
 //! the run seed. A user's report is therefore a pure function of
-//! `(seed, i, x)`: the serial runner, and the batched runner at *any*
-//! chunk size and thread count, produce bit-for-bit identical reports —
-//! and, because every protocol ingests through order-exact integer
-//! accumulators, bit-for-bit identical `finish()` output. The
-//! `batch_equivalence` integration tests pin this down protocol by
-//! protocol.
+//! `(seed, i, x)`: the serial runner, the batched runner at *any* chunk
+//! size and thread count, and the distributed runner at *any* collector
+//! count and merge order produce bit-for-bit identical reports — and,
+//! because every protocol aggregates through order-exact integer
+//! shards, bit-for-bit identical `finish()` output. The
+//! `batch_equivalence` and `distributed_merge` integration tests pin
+//! this down protocol by protocol.
 //!
 //! # The batched pipeline
 //!
@@ -23,11 +25,28 @@
 //!    and the per-chunk report vectors are reassembled in user order;
 //! 2. **ingest** — `collect_batch` hands the server each chunk's reports
 //!    in user order (freeing each chunk as it lands, so peak driver
-//!    memory is one report set, never two); protocols shard ingestion
-//!    into per-thread integer tallies internally and merge exactly;
+//!    memory is one report set, never two); the shared sharding path
+//!    absorbs into per-thread shards and merges exactly;
 //! 3. **finish** — unchanged single-threaded aggregation/decoding.
+//!
+//! # The distributed pipeline
+//!
+//! [`run_heavy_hitter_distributed`] simulates a collector fleet:
+//!
+//! 1. **respond + encode** — as above, but each chunk's reports are
+//!    immediately serialized through their [`WireReport`] encoding (the
+//!    clients' messages as they would leave the device); total wire
+//!    bytes are accounted;
+//! 2. **collect** — chunk `c`'s bytes are routed to collector
+//!    `c % collectors`; each collector decodes its frames and absorbs
+//!    them into its own shard (collectors run in parallel — they share
+//!    nothing);
+//! 3. **merge** — the collector shards are combined in the order given
+//!    by [`MergeOrder`] (tree-wise by default) and folded into the
+//!    server;
+//! 4. **finish** — unchanged.
 
-use hh_core::traits::HeavyHitterProtocol;
+use hh_core::traits::{HeavyHitterProtocol, WireReport};
 use hh_freq::traits::FrequencyOracle;
 use hh_math::par::par_chunk_map;
 use hh_math::rng::{client_rng, derive_seed};
@@ -162,7 +181,7 @@ pub fn run_heavy_hitter_batched<P>(
 ) -> ProtocolRun
 where
     P: HeavyHitterProtocol + Sync,
-    P::Report: Send,
+    P::Report: Send + Sync,
 {
     let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
@@ -203,6 +222,294 @@ where
 /// [`par_chunk_map`]'s behavior.
 fn effective_threads(plan: &BatchPlan, n: usize) -> usize {
     hh_math::par::planned_threads(plan.threads, n, plan.chunk_size)
+}
+
+/// The order in which collector shards are combined. Every order yields
+/// bit-for-bit identical output (`merge` is observationally associative
+/// and commutative) — the drivers expose the choice so tests can prove
+/// it and benches can measure the tree's latency advantage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOrder {
+    /// Pairwise rounds: `(s0+s1) + (s2+s3) + …` — `log2(k)` merge depth,
+    /// what a collector fleet would do.
+    Tree,
+    /// Left fold: `((s0+s1)+s2)+…`.
+    Sequential,
+    /// Left fold over the shards in reverse arrival order
+    /// (`((s_k+s_{k-1})+…)+s0`) — exercises commutativity.
+    ReverseSequential,
+}
+
+/// Execution shape of the distributed drivers.
+#[derive(Debug, Clone)]
+pub struct DistPlan {
+    /// Number of simulated collector nodes. Does not affect output.
+    pub collectors: usize,
+    /// Users per chunk in the respond phase (one chunk = one "RPC" of
+    /// framed reports to a collector). Does not affect output.
+    pub chunk_size: usize,
+    /// Worker threads (`0` = available hardware parallelism). Does not
+    /// affect output.
+    pub threads: usize,
+    /// Shard combination order. Does not affect output.
+    pub merge: MergeOrder,
+}
+
+impl Default for DistPlan {
+    fn default() -> Self {
+        Self {
+            collectors: 8,
+            chunk_size: 1 << 15,
+            threads: 0,
+            merge: MergeOrder::Tree,
+        }
+    }
+}
+
+impl DistPlan {
+    /// A plan with an explicit collector count, defaults elsewhere.
+    pub fn with_collectors(collectors: usize) -> Self {
+        Self {
+            collectors,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured resources of one distributed heavy-hitter run.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// The output list `Est` — bit-for-bit equal to the serial run's.
+    pub estimates: Vec<(u64, f64)>,
+    /// Number of users simulated.
+    pub n: usize,
+    /// Collector nodes simulated.
+    pub collectors: usize,
+    /// Total bytes all reports occupied on the (simulated) wire.
+    pub wire_bytes: u64,
+    /// Wall-clock time of the respond + encode phase.
+    pub client_total: Duration,
+    /// Wall-clock time of the collectors' decode + absorb phase.
+    pub server_ingest: Duration,
+    /// Time to combine the collector shards and fold them in.
+    pub server_merge: Duration,
+    /// Aggregation/decoding time (finish).
+    pub server_finish: Duration,
+    /// Worker threads used by the parallel phases.
+    pub threads: usize,
+    /// Per-user communication claim in bits.
+    pub report_bits: usize,
+    /// Server working memory in bytes.
+    pub memory_bytes: usize,
+    /// The protocol's detection threshold Δ.
+    pub detection_threshold: f64,
+}
+
+impl DistributedRun {
+    /// Mean measured wire bytes per user.
+    pub fn wire_bytes_per_user(&self) -> f64 {
+        self.wire_bytes as f64 / self.n.max(1) as f64
+    }
+
+    /// Total server time (ingest + merge + finish).
+    pub fn server_time(&self) -> Duration {
+        self.server_ingest + self.server_merge + self.server_finish
+    }
+
+    /// End-to-end time of the run.
+    pub fn total_time(&self) -> Duration {
+        self.client_total + self.server_time()
+    }
+}
+
+/// One chunk of reports as framed wire bytes: the concatenated
+/// encodings plus each report's frame length.
+struct WireChunk {
+    bytes: Vec<u8>,
+    frame_lens: Vec<usize>,
+}
+
+/// Encode a chunk of reports into one wire buffer.
+fn encode_chunk<R: WireReport>(reports: &[R]) -> WireChunk {
+    let mut bytes = Vec::new();
+    let mut frame_lens = Vec::with_capacity(reports.len());
+    for report in reports {
+        let before = bytes.len();
+        report.encode_into(&mut bytes);
+        let len = bytes.len() - before;
+        debug_assert_eq!(len, report.encoded_len(), "encoded_len lied");
+        frame_lens.push(len);
+    }
+    WireChunk { bytes, frame_lens }
+}
+
+/// Decode a wire chunk back into reports (a collector receiving one
+/// framed RPC). Panics on corruption — the simulated wire is lossless.
+fn decode_chunk<R: WireReport>(chunk: &WireChunk) -> Vec<R> {
+    let mut reports = Vec::with_capacity(chunk.frame_lens.len());
+    let mut offset = 0;
+    for &len in &chunk.frame_lens {
+        let report =
+            R::decode(&chunk.bytes[offset..offset + len]).expect("wire frame failed to decode");
+        offset += len;
+        reports.push(report);
+    }
+    debug_assert_eq!(offset, chunk.bytes.len());
+    reports
+}
+
+/// Combine collector shards in the requested order (see [`MergeOrder`]).
+fn combine_shards<S>(shards: Vec<S>, order: MergeOrder, mut merge: impl FnMut(S, S) -> S) -> S {
+    match order {
+        MergeOrder::Tree => hh_freq::traits::merge_tree(shards, merge).expect("at least one shard"),
+        MergeOrder::Sequential => shards
+            .into_iter()
+            .reduce(&mut merge)
+            .expect("at least one shard"),
+        MergeOrder::ReverseSequential => shards
+            .into_iter()
+            .rev()
+            .reduce(merge)
+            .expect("at least one shard"),
+    }
+}
+
+/// Run a heavy-hitter protocol across a simulated collector fleet.
+///
+/// Every report crosses a real serialization boundary (its
+/// [`WireReport`] encoding) on the way to its collector; collectors
+/// build independent shards which are merged and finished centrally.
+/// Output is bit-for-bit identical to [`run_heavy_hitter`] with the
+/// same `seed`, for every `plan` — collector count, chunk size, thread
+/// count and merge order only change the schedule, never the result
+/// (pinned by the `distributed_merge` integration tests).
+pub fn run_heavy_hitter_distributed<P>(
+    server: &mut P,
+    data: &[u64],
+    seed: u64,
+    plan: &DistPlan,
+) -> DistributedRun
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+{
+    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
+    let fan = {
+        let server = &*server;
+        fan_out(
+            data,
+            plan,
+            |start, xs| server.respond_batch(start, xs, client_seed),
+            || server.new_shard(),
+            |shard, start, reports| server.absorb(shard, start, reports),
+        )
+    };
+
+    // Merge the fleet's shards and fold them into the server.
+    let t2 = Instant::now();
+    let merged = combine_shards(fan.shards, plan.merge, |a, b| server.merge(a, b));
+    server.finish_shard(merged);
+    let server_merge = t2.elapsed();
+
+    // Unchanged aggregation/decoding.
+    let t3 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t3.elapsed();
+
+    DistributedRun {
+        estimates,
+        n: data.len(),
+        collectors: plan.collectors,
+        wire_bytes: fan.wire_bytes,
+        client_total: fan.client_total,
+        server_ingest: fan.ingest,
+        server_merge,
+        server_finish,
+        threads: fan.threads,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// State and timing of one distributed fan-out (the part of the
+/// distributed pipeline the protocol and oracle drivers share).
+struct FanOut<S> {
+    shards: Vec<S>,
+    wire_bytes: u64,
+    client_total: Duration,
+    ingest: Duration,
+    threads: usize,
+}
+
+/// The shared encode → route → decode → absorb fan-out: chunked
+/// `respond` + wire encode on worker threads, then chunk `c`'s bytes to
+/// collector `c % collectors`, each collector decoding its frames and
+/// absorbing them into a private shard in parallel. Both distributed
+/// drivers go through this one implementation so routing and wire
+/// accounting cannot diverge between them.
+fn fan_out<R, S>(
+    data: &[u64],
+    plan: &DistPlan,
+    respond: impl Fn(u64, &[u64]) -> Vec<R> + Sync,
+    new_shard: impl Fn() -> S + Sync,
+    absorb: impl Fn(&mut S, u64, &[R]) + Sync,
+) -> FanOut<S>
+where
+    R: WireReport + Send + Sync,
+    S: Send,
+{
+    assert!(plan.collectors >= 1, "need at least one collector");
+    assert!(plan.chunk_size >= 1, "need a positive chunk size");
+    let threads = effective_threads(
+        &BatchPlan {
+            chunk_size: plan.chunk_size,
+            threads: plan.threads,
+        },
+        data.len(),
+    );
+
+    // Phase 1: respond + encode (the client's message as it leaves the
+    // device).
+    let t0 = Instant::now();
+    let wire_chunks: Vec<WireChunk> =
+        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
+            encode_chunk(&respond((c * plan.chunk_size) as u64, xs))
+        });
+    let client_total = t0.elapsed();
+    let wire_bytes: u64 = wire_chunks.iter().map(|w| w.bytes.len() as u64).sum();
+
+    // Phase 2: collectors decode their chunks (chunk c goes to collector
+    // c mod k) and absorb them into private shards, in parallel.
+    let t1 = Instant::now();
+    let nodes: Vec<usize> = (0..plan.collectors).collect();
+    let shards: Vec<S> = {
+        let wire_chunks = &wire_chunks;
+        let new_shard = &new_shard;
+        let absorb = &absorb;
+        par_chunk_map(&nodes, 1, plan.threads, |_, node| {
+            let node = node[0];
+            let mut shard = new_shard();
+            for (c, chunk) in wire_chunks.iter().enumerate() {
+                if c % plan.collectors != node {
+                    continue;
+                }
+                let reports: Vec<R> = decode_chunk(chunk);
+                absorb(&mut shard, (c * plan.chunk_size) as u64, &reports);
+            }
+            shard
+        })
+    };
+    drop(wire_chunks);
+    let ingest = t1.elapsed();
+
+    FanOut {
+        shards,
+        wire_bytes,
+        client_total,
+        ingest,
+        threads,
+    }
 }
 
 /// Measured resources of one frequency-oracle run.
@@ -277,7 +584,7 @@ pub fn run_oracle_batched<O>(
 ) -> OracleRun
 where
     O: FrequencyOracle + Sync,
-    O::Report: Send,
+    O::Report: Send + Sync,
 {
     let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
@@ -305,6 +612,90 @@ where
         server_build,
         query_total,
         threads,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+/// Measured resources of one distributed frequency-oracle run.
+#[derive(Debug, Clone)]
+pub struct DistributedOracleRun {
+    /// Estimates for the queried elements, in query order — bit-for-bit
+    /// equal to the serial run's.
+    pub answers: Vec<f64>,
+    /// Number of users simulated.
+    pub n: usize,
+    /// Collector nodes simulated.
+    pub collectors: usize,
+    /// Total bytes all reports occupied on the (simulated) wire.
+    pub wire_bytes: u64,
+    /// Wall-clock time of the respond + encode phase.
+    pub client_total: Duration,
+    /// Collector decode/absorb + merge + finalize time.
+    pub server_build: Duration,
+    /// Total query time.
+    pub query_total: Duration,
+    /// Worker threads used by the parallel phases.
+    pub threads: usize,
+    /// Per-user communication claim in bits.
+    pub report_bits: usize,
+    /// Server memory bytes.
+    pub memory_bytes: usize,
+}
+
+impl DistributedOracleRun {
+    /// Mean measured wire bytes per user.
+    pub fn wire_bytes_per_user(&self) -> f64 {
+        self.wire_bytes as f64 / self.n.max(1) as f64
+    }
+}
+
+/// Run a frequency oracle across a simulated collector fleet — the
+/// oracle-level analogue of [`run_heavy_hitter_distributed`], with the
+/// same wire round-trip and merge guarantees: answers are bit-for-bit
+/// identical to [`run_oracle`] for every `plan`.
+pub fn run_oracle_distributed<O>(
+    oracle: &mut O,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+    plan: &DistPlan,
+) -> DistributedOracleRun
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+{
+    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
+    let fan = {
+        let oracle = &*oracle;
+        fan_out(
+            data,
+            plan,
+            |start, xs| oracle.respond_batch(start, xs, client_seed),
+            || oracle.new_shard(),
+            |shard, start, reports| oracle.absorb(shard, start, reports),
+        )
+    };
+
+    let t1 = Instant::now();
+    let merged = combine_shards(fan.shards, plan.merge, |a, b| oracle.merge(a, b));
+    oracle.finish_shard(merged);
+    oracle.finalize();
+    let server_build = fan.ingest + t1.elapsed();
+
+    let t2 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t2.elapsed();
+
+    DistributedOracleRun {
+        answers,
+        n: data.len(),
+        collectors: plan.collectors,
+        wire_bytes: fan.wire_bytes,
+        client_total: fan.client_total,
+        server_build,
+        query_total,
+        threads: fan.threads,
         report_bits: oracle.report_bits(),
         memory_bytes: oracle.memory_bytes(),
     }

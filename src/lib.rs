@@ -42,10 +42,11 @@ pub mod prelude {
     pub use hh_core::{ExpanderSketch, SketchParams};
     pub use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
     pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+    pub use hh_freq::wire::{WireError, WireReport};
     pub use hh_math::{client_rng, derive_seed, seeded_rng};
     pub use hh_sim::{
-        run_heavy_hitter, run_heavy_hitter_batched, run_oracle, run_oracle_batched, BatchPlan,
-        Workload,
+        run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
+        run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, MergeOrder, Workload,
     };
     pub use hh_structure::{ApproxComposedRr, ComposedRr, GenProt};
 }

@@ -26,7 +26,7 @@ fn assert_equivalent<P, F>(
     protocol: &str,
 ) where
     P: HeavyHitterProtocol + Sync,
-    P::Report: Send,
+    P::Report: Send + Sync,
     F: Fn() -> P,
 {
     let serial = {
@@ -146,6 +146,88 @@ fn hashtogram_oracle_batched_equals_serial() {
                 batched, serial,
                 "oracle diverged at chunk_size {chunk_size}, threads {threads}"
             );
+        }
+    }
+}
+
+mod shard_algebra {
+    //! Property tests of the shard aggregation algebra: `merge` is
+    //! associative and commutative (observationally) with `new_shard()`
+    //! as identity, and any shard/merge tree over any partition of the
+    //! reports yields output identical to serial `collect`.
+
+    use ldp_heavy_hitters::core::baselines::{ScanHeavyHitters, ScanParams};
+    use ldp_heavy_hitters::prelude::*;
+    use proptest::prelude::*;
+
+    const N: usize = 4_000;
+
+    fn setup(
+        seed: u64,
+    ) -> (
+        ScanHeavyHitters,
+        Vec<<ScanHeavyHitters as HeavyHitterProtocol>::Report>,
+    ) {
+        let params = ScanParams::new(N as u64, 256, 4.0, 0.1);
+        let input = Workload::planted(256, vec![(9, 0.35)]).generate(N, seed);
+        let server = ScanHeavyHitters::new(params, seed ^ 0x5A);
+        let reports = server.respond_batch(0, &input, seed ^ 0xC3);
+        (server, reports)
+    }
+
+    fn serial_finish(seed: u64) -> Vec<(u64, f64)> {
+        let (mut server, reports) = setup(seed);
+        for (i, &rep) in reports.iter().enumerate() {
+            server.collect(i as u64, rep);
+        }
+        server.finish()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn any_shard_tree_matches_serial_collect(
+            seed in 0u64..1000,
+            cut_a in 1usize..1999,
+            cut_b in 2000usize..3999,
+            tree in 0u8..3,
+        ) {
+            let truth = serial_finish(seed);
+            let (mut server, reports) = setup(seed);
+            // Partition the population into three ragged ranges and
+            // absorb each into its own shard.
+            let (ra, rest) = reports.split_at(cut_a);
+            let (rb, rc) = rest.split_at(cut_b - cut_a);
+            let mut sa = server.new_shard();
+            server.absorb(&mut sa, 0, ra);
+            let mut sb = server.new_shard();
+            server.absorb(&mut sb, cut_a as u64, rb);
+            let mut sc = server.new_shard();
+            server.absorb(&mut sc, cut_b as u64, rc);
+            // Three distinct merge trees/orders.
+            let merged = match tree {
+                0 => server.merge(server.merge(sa, sb), sc),
+                1 => server.merge(sa, server.merge(sb, sc)),
+                _ => server.merge(sc, server.merge(sb, sa)),
+            };
+            server.finish_shard(merged);
+            prop_assert_eq!(server.finish(), truth, "tree {}", tree);
+        }
+
+        #[test]
+        fn new_shard_is_the_merge_identity(seed in 0u64..1000, left in 0u8..2) {
+            let truth = serial_finish(seed);
+            let (mut server, reports) = setup(seed);
+            let mut shard = server.new_shard();
+            server.absorb(&mut shard, 0, &reports);
+            let merged = if left == 0 {
+                server.merge(server.new_shard(), shard)
+            } else {
+                server.merge(shard, server.new_shard())
+            };
+            server.finish_shard(merged);
+            prop_assert_eq!(server.finish(), truth);
         }
     }
 }

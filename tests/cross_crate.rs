@@ -46,7 +46,6 @@ fn genprot_wrapped_hashtogram_still_estimates() {
         let y = gp.reconstruct(i, g);
         let (ell, bit) = gp.inner().split(y);
         let report = HashtogramReport {
-            group: oracle.group_of(i),
             ell,
             bit: if bit == 1 { 1 } else { -1 },
         };

@@ -1,0 +1,173 @@
+//! Wire-format conformance: for every protocol and oracle, reports
+//! survive a serialization round trip bit-for-bit, the advertised
+//! `encoded_len` is exact, and the measured wire size never exceeds the
+//! claimed `report_bits()` — up to byte alignment, i.e.
+//! `encoded_len <= report_bits().div_ceil(8)` (a byte transport cannot
+//! express a 7-bit message in less than one byte, so the Θ(log)-bit
+//! claim rounds up to the next whole byte; composite reports already
+//! count their framing in `report_bits`).
+//!
+//! This closes the gap the monolithic design left open: `report_bits()`
+//! used to be an unchecked theoretical number, and no report ever
+//! crossed a byte boundary.
+
+use ldp_heavy_hitters::core::baselines::{
+    BassilySmithHeavyHitters, Bitstogram, BitstogramParams, BsHhParams, ScanHeavyHitters,
+    ScanParams,
+};
+use ldp_heavy_hitters::freq::bassily_smith::BassilySmithOracle;
+use ldp_heavy_hitters::freq::krr::KrrOracle;
+use ldp_heavy_hitters::freq::rappor::Rappor;
+use ldp_heavy_hitters::prelude::*;
+
+/// Round-trip + size conformance over one batch of reports.
+fn conform<R>(reports: &[R], report_bits: usize, protocol: &str)
+where
+    R: WireReport + PartialEq + std::fmt::Debug,
+{
+    assert!(!reports.is_empty(), "{protocol}: no reports to check");
+    let byte_budget = report_bits.div_ceil(8);
+    for (i, report) in reports.iter().enumerate() {
+        let bytes = report.encode();
+        assert_eq!(
+            bytes.len(),
+            report.encoded_len(),
+            "{protocol}: encoded_len lied for report {i}"
+        );
+        assert!(
+            bytes.len() <= byte_budget,
+            "{protocol}: report {i} took {} bytes, claim allows {byte_budget} \
+             (report_bits = {report_bits})",
+            bytes.len(),
+        );
+        let decoded = R::decode(&bytes).unwrap_or_else(|e| {
+            panic!("{protocol}: decode failed for report {i}: {e}");
+        });
+        assert_eq!(&decoded, report, "{protocol}: round trip diverged at {i}");
+    }
+}
+
+fn inputs(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+    Workload::planted(domain, vec![(domain / 3, 0.3)]).generate(n, seed)
+}
+
+#[test]
+fn expander_sketch_reports_conform() {
+    let n = 2_000u64;
+    let params = SketchParams::optimal(n, 16, 2.0, 0.1);
+    let server = ExpanderSketch::new(params, 1);
+    let xs = inputs(n as usize, 1 << 16, 2);
+    conform(
+        &server.respond_batch(0, &xs, 3),
+        server.report_bits(),
+        "expander_sketch",
+    );
+}
+
+#[test]
+fn bitstogram_reports_conform() {
+    let n = 2_000u64;
+    let params = BitstogramParams::optimal(n, 16, 2.0, 0.2);
+    let server = Bitstogram::new(params, 4);
+    let xs = inputs(n as usize, 1 << 16, 5);
+    conform(
+        &server.respond_batch(0, &xs, 6),
+        server.report_bits(),
+        "bitstogram",
+    );
+}
+
+#[test]
+fn scan_reports_conform() {
+    let n = 2_000u64;
+    let server = ScanHeavyHitters::new(ScanParams::new(n, 512, 2.0, 0.1), 7);
+    let xs = inputs(n as usize, 512, 8);
+    conform(
+        &server.respond_batch(0, &xs, 9),
+        server.report_bits(),
+        "scan",
+    );
+}
+
+#[test]
+fn bassily_smith_hh_reports_conform() {
+    let n = 2_000u64;
+    let server = BassilySmithHeavyHitters::new(BsHhParams::optimal(n, 1 << 10, 2.0, 0.2), 10);
+    let xs = inputs(n as usize, 1 << 10, 11);
+    conform(
+        &server.respond_batch(0, &xs, 12),
+        server.report_bits(),
+        "bassily_smith_hh",
+    );
+}
+
+#[test]
+fn hashtogram_oracle_reports_conform() {
+    let n = 2_000u64;
+    for (name, params) in [
+        (
+            "hashtogram_hashed",
+            HashtogramParams::hashed(n, 1 << 30, 1.0, 0.05),
+        ),
+        ("hashtogram_direct", HashtogramParams::direct(200, 1.0, 0.1)),
+    ] {
+        let domain = params.domain;
+        let oracle = Hashtogram::new(params, 13);
+        let xs = inputs(n as usize, domain, 14);
+        conform(
+            &oracle.respond_batch(0, &xs, 15),
+            oracle.report_bits(),
+            name,
+        );
+    }
+}
+
+#[test]
+fn bassily_smith_oracle_reports_conform() {
+    let n = 2_000u64;
+    let oracle = BassilySmithOracle::new(1 << 20, 1.0, n, 16);
+    let xs = inputs(n as usize, 1 << 20, 17);
+    conform(
+        &oracle.respond_batch(0, &xs, 18),
+        oracle.report_bits(),
+        "bassily_smith_oracle",
+    );
+}
+
+#[test]
+fn krr_oracle_reports_conform() {
+    let n = 2_000u64;
+    let oracle = KrrOracle::new(24, 1.0);
+    let xs = inputs(n as usize, 24, 19);
+    conform(
+        &oracle.respond_batch(0, &xs, 20),
+        oracle.report_bits(),
+        "krr",
+    );
+}
+
+#[test]
+fn rappor_reports_conform() {
+    let n = 500u64;
+    // A domain that is not a multiple of 8 exercises the byte rounding.
+    let oracle = Rappor::new(100, 1.0);
+    let xs = inputs(n as usize, 100, 21);
+    conform(
+        &oracle.respond_batch(0, &xs, 22),
+        oracle.report_bits(),
+        "rappor",
+    );
+}
+
+#[test]
+fn malformed_frames_are_rejected() {
+    use ldp_heavy_hitters::core::SketchReport;
+    use ldp_heavy_hitters::freq::HashtogramReport;
+
+    // Empty and zero-padded scalar frames.
+    assert!(HashtogramReport::decode(&[]).is_err());
+    assert!(HashtogramReport::decode(&[7, 0]).is_err());
+    // Composite frames: missing header, truncated inner component.
+    assert!(SketchReport::decode(&[]).is_err());
+    assert!(SketchReport::decode(&[5, 1, 2]).is_err());
+}
