@@ -18,6 +18,11 @@
 //! * `--distributed` — drive the table rows through the distributed
 //!   collector-fleet pipeline (8 nodes, tree merge): every report is
 //!   round-tripped through its wire encoding on the way to a collector.
+//! * `--stream` — additionally run the streaming epoch engine (drifting
+//!   workload, per-epoch checkpoints, one collector crash + recovery)
+//!   and report snapshot bytes/collector, checkpoint + recovery time,
+//!   and epoch throughput next to the wire column; with `--json` /
+//!   `--json-out` the records land in the JSON document.
 //! * `--quick` — small-n profile (CI smoke runs).
 //! * `--json` — additionally run the serial-vs-batched comparison and
 //!   the collector-count merge-scaling sweep, and write the
@@ -35,7 +40,8 @@ use hh_freq::traits::FrequencyOracle;
 use hh_math::rng::derive_seed;
 use hh_sim::{
     run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
-    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, ProtocolRun, Workload,
+    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, HhStream, ProtocolRun,
+    StreamEngine, StreamPlan, StreamWorkload, Workload,
 };
 
 /// Which pipeline drives the table rows.
@@ -208,10 +214,105 @@ where
     out
 }
 
+/// One streaming-engine measurement: `epochs` epochs of a drifting
+/// (Zipf-ramp, jittered-arrival) workload over a `collectors`-node
+/// fleet with per-epoch checkpoints, one collector crash after
+/// `epochs/2` epochs and recovery one epoch later — verified bit-for-bit
+/// against the serial one-shot run, reported as a JSON record.
+fn stream_run<P, F>(make: F, name: &str, domain: u64, n_per_epoch: usize, seed: u64) -> String
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+    F: Fn() -> P,
+{
+    let epochs = 6u64;
+    let collectors = 4usize;
+    let workload = StreamWorkload::zipf_ramp(domain, 1.05, 1.4, epochs as usize, 0.15);
+    let plan = StreamPlan {
+        epoch_size: n_per_epoch,
+        checkpoint_every: 1,
+        dist: DistPlan {
+            collectors,
+            chunk_size: (n_per_epoch / 8).max(1),
+            ..DistPlan::default()
+        },
+    };
+
+    let server = make();
+    let mut engine = StreamEngine::new(HhStream(&server), plan, seed);
+    let mut all_data = Vec::new();
+    let mut recovery_secs = 0.0;
+    for epoch in 0..epochs {
+        let batch = workload.generate_epoch(epoch, n_per_epoch, seed ^ 0x57);
+        engine.ingest_epoch(&batch);
+        all_data.extend_from_slice(&batch);
+        if epoch == epochs / 2 {
+            engine.kill_collector(1);
+        }
+        if epoch == epochs / 2 + 1 {
+            recovery_secs = engine.recover_collector(1).elapsed.as_secs_f64();
+        }
+    }
+    let snapshot_sizes = engine.snapshot_sizes();
+    let snapshot_total: usize = snapshot_sizes.iter().flatten().sum();
+    let (shard, stats) = engine.into_live_shard();
+    let mut server = server;
+    server.finish_shard(shard);
+    let estimates = server.finish();
+
+    let serial = {
+        let mut s = make();
+        run_heavy_hitter(&mut s, &all_data, seed).estimates
+    };
+    assert_eq!(estimates, serial, "{name}: streamed output diverged");
+
+    let ingest_secs = (stats.client_total + stats.ingest_total).as_secs_f64();
+    let throughput = stats.users as f64 / ingest_secs.max(1e-9);
+    let checkpoint_mean = stats.checkpoint_total.as_secs_f64() / stats.checkpoints.max(1) as f64;
+    println!(
+        "  {name:>16}: {} users / {} epochs | {:.0} users/s | snapshot {:.1} KiB/collector \
+         | checkpoint {} (mean) | recovery {} ({} reports replayed)",
+        stats.users,
+        stats.epochs,
+        throughput,
+        snapshot_total as f64 / collectors as f64 / 1024.0,
+        fmt_dur(std::time::Duration::from_secs_f64(checkpoint_mean)),
+        fmt_dur(std::time::Duration::from_secs_f64(recovery_secs)),
+        stats.replayed_reports,
+    );
+    JsonObject::new()
+        .str("protocol", name)
+        .int("n", stats.users)
+        .int("epochs", stats.epochs)
+        .int("collectors", collectors as u64)
+        .int("wire_bytes_total", stats.wire_bytes)
+        .num(
+            "wire_bytes_per_user",
+            stats.wire_bytes as f64 / stats.users.max(1) as f64,
+        )
+        .int("snapshot_bytes_total", snapshot_total as u64)
+        .num(
+            "snapshot_bytes_per_collector",
+            snapshot_total as f64 / collectors as f64,
+        )
+        .int("checkpoints", stats.checkpoints)
+        .num(
+            "checkpoint_secs_total",
+            stats.checkpoint_total.as_secs_f64(),
+        )
+        .num("checkpoint_secs_mean", checkpoint_mean)
+        .num("recovery_secs", recovery_secs)
+        .int("replayed_reports", stats.replayed_reports)
+        .num("epoch_ingest_secs", ingest_secs)
+        .num("epoch_users_per_sec", throughput)
+        .build()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let serial = args.iter().any(|a| a == "--serial");
     let distributed = args.iter().any(|a| a == "--distributed");
+    let stream = args.iter().any(|a| a == "--stream");
     let quick = args.iter().any(|a| a == "--quick");
     let json_out_value = args.iter().position(|a| a == "--json-out").map(|i| {
         let path = args
@@ -373,6 +474,33 @@ fn main() {
     println!("    heavy-hitter search time (linear in |X|), not in raw report cost.");
     println!("  - ours/[3]: user time flat in n, memory ~sqrt(n) — the Table 1 shapes.");
 
+    let mut stream_records = Vec::new();
+    if stream {
+        let n_per_epoch = if quick { 1usize << 12 } else { 1 << 16 };
+        let n_total = 6 * n_per_epoch;
+        println!(
+            "\n— streaming epoch engine (6 epochs x ~{n_per_epoch} users, 4 collectors, \
+             Zipf-ramp drift, per-epoch checkpoints, 1 crash + recovery) —\n"
+        );
+        let p = SketchParams::optimal(n_total as u64, bits, eps, beta);
+        stream_records.push(stream_run(
+            || ExpanderSketch::new(p.clone(), 21),
+            "expander_sketch",
+            1u64 << bits,
+            n_per_epoch,
+            22,
+        ));
+        let scan_domain = 1u64 << 16;
+        let sp = hh_core::baselines::ScanParams::new(n_total as u64, scan_domain, eps, beta);
+        stream_records.push(stream_run(
+            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 23),
+            "scan",
+            scan_domain,
+            n_per_epoch,
+            24,
+        ));
+    }
+
     if emit_json {
         let n = if quick { 100_000usize } else { 1_000_000 };
         println!("\n— serial vs batched pipeline at n = {n} (planted workload) —\n");
@@ -424,6 +552,7 @@ fn main() {
             .str("workload", "planted(0.3 heavy over 2^20 / 2^16 domains)")
             .raw("runs", json_array(runs))
             .raw("merge_scaling", json_array(scaling))
+            .raw("stream", json_array(stream_records))
             .build();
         std::fs::write(&json_out, format!("{doc}\n"))
             .unwrap_or_else(|e| panic!("write {json_out}: {e}"));

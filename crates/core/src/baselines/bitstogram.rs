@@ -16,11 +16,15 @@
 //! enters the error. `PrivateExpanderSketch` removes it; the
 //! `exp_error_vs_beta` bench measures the two side by side.
 
-use crate::traits::{HeavyHitterProtocol, WireError, WireReport};
+use crate::traits::{HeavyHitterProtocol, WireError, WireReport, WireShard};
 use hh_freq::calibrate;
-use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
+use hh_freq::hashtogram::{
+    read_report_run, report_run_len, write_report_run, Hashtogram, HashtogramParams,
+    HashtogramReport, HashtogramShard,
+};
 use hh_freq::traits::FrequencyOracle;
 use hh_freq::wire;
+use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash};
 use hh_math::rng::{client_rng, derive_seed};
@@ -149,6 +153,46 @@ impl WireReport for BitstogramReport {
 pub struct BitstogramShard {
     inner: Vec<Vec<(u64, HashtogramReport)>>,
     outer: HashtogramShard,
+}
+
+/// Snapshot codec — the same composite layout as `SketchShard` minus
+/// the user count (this shard tracks none):
+/// `[outer_len][outer shard frame][groups]` followed by one
+/// buffered-report run per `(t, m)` group.
+impl WireShard for BitstogramShard {
+    fn shard_encoded_len(&self) -> usize {
+        let outer = self.outer.shard_encoded_len();
+        varint_len(outer as u64)
+            + outer
+            + varint_len(self.inner.len() as u64)
+            + self
+                .inner
+                .iter()
+                .map(|run| report_run_len(run))
+                .sum::<usize>()
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.outer.shard_encoded_len() as u64);
+        self.outer.encode_shard_into(out);
+        write_varint(out, self.inner.len() as u64);
+        for run in &self.inner {
+            write_report_run(out, run);
+        }
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let outer_len = r.count()?;
+        let outer = HashtogramShard::decode_shard(r.raw(outer_len)?)?;
+        let groups = r.count()?;
+        let mut inner = Vec::with_capacity(groups);
+        for _ in 0..groups {
+            inner.push(read_report_run(&mut r)?);
+        }
+        r.finish()?;
+        Ok(BitstogramShard { inner, outer })
+    }
 }
 
 /// The Bitstogram protocol object.
@@ -285,6 +329,9 @@ impl HeavyHitterProtocol for Bitstogram {
     }
 
     fn merge(&self, mut a: BitstogramShard, b: BitstogramShard) -> BitstogramShard {
+        // Hard check — decoded snapshots are parameter-free, so a shard
+        // with a different group count must not zip-truncate.
+        assert_eq!(a.inner.len(), b.inner.len(), "shard shape mismatch");
         for (acc, mut add) in a.inner.iter_mut().zip(b.inner) {
             acc.append(&mut add);
         }
@@ -294,6 +341,11 @@ impl HeavyHitterProtocol for Bitstogram {
 
     fn finish_shard(&mut self, shard: BitstogramShard) {
         assert!(!self.finished, "collect after finish");
+        assert_eq!(
+            shard.inner.len(),
+            self.params.num_groups(),
+            "shard shape mismatch"
+        );
         for (acc, mut add) in self.inner_reports.iter_mut().zip(shard.inner) {
             acc.append(&mut add);
         }

@@ -23,11 +23,15 @@
 //! estimates of the decoded candidates (steps 5–6).
 
 use crate::params::SketchParams;
-use crate::traits::{HeavyHitterProtocol, WireError, WireReport};
+use crate::traits::{HeavyHitterProtocol, WireError, WireReport, WireShard};
 use hh_codes::ulrc::UniqueListCode;
-use hh_freq::hashtogram::{Hashtogram, HashtogramReport, HashtogramShard};
+use hh_freq::hashtogram::{
+    read_report_run, report_run_len, write_report_run, Hashtogram, HashtogramReport,
+    HashtogramShard,
+};
 use hh_freq::traits::FrequencyOracle;
 use hh_freq::wire;
+use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
 use hh_math::rng::{client_rng, derive_seed};
@@ -70,6 +74,54 @@ pub struct SketchShard {
     inner: Vec<Vec<(u64, HashtogramReport)>>,
     outer: HashtogramShard,
     users: u64,
+}
+
+/// Snapshot codec — a composite frame of the two aggregation halves:
+/// `[users][outer_len][outer shard frame][coords]` followed by one
+/// buffered-report run per coordinate (each report the same
+/// `ℓ·2 + bit` scalar as its wire format). All integers canonical
+/// varints, so the frame is self-describing.
+impl WireShard for SketchShard {
+    fn shard_encoded_len(&self) -> usize {
+        let outer = self.outer.shard_encoded_len();
+        varint_len(self.users)
+            + varint_len(outer as u64)
+            + outer
+            + varint_len(self.inner.len() as u64)
+            + self
+                .inner
+                .iter()
+                .map(|run| report_run_len(run))
+                .sum::<usize>()
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.users);
+        write_varint(out, self.outer.shard_encoded_len() as u64);
+        self.outer.encode_shard_into(out);
+        write_varint(out, self.inner.len() as u64);
+        for run in &self.inner {
+            write_report_run(out, run);
+        }
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let users = r.u64()?;
+        let outer_len = r.count()?;
+        let outer = HashtogramShard::decode_shard(r.raw(outer_len)?)?;
+        let coords = r.count()?;
+        let mut inner = Vec::with_capacity(coords);
+        for _ in 0..coords {
+            inner.push(read_report_run(&mut r)?);
+        }
+        r.finish()?;
+        Ok(SketchShard {
+            inner,
+            outer,
+            users,
+        })
+    }
 }
 
 /// `PrivateExpanderSketch`: public randomness + server state.
@@ -262,6 +314,9 @@ impl HeavyHitterProtocol for ExpanderSketch {
     }
 
     fn merge(&self, mut a: SketchShard, b: SketchShard) -> SketchShard {
+        // Hard check — decoded snapshots are parameter-free, so a shard
+        // with a different coordinate count must not zip-truncate.
+        assert_eq!(a.inner.len(), b.inner.len(), "shard shape mismatch");
         for (acc, mut add) in a.inner.iter_mut().zip(b.inner) {
             acc.append(&mut add);
         }
@@ -272,6 +327,11 @@ impl HeavyHitterProtocol for ExpanderSketch {
 
     fn finish_shard(&mut self, shard: SketchShard) {
         assert!(!self.finished, "collect after finish");
+        assert_eq!(
+            shard.inner.len(),
+            self.params.num_coords,
+            "shard shape mismatch"
+        );
         for (acc, mut add) in self.inner_reports.iter_mut().zip(shard.inner) {
             acc.append(&mut add);
         }

@@ -40,10 +40,9 @@
 //! `batch_equivalence` and `distributed_merge` integration tests enforce
 //! this bit-for-bit.
 
-pub use hh_freq::wire::{WireError, WireReport};
+pub use hh_freq::wire::{WireError, WireReport, WireShard};
 
-use hh_freq::traits::{merge_tree, shard_chunk_size};
-use hh_math::par::par_chunk_map;
+use hh_math::par::{merge_tree, par_chunk_map, shard_chunk_size};
 use hh_math::rng::client_rng;
 use rand::Rng;
 
@@ -59,7 +58,13 @@ pub trait HeavyHitterProtocol {
 
     /// Self-contained, mergeable partial aggregation state: what one
     /// collector node holds after ingesting a subset of the reports.
-    type Shard: Send;
+    ///
+    /// Shards are *durable artifacts*: every shard implements
+    /// [`WireShard`], an exact byte codec, so a collector's partial
+    /// aggregate can be checkpointed to stable storage and a crashed
+    /// node recovered by decoding its last snapshot and replaying the
+    /// reports since (see `hh_sim::stream`).
+    type Shard: Send + WireShard;
 
     /// Client: user `user_index` holding `x` produces her message.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;

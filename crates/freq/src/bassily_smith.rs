@@ -18,7 +18,10 @@
 
 use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-use crate::wire::{read_uint, uint_len, write_uint, WireError, WireReport};
+use crate::wire::{
+    pack_row_bit, read_tally_run, read_uint, tally_run_len, uint_len, unpack_row_bit, varint_len,
+    write_tally_run, write_uint, write_varint, ShardReader, WireError, WireReport, WireShard,
+};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
 use rand::Rng;
@@ -91,19 +94,16 @@ pub struct BsReport {
 /// as a minimal little-endian integer.
 impl WireReport for BsReport {
     fn encoded_len(&self) -> usize {
-        uint_len(self.row << 1 | u64::from(self.bit > 0))
+        uint_len(pack_row_bit(self.row, self.bit))
     }
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        write_uint(out, self.row << 1 | u64::from(self.bit > 0));
+        write_uint(out, pack_row_bit(self.row, self.bit));
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        let v = read_uint(bytes)?;
-        Ok(BsReport {
-            row: v >> 1,
-            bit: if v & 1 == 1 { 1 } else { -1 },
-        })
+        let (row, bit) = unpack_row_bit(read_uint(bytes)?);
+        Ok(BsReport { row, bit })
     }
 }
 
@@ -113,6 +113,27 @@ impl WireReport for BsReport {
 pub struct BsShard {
     tallies: Vec<i64>,
     users: u64,
+}
+
+/// Snapshot codec: `[users][tallies run]`, canonical varints (tallies
+/// zigzag-coded).
+impl WireShard for BsShard {
+    fn shard_encoded_len(&self) -> usize {
+        varint_len(self.users) + tally_run_len(&self.tallies)
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.users);
+        write_tally_run(out, &self.tallies);
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let users = r.u64()?;
+        let tallies = read_tally_run(&mut r)?;
+        r.finish()?;
+        Ok(BsShard { tallies, users })
+    }
 }
 
 impl FrequencyOracle for BassilySmithOracle {
@@ -153,7 +174,9 @@ impl FrequencyOracle for BassilySmithOracle {
     }
 
     fn merge(&self, mut a: BsShard, b: BsShard) -> BsShard {
-        debug_assert_eq!(a.tallies.len(), b.tallies.len());
+        // Hard check — see the HashtogramShard merge note: decoded
+        // snapshots are parameter-free, so mismatches must not truncate.
+        assert_eq!(a.tallies.len(), b.tallies.len(), "shard shape mismatch");
         for (acc, add) in a.tallies.iter_mut().zip(&b.tallies) {
             *acc += add;
         }

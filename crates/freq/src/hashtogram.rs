@@ -28,7 +28,11 @@
 
 use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-use crate::wire::{read_uint, uint_len, write_uint, WireError, WireReport};
+use crate::wire::{
+    count_run_len, pack_row_bit, read_count_run, read_tally_run, read_uint, tally_run_len,
+    uint_len, unpack_row_bit, varint_len, write_count_run, write_tally_run, write_uint,
+    write_varint, ShardReader, WireError, WireReport, WireShard,
+};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
 use hh_math::rng::{client_rng, derive_seed};
@@ -124,19 +128,16 @@ pub struct HashtogramReport {
 /// fewer.
 impl WireReport for HashtogramReport {
     fn encoded_len(&self) -> usize {
-        uint_len(self.ell << 1 | u64::from(self.bit > 0))
+        uint_len(pack_row_bit(self.ell, self.bit))
     }
 
     fn encode_into(&self, out: &mut Vec<u8>) {
-        write_uint(out, self.ell << 1 | u64::from(self.bit > 0));
+        write_uint(out, pack_row_bit(self.ell, self.bit));
     }
 
     fn decode(bytes: &[u8]) -> Result<Self, WireError> {
-        let v = read_uint(bytes)?;
-        Ok(HashtogramReport {
-            ell: v >> 1,
-            bit: if v & 1 == 1 { 1 } else { -1 },
-        })
+        let (ell, bit) = unpack_row_bit(read_uint(bytes)?);
+        Ok(HashtogramReport { ell, bit })
     }
 }
 
@@ -151,6 +152,78 @@ pub struct HashtogramShard {
     group_counts: Vec<u64>,
     /// Total users absorbed.
     users: u64,
+}
+
+/// Snapshot codec: `[users][group_counts run][tallies run]`, all
+/// canonical varints (tallies zigzag-coded). The run lengths make the
+/// frame self-describing, so recovery needs no protocol parameters.
+impl WireShard for HashtogramShard {
+    fn shard_encoded_len(&self) -> usize {
+        varint_len(self.users) + count_run_len(&self.group_counts) + tally_run_len(&self.tallies)
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.users);
+        write_count_run(out, &self.group_counts);
+        write_tally_run(out, &self.tallies);
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let users = r.u64()?;
+        let group_counts = read_count_run(&mut r)?;
+        let tallies = read_tally_run(&mut r)?;
+        r.finish()?;
+        // No encoder produces groups without tallies or vice versa: a
+        // real shard is `groups` rows of one fixed bucket width.
+        let consistent = if group_counts.is_empty() {
+            tallies.is_empty()
+        } else {
+            !tallies.is_empty() && tallies.len().is_multiple_of(group_counts.len())
+        };
+        if !consistent {
+            return Err(WireError::Invalid("tally rows do not divide into groups"));
+        }
+        Ok(HashtogramShard {
+            tallies,
+            group_counts,
+            users,
+        })
+    }
+}
+
+/// Exact encoded length of a buffered-report run — the
+/// `[count]([user][ℓ·2+bit])…` layout the composite protocol shards
+/// (`SketchShard`, `BitstogramShard`) use for per-coordinate report
+/// buffers. The report scalar is the same `ℓ·2 + [bit > 0]` packing as
+/// the report's own wire format, as a varint.
+pub fn report_run_len(run: &[(u64, HashtogramReport)]) -> usize {
+    varint_len(run.len() as u64)
+        + run
+            .iter()
+            .map(|&(user, rep)| varint_len(user) + varint_len(pack_row_bit(rep.ell, rep.bit)))
+            .sum::<usize>()
+}
+
+/// Append a buffered-report run (see [`report_run_len`]).
+pub fn write_report_run(out: &mut Vec<u8>, run: &[(u64, HashtogramReport)]) {
+    write_varint(out, run.len() as u64);
+    for &(user, rep) in run {
+        write_varint(out, user);
+        write_varint(out, pack_row_bit(rep.ell, rep.bit));
+    }
+}
+
+/// Read a buffered-report run (see [`report_run_len`]).
+pub fn read_report_run(r: &mut ShardReader<'_>) -> Result<Vec<(u64, HashtogramReport)>, WireError> {
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let user = r.u64()?;
+        let (ell, bit) = unpack_row_bit(r.u64()?);
+        out.push((user, HashtogramReport { ell, bit }));
+    }
+    Ok(out)
 }
 
 /// The Hashtogram oracle: public randomness + server sketch state.
@@ -364,7 +437,15 @@ impl FrequencyOracle for Hashtogram {
     }
 
     fn merge(&self, mut a: HashtogramShard, b: HashtogramShard) -> HashtogramShard {
-        debug_assert_eq!(a.tallies.len(), b.tallies.len());
+        // Hard check: decoded snapshots carry no protocol parameters, so
+        // a shard from a mismatched configuration must fail loudly here,
+        // never zip-truncate into a silently wrong aggregate.
+        assert_eq!(a.tallies.len(), b.tallies.len(), "shard shape mismatch");
+        assert_eq!(
+            a.group_counts.len(),
+            b.group_counts.len(),
+            "shard shape mismatch"
+        );
         for (acc, add) in a.tallies.iter_mut().zip(&b.tallies) {
             *acc += add;
         }
@@ -378,6 +459,16 @@ impl FrequencyOracle for Hashtogram {
     fn finish_shard(&mut self, shard: HashtogramShard) {
         assert!(!self.finalized, "collect after finalize");
         let buckets = self.params.buckets as usize;
+        assert_eq!(
+            shard.tallies.len(),
+            self.params.groups * buckets,
+            "shard shape mismatch"
+        );
+        assert_eq!(
+            shard.group_counts.len(),
+            self.params.groups,
+            "shard shape mismatch"
+        );
         for (g, row) in self.tallies.iter_mut().enumerate() {
             for (acc, add) in row
                 .iter_mut()

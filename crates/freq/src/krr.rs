@@ -8,6 +8,10 @@
 
 use crate::randomizers::GeneralizedRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use crate::wire::{
+    count_run_len, read_count_run, varint_len, write_count_run, write_varint, ShardReader,
+    WireError, WireShard,
+};
 use rand::Rng;
 
 /// GRR-based frequency oracle over `[k]`.
@@ -46,6 +50,26 @@ pub struct KrrShard {
     users: u64,
 }
 
+/// Snapshot codec: `[users][counts run]`, canonical varints.
+impl WireShard for KrrShard {
+    fn shard_encoded_len(&self) -> usize {
+        varint_len(self.users) + count_run_len(&self.counts)
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.users);
+        write_count_run(out, &self.counts);
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let users = r.u64()?;
+        let counts = read_count_run(&mut r)?;
+        r.finish()?;
+        Ok(KrrShard { counts, users })
+    }
+}
+
 impl FrequencyOracle for KrrOracle {
     /// The GRR output itself — wire format is the minimal little-endian
     /// encoding of the value (`ceil(log2 k)` claimed bits).
@@ -79,7 +103,9 @@ impl FrequencyOracle for KrrOracle {
     }
 
     fn merge(&self, mut a: KrrShard, b: KrrShard) -> KrrShard {
-        debug_assert_eq!(a.counts.len(), b.counts.len());
+        // Hard check — see the HashtogramShard merge note: decoded
+        // snapshots are parameter-free, so mismatches must not truncate.
+        assert_eq!(a.counts.len(), b.counts.len(), "shard shape mismatch");
         for (acc, add) in a.counts.iter_mut().zip(&b.counts) {
             *acc += add;
         }

@@ -38,4 +38,4 @@ pub mod wire;
 
 pub use hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 pub use traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-pub use wire::{WireError, WireReport};
+pub use wire::{WireError, WireReport, WireShard};

@@ -10,6 +10,10 @@
 //! T1.comm in EXPERIMENTS.md.
 
 use crate::traits::FrequencyOracle;
+use crate::wire::{
+    count_run_len, read_count_run, varint_len, write_count_run, write_varint, ShardReader,
+    WireError, WireShard,
+};
 use rand::Rng;
 
 /// Basic RAPPOR over a (small) domain.
@@ -54,6 +58,26 @@ impl Rappor {
 pub struct RapporShard {
     ones: Vec<u64>,
     users: u64,
+}
+
+/// Snapshot codec: `[users][ones run]`, canonical varints.
+impl WireShard for RapporShard {
+    fn shard_encoded_len(&self) -> usize {
+        varint_len(self.users) + count_run_len(&self.ones)
+    }
+
+    fn encode_shard_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.users);
+        write_count_run(out, &self.ones);
+    }
+
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = ShardReader::new(bytes);
+        let users = r.u64()?;
+        let ones = read_count_run(&mut r)?;
+        r.finish()?;
+        Ok(RapporShard { ones, users })
+    }
 }
 
 impl FrequencyOracle for Rappor {
@@ -110,7 +134,9 @@ impl FrequencyOracle for Rappor {
     }
 
     fn merge(&self, mut a: RapporShard, b: RapporShard) -> RapporShard {
-        debug_assert_eq!(a.ones.len(), b.ones.len());
+        // Hard check — see the HashtogramShard merge note: decoded
+        // snapshots are parameter-free, so mismatches must not truncate.
+        assert_eq!(a.ones.len(), b.ones.len(), "shard shape mismatch");
         for (acc, add) in a.ones.iter_mut().zip(&b.ones) {
             *acc += add;
         }

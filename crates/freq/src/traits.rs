@@ -37,40 +37,15 @@
 //! aggregate, do not depend on chunk boundaries, thread count, collector
 //! assignment, or merge order.
 
-use crate::wire::WireReport;
-use hh_math::par::{par_chunk_map, planned_threads};
+use crate::wire::{WireReport, WireShard};
+use hh_math::par::par_chunk_map;
 use hh_math::rng::client_rng;
 use rand::Rng;
 
-/// Smallest per-shard chunk the shared sharding path will create:
-/// shard setup/merge is O(state size), so tiny chunks would be all
-/// overhead.
-pub const MIN_SHARD_CHUNK: usize = 4096;
-
-/// The chunk size the shared sharding path uses for `n` reports (one
-/// chunk per available worker, floored at [`MIN_SHARD_CHUNK`]). Shared
-/// with `hh_core::traits` so both trait defaults shard identically.
-pub fn shard_chunk_size(n: usize) -> usize {
-    n.div_ceil(planned_threads(0, n, 1)).max(MIN_SHARD_CHUNK)
-}
-
-/// Fold shards pairwise, level by level (`(s0⊕s1) ⊕ (s2⊕s3) ⊕ …`) —
-/// the one tree reduction both trait defaults and the distributed
-/// driver's tree merge go through. `None` for an empty input.
-pub fn merge_tree<S>(mut shards: Vec<S>, mut merge: impl FnMut(S, S) -> S) -> Option<S> {
-    while shards.len() > 1 {
-        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
-        let mut it = shards.into_iter();
-        while let Some(a) = it.next() {
-            next.push(match it.next() {
-                Some(b) => merge(a, b),
-                None => a,
-            });
-        }
-        shards = next;
-    }
-    shards.pop()
-}
+// The shared sharding helpers live in `hh_math::par` — one definition
+// for this trait, `hh_core::traits`, and the sim drivers, so the
+// defaults cannot drift apart. Re-exported here for compatibility.
+pub use hh_math::par::{merge_tree, shard_chunk_size, MIN_SHARD_CHUNK};
 
 /// Input to a local randomizer: a real domain element or the null symbol
 /// `⊥` used by GenProt's public sampling (Algorithm GenProt, step 1).
@@ -148,7 +123,13 @@ pub trait FrequencyOracle {
 
     /// Self-contained, mergeable partial aggregation state: what one
     /// collector node holds after ingesting a subset of the reports.
-    type Shard: Send;
+    ///
+    /// Shards are *durable artifacts*: every shard implements
+    /// [`WireShard`], an exact byte codec, so a collector's partial
+    /// aggregate can be checkpointed to stable storage and a crashed
+    /// node recovered by decoding its last snapshot and replaying the
+    /// reports since (see `hh_sim::stream`).
+    type Shard: Send + WireShard;
 
     /// Client-side: user `user_index` holding `x` produces her report.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;
@@ -248,13 +229,5 @@ mod tests {
     #[test]
     fn randomizer_input_from_u64() {
         assert_eq!(RandomizerInput::from(7), RandomizerInput::Value(7));
-    }
-
-    #[test]
-    fn shard_chunks_cover_hardware() {
-        let n = 1usize << 20;
-        let chunk = shard_chunk_size(n);
-        assert!(chunk >= MIN_SHARD_CHUNK);
-        assert!(chunk * planned_threads(0, n, 1) >= n);
     }
 }

@@ -147,6 +147,227 @@ pub fn pair_wire_bits(first_bits: usize, second_bits: usize) -> usize {
     8 * (1 + first_bits.div_ceil(8) + second_bits.div_ceil(8))
 }
 
+/// A mergeable aggregation shard with an exact byte encoding — the
+/// durable-snapshot analogue of [`WireReport`].
+///
+/// Where a `Report` is one client's message on the wire, a `Shard` is a
+/// collector node's *partial aggregate*, and this codec is what makes
+/// it a first-class durable artifact: a collector checkpoints by
+/// encoding its shard to bytes, and recovers from a crash by decoding
+/// the last snapshot and replaying only the reports received since
+/// (`hh_sim::stream::StreamEngine` drives exactly this cycle).
+///
+/// Implementations must satisfy, for every shard `s`:
+///
+/// 1. **Round trip:** `decode_shard(&encode_shard(s))` is a shard that
+///    is observationally identical to `s` — absorbing, merging, or
+///    finishing it produces bit-for-bit the results `s` would.
+/// 2. **Exact length:** `encode_shard_into` appends exactly
+///    [`WireShard::shard_encoded_len`] bytes.
+/// 3. **Canonical integers:** all integers use the minimal (canonical)
+///    LEB128 varint forms of [`write_varint`] / [`write_varint_i64`];
+///    decoders reject zero-padded encodings.
+pub trait WireShard: Sized {
+    /// Exact number of bytes [`WireShard::encode_shard_into`] appends.
+    fn shard_encoded_len(&self) -> usize;
+
+    /// Append the encoding of `self` to `out`.
+    fn encode_shard_into(&self, out: &mut Vec<u8>);
+
+    /// Decode a shard from a slice holding exactly one encoded shard.
+    fn decode_shard(bytes: &[u8]) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn encode_shard(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.shard_encoded_len());
+        self.encode_shard_into(&mut out);
+        debug_assert_eq!(
+            out.len(),
+            self.shard_encoded_len(),
+            "shard_encoded_len lied"
+        );
+        out
+    }
+}
+
+/// Bytes of the canonical LEB128 varint encoding of `v` (1–10).
+pub fn varint_len(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// Append the canonical LEB128 varint encoding of `v`: 7 value bits per
+/// byte, least-significant group first, high bit = continuation.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// ZigZag-map a signed tally to the unsigned varint domain
+/// (`0, -1, 1, -2, … ↦ 0, 1, 2, 3, …`), so small-magnitude tallies of
+/// either sign stay one byte.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Bytes of the canonical varint encoding of a signed tally.
+pub fn varint_len_i64(v: i64) -> usize {
+    varint_len(zigzag(v))
+}
+
+/// Append the canonical varint encoding of a signed tally.
+pub fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, zigzag(v));
+}
+
+/// A cursor over an encoded shard: sequential canonical-varint reads
+/// with truncation/overflow/padding checks, and a final
+/// [`ShardReader::finish`] that rejects trailing bytes.
+#[derive(Debug)]
+pub struct ShardReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ShardReader<'a> {
+    /// Start reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Read one canonical LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let &byte = self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+            self.pos += 1;
+            let group = u64::from(byte & 0x7F);
+            if shift == 63 && group > 1 {
+                return Err(WireError::Invalid("varint overflows u64"));
+            }
+            v |= group << shift;
+            if byte & 0x80 == 0 {
+                if group == 0 && shift > 0 {
+                    return Err(WireError::Invalid("zero-padded varint"));
+                }
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Invalid("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Read one signed tally ([`zigzag`]-coded varint).
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    /// Read a varint element count, guarded against allocation bombs:
+    /// each element needs at least one byte, so a count beyond the
+    /// remaining bytes is corrupt.
+    pub fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        if n > (self.bytes.len() - self.pos) as u64 {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    /// Read `len` raw bytes (a nested frame).
+    pub fn raw(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Finish: the whole slice must have been consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+}
+
+/// Exact encoded length of a `[count][elements…]` varint run of signed
+/// tallies — the layout shard codecs use for tally vectors.
+pub fn tally_run_len(tallies: &[i64]) -> usize {
+    varint_len(tallies.len() as u64) + tallies.iter().map(|&t| varint_len_i64(t)).sum::<usize>()
+}
+
+/// Append a `[count][elements…]` varint run of signed tallies.
+pub fn write_tally_run(out: &mut Vec<u8>, tallies: &[i64]) {
+    write_varint(out, tallies.len() as u64);
+    for &t in tallies {
+        write_varint_i64(out, t);
+    }
+}
+
+/// Read a `[count][elements…]` varint run of signed tallies.
+pub fn read_tally_run(r: &mut ShardReader<'_>) -> Result<Vec<i64>, WireError> {
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.i64()?);
+    }
+    Ok(out)
+}
+
+/// Exact encoded length of a `[count][elements…]` varint run of counts.
+pub fn count_run_len(counts: &[u64]) -> usize {
+    varint_len(counts.len() as u64) + counts.iter().map(|&c| varint_len(c)).sum::<usize>()
+}
+
+/// Append a `[count][elements…]` varint run of counts.
+pub fn write_count_run(out: &mut Vec<u8>, counts: &[u64]) {
+    write_varint(out, counts.len() as u64);
+    for &c in counts {
+        write_varint(out, c);
+    }
+}
+
+/// Read a `[count][elements…]` varint run of counts.
+pub fn read_count_run(r: &mut ShardReader<'_>) -> Result<Vec<u64>, WireError> {
+    let n = r.count()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+/// Pack a Hadamard-style `(row, ±1 bit)` report into its wire scalar
+/// `row·2 + [bit > 0]` — the one definition the report codecs
+/// (`HashtogramReport`, `BsReport`) and the shard report-run codec
+/// share, so snapshot and report formats cannot drift apart.
+pub fn pack_row_bit(row: u64, bit: i8) -> u64 {
+    row << 1 | u64::from(bit > 0)
+}
+
+/// Inverse of [`pack_row_bit`].
+pub fn unpack_row_bit(v: u64) -> (u64, i8) {
+    (v >> 1, if v & 1 == 1 { 1 } else { -1 })
+}
+
 /// Raw `u64` reports (generalized randomized response): the value itself,
 /// minimal little-endian.
 impl WireReport for u64 {
@@ -224,5 +445,82 @@ mod tests {
         let v = vec![0xAAu8, 0, 0x55];
         assert_eq!(Vec::<u8>::decode(&v.encode()), Ok(v.clone()));
         assert_eq!(v.encoded_len(), 3);
+    }
+
+    #[test]
+    fn varint_round_trips_at_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length lied for {v}");
+            let mut r = ShardReader::new(&buf);
+            assert_eq!(r.u64(), Ok(v));
+            assert!(r.finish().is_ok());
+        }
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_rejects_malformed() {
+        // Truncated: continuation bit with nothing after.
+        assert_eq!(ShardReader::new(&[0x80]).u64(), Err(WireError::Truncated));
+        // Zero-padded: 0x80 0x00 is a non-canonical zero.
+        assert_eq!(
+            ShardReader::new(&[0x80, 0x00]).u64(),
+            Err(WireError::Invalid("zero-padded varint"))
+        );
+        // Eleven bytes never decode.
+        assert!(ShardReader::new(&[0xFF; 11]).u64().is_err());
+        // 10-byte value overflowing 64 bits.
+        let mut over = vec![0xFF; 9];
+        over.push(0x02);
+        assert_eq!(
+            ShardReader::new(&over).u64(),
+            Err(WireError::Invalid("varint overflows u64"))
+        );
+        // Trailing bytes after the value are flagged at finish.
+        let r = {
+            let mut r = ShardReader::new(&[0x07, 0x07]);
+            assert_eq!(r.u64(), Ok(7));
+            r
+        };
+        assert_eq!(r.finish(), Err(WireError::Trailing));
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes of either sign stay one byte.
+        assert_eq!(varint_len_i64(-1), 1);
+        assert_eq!(varint_len_i64(63), 1);
+        assert_eq!(varint_len_i64(64), 2);
+    }
+
+    #[test]
+    fn tally_and_count_runs_round_trip() {
+        let tallies = vec![0i64, -5, 1 << 40, -(1 << 40), 7];
+        let counts = vec![0u64, 9, u64::MAX];
+        let mut buf = Vec::new();
+        write_tally_run(&mut buf, &tallies);
+        write_count_run(&mut buf, &counts);
+        assert_eq!(buf.len(), tally_run_len(&tallies) + count_run_len(&counts));
+        let mut r = ShardReader::new(&buf);
+        assert_eq!(read_tally_run(&mut r), Ok(tallies));
+        assert_eq!(read_count_run(&mut r), Ok(counts));
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn run_counts_beyond_the_buffer_are_truncation() {
+        // A count claiming more elements than bytes remain must fail
+        // fast, not allocate.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 30);
+        let mut r = ShardReader::new(&buf);
+        assert_eq!(read_count_run(&mut r), Err(WireError::Truncated));
     }
 }

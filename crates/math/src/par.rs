@@ -19,6 +19,38 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Smallest per-shard chunk the shared sharding path will create:
+/// shard setup/merge is O(state size), so tiny chunks would be all
+/// overhead.
+pub const MIN_SHARD_CHUNK: usize = 4096;
+
+/// The chunk size the shared sharding path uses for `n` reports (one
+/// chunk per available worker, floored at [`MIN_SHARD_CHUNK`]). This is
+/// the one definition both `HeavyHitterProtocol::collect_batch` and
+/// `FrequencyOracle::collect_batch` shard with, so the trait defaults
+/// cannot drift apart.
+pub fn shard_chunk_size(n: usize) -> usize {
+    n.div_ceil(planned_threads(0, n, 1)).max(MIN_SHARD_CHUNK)
+}
+
+/// Fold shards pairwise, level by level (`(s0⊕s1) ⊕ (s2⊕s3) ⊕ …`) —
+/// the one tree reduction the trait defaults, the distributed driver
+/// and the streaming engine all go through. `None` for an empty input.
+pub fn merge_tree<S>(mut shards: Vec<S>, mut merge: impl FnMut(S, S) -> S) -> Option<S> {
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => merge(a, b),
+                None => a,
+            });
+        }
+        shards = next;
+    }
+    shards.pop()
+}
+
 /// The worker count [`par_chunk_map`] will use for `num_items` items in
 /// chunks of `chunk_size` when asked for `threads` workers (`0` = the
 /// available hardware parallelism). Exposed so callers that *report*
@@ -91,6 +123,60 @@ where
         .collect()
 }
 
+/// Map `f` over owned `items` in parallel, returning one result per
+/// item in item order. `f` receives `(item_index, item)` by value — the
+/// owned-item counterpart of [`par_chunk_map`] for work units that must
+/// be moved into the worker (e.g. a collector's shard plus its chunk
+/// queue). `threads == 0` means "use the available hardware
+/// parallelism"; the result is independent of `threads`.
+pub fn par_map_owned<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = planned_threads(threads, n, 1);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let source = std::sync::Mutex::new(items.into_iter().enumerate());
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    rayon::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let source = &source;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let next = source
+                    .lock()
+                    .expect("worker panicked with the queue")
+                    .next();
+                let Some((i, item)) = next else { break };
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("item {i} produced no result")))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +224,38 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn rejects_zero_chunk() {
         let _ = par_chunk_map(&[1u64], 0, 0, |_, _| ());
+    }
+
+    #[test]
+    fn owned_map_preserves_order_and_moves_items() {
+        let items: Vec<Vec<u64>> = (0..9).map(|i| vec![i; i as usize + 1]).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v.iter().sum()).collect();
+        for threads in [1, 2, 4] {
+            let got = par_map_owned(items.clone(), threads, |i, v: Vec<u64>| {
+                assert_eq!(v[0], i as u64);
+                v.into_iter().sum::<u64>()
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        assert!(par_map_owned(Vec::<u8>::new(), 0, |_, x| x).is_empty());
+    }
+
+    #[test]
+    fn shard_chunks_cover_hardware() {
+        let n = 1usize << 20;
+        let chunk = shard_chunk_size(n);
+        assert!(chunk >= MIN_SHARD_CHUNK);
+        assert!(chunk * planned_threads(0, n, 1) >= n);
+    }
+
+    #[test]
+    fn merge_tree_folds_pairwise() {
+        // Strings make the tree shape observable: 5 leaves fold as
+        // ((01)(23))(4).
+        let leaves: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let folded = merge_tree(leaves, |a, b| format!("({a}{b})")).unwrap();
+        assert_eq!(folded, "(((01)(23))4)");
+        assert_eq!(merge_tree(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(merge_tree(vec![7u32], |a, b| a + b), Some(7));
     }
 }

@@ -24,7 +24,15 @@
 //!     are merged (tree-wise by default) before `finish`. Configured by
 //!     [`DistPlan`] (collector count, chunk size, threads,
 //!     [`MergeOrder`] — none affects output); also accounts measured
-//!     wire bytes.
+//!     wire bytes. Both are thin single-epoch wrappers over [`stream`].
+//! * [`stream`] is the open-ended ingestion engine: reports arrive in
+//!   *epochs*, every collector's shard is snapshotted to bytes at
+//!   checkpoint boundaries (the `WireShard` codec), a killed collector
+//!   recovers by decoding its last snapshot and replaying only the
+//!   spooled reports since, and mid-stream queries are answered from
+//!   the merged decoded snapshots without stopping the stream.
+//!   Configured by [`StreamPlan`] (epoch size, checkpoint cadence, the
+//!   fleet's [`DistPlan`] — none affects output).
 //! * [`metrics`] summarizes accuracy against ground truth.
 //!
 //! **Determinism:** user `i`'s client coins are the derived stream
@@ -39,6 +47,7 @@
 
 pub mod metrics;
 pub mod run;
+pub mod stream;
 pub mod workload;
 
 pub use run::{
@@ -46,4 +55,8 @@ pub use run::{
     run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, DistributedOracleRun,
     DistributedRun, MergeOrder, OracleRun, ProtocolRun,
 };
-pub use workload::Workload;
+pub use stream::{
+    CheckpointReport, HhStream, OracleStream, RecoveryReport, StreamEngine, StreamIngest,
+    StreamPlan, StreamStats,
+};
+pub use workload::{StreamWorkload, Workload};

@@ -31,10 +31,12 @@
 //!
 //! # The distributed pipeline
 //!
-//! [`run_heavy_hitter_distributed`] simulates a collector fleet:
+//! [`run_heavy_hitter_distributed`] simulates a collector fleet. It is
+//! a thin wrapper over the streaming epoch engine
+//! ([`crate::stream::StreamEngine`]) run as a single epoch:
 //!
 //! 1. **respond + encode** — as above, but each chunk's reports are
-//!    immediately serialized through their [`WireReport`] encoding (the
+//!    immediately serialized through their [`WireReport`](hh_core::traits::WireReport) encoding (the
 //!    clients' messages as they would leave the device); total wire
 //!    bytes are accounted;
 //! 2. **collect** — chunk `c`'s bytes are routed to collector
@@ -45,17 +47,19 @@
 //!    by [`MergeOrder`] (tree-wise by default) and folded into the
 //!    server;
 //! 4. **finish** — unchanged.
+//!
+//! Open-ended, multi-epoch ingestion — with durable shard snapshots,
+//! crash recovery and mid-stream queries — lives in [`crate::stream`];
+//! this module's drivers and that engine share one ingestion path.
 
-use hh_core::traits::{HeavyHitterProtocol, WireReport};
+use crate::stream::{HhStream, OracleStream, StreamEngine, StreamPlan};
+use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
 use hh_math::par::par_chunk_map;
 use hh_math::rng::{client_rng, derive_seed};
 use std::time::{Duration, Instant};
 
-/// Seed label for heavy-hitter client coins (one hop off the run seed).
-const HH_CLIENT_LABEL: u64 = 0xC11E57;
-/// Seed label for frequency-oracle client coins.
-const ORACLE_CLIENT_LABEL: u64 = 0x04AC1E;
+use crate::stream::{HH_CLIENT_LABEL, ORACLE_CLIENT_LABEL};
 
 /// Execution shape of the batched drivers.
 #[derive(Debug, Clone)]
@@ -83,6 +87,15 @@ impl BatchPlan {
             chunk_size,
             ..Self::default()
         }
+    }
+
+    /// Panic early (with the field named) on degenerate shapes instead
+    /// of failing downstream in chunk division.
+    pub fn validate(&self) {
+        assert!(
+            self.chunk_size >= 1,
+            "BatchPlan.chunk_size must be >= 1 (got 0)"
+        );
     }
 }
 
@@ -183,6 +196,7 @@ where
     P: HeavyHitterProtocol + Sync,
     P::Report: Send + Sync,
 {
+    plan.validate();
     let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
     let t0 = Instant::now();
@@ -274,6 +288,19 @@ impl DistPlan {
             ..Self::default()
         }
     }
+
+    /// Panic early (with the field named) on degenerate shapes instead
+    /// of failing downstream in chunk division or empty shard merges.
+    pub fn validate(&self) {
+        assert!(
+            self.collectors >= 1,
+            "DistPlan.collectors must be >= 1 (got 0)"
+        );
+        assert!(
+            self.chunk_size >= 1,
+            "DistPlan.chunk_size must be >= 1 (got 0)"
+        );
+    }
 }
 
 /// Measured resources of one distributed heavy-hitter run.
@@ -322,62 +349,11 @@ impl DistributedRun {
     }
 }
 
-/// One chunk of reports as framed wire bytes: the concatenated
-/// encodings plus each report's frame length.
-struct WireChunk {
-    bytes: Vec<u8>,
-    frame_lens: Vec<usize>,
-}
-
-/// Encode a chunk of reports into one wire buffer.
-fn encode_chunk<R: WireReport>(reports: &[R]) -> WireChunk {
-    let mut bytes = Vec::new();
-    let mut frame_lens = Vec::with_capacity(reports.len());
-    for report in reports {
-        let before = bytes.len();
-        report.encode_into(&mut bytes);
-        let len = bytes.len() - before;
-        debug_assert_eq!(len, report.encoded_len(), "encoded_len lied");
-        frame_lens.push(len);
-    }
-    WireChunk { bytes, frame_lens }
-}
-
-/// Decode a wire chunk back into reports (a collector receiving one
-/// framed RPC). Panics on corruption — the simulated wire is lossless.
-fn decode_chunk<R: WireReport>(chunk: &WireChunk) -> Vec<R> {
-    let mut reports = Vec::with_capacity(chunk.frame_lens.len());
-    let mut offset = 0;
-    for &len in &chunk.frame_lens {
-        let report =
-            R::decode(&chunk.bytes[offset..offset + len]).expect("wire frame failed to decode");
-        offset += len;
-        reports.push(report);
-    }
-    debug_assert_eq!(offset, chunk.bytes.len());
-    reports
-}
-
-/// Combine collector shards in the requested order (see [`MergeOrder`]).
-fn combine_shards<S>(shards: Vec<S>, order: MergeOrder, mut merge: impl FnMut(S, S) -> S) -> S {
-    match order {
-        MergeOrder::Tree => hh_freq::traits::merge_tree(shards, merge).expect("at least one shard"),
-        MergeOrder::Sequential => shards
-            .into_iter()
-            .reduce(&mut merge)
-            .expect("at least one shard"),
-        MergeOrder::ReverseSequential => shards
-            .into_iter()
-            .rev()
-            .reduce(merge)
-            .expect("at least one shard"),
-    }
-}
-
-/// Run a heavy-hitter protocol across a simulated collector fleet.
+/// Run a heavy-hitter protocol across a simulated collector fleet — a
+/// single-epoch run of the streaming engine ([`crate::stream`]).
 ///
 /// Every report crosses a real serialization boundary (its
-/// [`WireReport`] encoding) on the way to its collector; collectors
+/// [`WireReport`](hh_core::traits::WireReport) encoding) on the way to its collector; collectors
 /// build independent shards which are merged and finished centrally.
 /// Output is bit-for-bit identical to [`run_heavy_hitter`] with the
 /// same `seed`, for every `plan` — collector count, chunk size, thread
@@ -393,23 +369,17 @@ where
     P: HeavyHitterProtocol + Sync,
     P::Report: Send + Sync,
 {
-    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
-    let fan = {
-        let server = &*server;
-        fan_out(
-            data,
-            plan,
-            |start, xs| server.respond_batch(start, xs, client_seed),
-            || server.new_shard(),
-            |shard, start, reports| server.absorb(shard, start, reports),
-        )
+    plan.validate();
+    let (merged, stats) = {
+        let mut engine = StreamEngine::new(HhStream(&*server), StreamPlan::one_shot(plan), seed);
+        engine.ingest_epoch(data);
+        engine.into_live_shard()
     };
 
-    // Merge the fleet's shards and fold them into the server.
+    // Fold the fleet's merged shard into the server.
     let t2 = Instant::now();
-    let merged = combine_shards(fan.shards, plan.merge, |a, b| server.merge(a, b));
     server.finish_shard(merged);
-    let server_merge = t2.elapsed();
+    let server_merge = stats.merge_total + t2.elapsed();
 
     // Unchanged aggregation/decoding.
     let t3 = Instant::now();
@@ -420,95 +390,15 @@ where
         estimates,
         n: data.len(),
         collectors: plan.collectors,
-        wire_bytes: fan.wire_bytes,
-        client_total: fan.client_total,
-        server_ingest: fan.ingest,
+        wire_bytes: stats.wire_bytes,
+        client_total: stats.client_total,
+        server_ingest: stats.ingest_total,
         server_merge,
         server_finish,
-        threads: fan.threads,
+        threads: stats.threads,
         report_bits: server.report_bits(),
         memory_bytes: server.memory_bytes(),
         detection_threshold: server.detection_threshold(),
-    }
-}
-
-/// State and timing of one distributed fan-out (the part of the
-/// distributed pipeline the protocol and oracle drivers share).
-struct FanOut<S> {
-    shards: Vec<S>,
-    wire_bytes: u64,
-    client_total: Duration,
-    ingest: Duration,
-    threads: usize,
-}
-
-/// The shared encode → route → decode → absorb fan-out: chunked
-/// `respond` + wire encode on worker threads, then chunk `c`'s bytes to
-/// collector `c % collectors`, each collector decoding its frames and
-/// absorbing them into a private shard in parallel. Both distributed
-/// drivers go through this one implementation so routing and wire
-/// accounting cannot diverge between them.
-fn fan_out<R, S>(
-    data: &[u64],
-    plan: &DistPlan,
-    respond: impl Fn(u64, &[u64]) -> Vec<R> + Sync,
-    new_shard: impl Fn() -> S + Sync,
-    absorb: impl Fn(&mut S, u64, &[R]) + Sync,
-) -> FanOut<S>
-where
-    R: WireReport + Send + Sync,
-    S: Send,
-{
-    assert!(plan.collectors >= 1, "need at least one collector");
-    assert!(plan.chunk_size >= 1, "need a positive chunk size");
-    let threads = effective_threads(
-        &BatchPlan {
-            chunk_size: plan.chunk_size,
-            threads: plan.threads,
-        },
-        data.len(),
-    );
-
-    // Phase 1: respond + encode (the client's message as it leaves the
-    // device).
-    let t0 = Instant::now();
-    let wire_chunks: Vec<WireChunk> =
-        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
-            encode_chunk(&respond((c * plan.chunk_size) as u64, xs))
-        });
-    let client_total = t0.elapsed();
-    let wire_bytes: u64 = wire_chunks.iter().map(|w| w.bytes.len() as u64).sum();
-
-    // Phase 2: collectors decode their chunks (chunk c goes to collector
-    // c mod k) and absorb them into private shards, in parallel.
-    let t1 = Instant::now();
-    let nodes: Vec<usize> = (0..plan.collectors).collect();
-    let shards: Vec<S> = {
-        let wire_chunks = &wire_chunks;
-        let new_shard = &new_shard;
-        let absorb = &absorb;
-        par_chunk_map(&nodes, 1, plan.threads, |_, node| {
-            let node = node[0];
-            let mut shard = new_shard();
-            for (c, chunk) in wire_chunks.iter().enumerate() {
-                if c % plan.collectors != node {
-                    continue;
-                }
-                let reports: Vec<R> = decode_chunk(chunk);
-                absorb(&mut shard, (c * plan.chunk_size) as u64, &reports);
-            }
-            shard
-        })
-    };
-    drop(wire_chunks);
-    let ingest = t1.elapsed();
-
-    FanOut {
-        shards,
-        wire_bytes,
-        client_total,
-        ingest,
-        threads,
     }
 }
 
@@ -586,6 +476,7 @@ where
     O: FrequencyOracle + Sync,
     O::Report: Send + Sync,
 {
+    plan.validate();
     let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
     let t0 = Instant::now();
@@ -651,9 +542,10 @@ impl DistributedOracleRun {
 }
 
 /// Run a frequency oracle across a simulated collector fleet — the
-/// oracle-level analogue of [`run_heavy_hitter_distributed`], with the
-/// same wire round-trip and merge guarantees: answers are bit-for-bit
-/// identical to [`run_oracle`] for every `plan`.
+/// oracle-level analogue of [`run_heavy_hitter_distributed`] (the same
+/// single-epoch run of the streaming engine), with the same wire
+/// round-trip and merge guarantees: answers are bit-for-bit identical
+/// to [`run_oracle`] for every `plan`.
 pub fn run_oracle_distributed<O>(
     oracle: &mut O,
     data: &[u64],
@@ -665,23 +557,18 @@ where
     O: FrequencyOracle + Sync,
     O::Report: Send + Sync,
 {
-    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
-    let fan = {
-        let oracle = &*oracle;
-        fan_out(
-            data,
-            plan,
-            |start, xs| oracle.respond_batch(start, xs, client_seed),
-            || oracle.new_shard(),
-            |shard, start, reports| oracle.absorb(shard, start, reports),
-        )
+    plan.validate();
+    let (merged, stats) = {
+        let mut engine =
+            StreamEngine::new(OracleStream(&*oracle), StreamPlan::one_shot(plan), seed);
+        engine.ingest_epoch(data);
+        engine.into_live_shard()
     };
 
     let t1 = Instant::now();
-    let merged = combine_shards(fan.shards, plan.merge, |a, b| oracle.merge(a, b));
     oracle.finish_shard(merged);
     oracle.finalize();
-    let server_build = fan.ingest + t1.elapsed();
+    let server_build = stats.ingest_total + stats.merge_total + t1.elapsed();
 
     let t2 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
@@ -691,11 +578,11 @@ where
         answers,
         n: data.len(),
         collectors: plan.collectors,
-        wire_bytes: fan.wire_bytes,
-        client_total: fan.client_total,
+        wire_bytes: stats.wire_bytes,
+        client_total: stats.client_total,
         server_build,
         query_total,
-        threads: fan.threads,
+        threads: stats.threads,
         report_bits: oracle.report_bits(),
         memory_bytes: oracle.memory_bytes(),
     }

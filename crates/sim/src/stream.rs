@@ -1,0 +1,674 @@
+//! The streaming epoch engine: continuous ingestion with durable shard
+//! snapshots and checkpoint/replay crash recovery.
+//!
+//! The distributed driver of `run` executes one static batch; real
+//! deployments of local-model heavy hitters ingest reports in *rounds*
+//! from an open-ended population, checkpoint aggregator state, and
+//! tolerate collector loss. [`StreamEngine`] is that machine:
+//!
+//! 1. **Epochs** — each [`StreamEngine::ingest_epoch`] call takes the
+//!    next slice of the population: reports are produced and wire-encoded
+//!    in parallel chunks, each chunk's bytes are routed to one of `k`
+//!    collector nodes (global chunk index mod `k`), and every collector
+//!    decodes its frames and absorbs them into its private live shard.
+//! 2. **Snapshots** — at epoch boundaries (cadence
+//!    [`StreamPlan::checkpoint_every`]) every collector's shard is
+//!    encoded to bytes through its `WireShard` codec — the durable
+//!    artifact a real node would write to stable storage. Snapshotting
+//!    truncates the collector's *spool*: the wire-chunk log retained
+//!    since its last checkpoint.
+//! 3. **Recovery** — [`StreamEngine::kill_collector`] discards a live
+//!    shard (a simulated crash; the node's spool keeps receiving its
+//!    routed chunks, like a durable queue with its consumer down).
+//!    [`StreamEngine::recover_collector`] decodes the last snapshot and
+//!    replays only the spooled reports since — never the full history.
+//! 4. **Mid-stream queries** — `finish_at_epoch` (on the concrete
+//!    engines) answers top-k / frequency queries from the *merged
+//!    decoded snapshots*, without consuming the live shards, so the
+//!    stream keeps running.
+//!
+//! **Equivalence guarantee:** because user `i`'s coins are a pure
+//! function of `(seed, i)`, shards hold exact integer state, and the
+//! snapshot codec round-trips bit-for-bit, the final output equals the
+//! serial one-shot run over the same population for *every* epoch size,
+//! collector count, checkpoint cadence, kill schedule, and merge order
+//! (pinned by `tests/streaming_equivalence.rs` and the snapshot/replay
+//! proptests in `tests/shard_wire_conformance.rs`). The distributed
+//! drivers in [`crate::run`] are thin wrappers over this engine — one
+//! ingestion path, not three.
+
+use crate::run::{DistPlan, MergeOrder};
+use hh_core::traits::HeavyHitterProtocol;
+use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire::{WireReport, WireShard};
+use hh_math::par::{merge_tree, par_chunk_map, par_map_owned, planned_threads};
+use hh_math::rng::derive_seed;
+use std::time::{Duration, Instant};
+
+/// Seed label for heavy-hitter client coins (one hop off the run seed).
+pub(crate) const HH_CLIENT_LABEL: u64 = 0xC11E57;
+/// Seed label for frequency-oracle client coins.
+pub(crate) const ORACLE_CLIENT_LABEL: u64 = 0x04AC1E;
+
+/// Execution shape of the streaming engine.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// Users per epoch for [`StreamEngine::ingest_all`]. Does not affect
+    /// output.
+    pub epoch_size: usize,
+    /// Checkpoint every this many epochs (`0` = only on explicit
+    /// [`StreamEngine::checkpoint`] calls). Does not affect output.
+    pub checkpoint_every: usize,
+    /// Collector fleet shape (collectors, chunk size, threads, merge
+    /// order). None of it affects output.
+    pub dist: DistPlan,
+}
+
+impl Default for StreamPlan {
+    fn default() -> Self {
+        Self {
+            epoch_size: 1 << 16,
+            checkpoint_every: 1,
+            dist: DistPlan::default(),
+        }
+    }
+}
+
+impl StreamPlan {
+    /// The whole population in one epoch with no checkpoints — the shape
+    /// the one-shot distributed drivers run.
+    pub fn one_shot(dist: &DistPlan) -> Self {
+        Self {
+            epoch_size: usize::MAX,
+            checkpoint_every: 0,
+            dist: dist.clone(),
+        }
+    }
+
+    /// Panic early (with a named field) on degenerate shapes instead of
+    /// failing downstream in chunk division or shard merging.
+    pub fn validate(&self) {
+        assert!(
+            self.epoch_size >= 1,
+            "StreamPlan.epoch_size must be >= 1 (got 0)"
+        );
+        self.dist.validate();
+    }
+}
+
+/// The protocol surface the streaming engine ingests through: produce a
+/// user range's reports, build/absorb/merge shards. Implemented by the
+/// [`HhStream`] and [`OracleStream`] adapters so one engine serves both
+/// protocol families.
+pub trait StreamIngest {
+    /// The client message type crossing the wire.
+    type Report: WireReport + Send + Sync;
+    /// The mergeable, durable partial aggregate.
+    type Shard: Send + WireShard;
+    /// Seed-derivation label for this family's client coins — must match
+    /// the serial reference driver so streams reproduce one-shot runs.
+    const CLIENT_LABEL: u64;
+
+    /// Reports of the contiguous user range starting at `start_index`.
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report>;
+    /// An empty partial aggregate.
+    fn new_shard(&self) -> Self::Shard;
+    /// Fold a contiguous user range of reports into `shard`.
+    fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+    /// Combine two partial aggregates.
+    fn merge(&self, a: Self::Shard, b: Self::Shard) -> Self::Shard;
+}
+
+/// [`StreamIngest`] over a borrowed heavy-hitter protocol.
+#[derive(Clone, Copy)]
+pub struct HhStream<'a, P>(pub &'a P);
+
+impl<'a, P> StreamIngest for HhStream<'a, P>
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+{
+    type Report = P::Report;
+    type Shard = P::Shard;
+    const CLIENT_LABEL: u64 = HH_CLIENT_LABEL;
+
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<P::Report> {
+        self.0.respond_batch(start_index, xs, client_seed)
+    }
+
+    fn new_shard(&self) -> P::Shard {
+        self.0.new_shard()
+    }
+
+    fn absorb(&self, shard: &mut P::Shard, start_index: u64, reports: &[P::Report]) {
+        self.0.absorb(shard, start_index, reports);
+    }
+
+    fn merge(&self, a: P::Shard, b: P::Shard) -> P::Shard {
+        self.0.merge(a, b)
+    }
+}
+
+/// [`StreamIngest`] over a borrowed frequency oracle.
+#[derive(Clone, Copy)]
+pub struct OracleStream<'a, O>(pub &'a O);
+
+impl<'a, O> StreamIngest for OracleStream<'a, O>
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+{
+    type Report = O::Report;
+    type Shard = O::Shard;
+    const CLIENT_LABEL: u64 = ORACLE_CLIENT_LABEL;
+
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<O::Report> {
+        self.0.respond_batch(start_index, xs, client_seed)
+    }
+
+    fn new_shard(&self) -> O::Shard {
+        self.0.new_shard()
+    }
+
+    fn absorb(&self, shard: &mut O::Shard, start_index: u64, reports: &[O::Report]) {
+        self.0.absorb(shard, start_index, reports);
+    }
+
+    fn merge(&self, a: O::Shard, b: O::Shard) -> O::Shard {
+        self.0.merge(a, b)
+    }
+}
+
+/// One chunk of reports as framed wire bytes: the concatenated
+/// encodings, each report's frame length, and the user index the chunk
+/// starts at. This is both the simulated RPC to a collector and the
+/// spool entry replayed on recovery.
+pub(crate) struct WireChunk {
+    pub(crate) start: u64,
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) frame_lens: Vec<usize>,
+}
+
+impl WireChunk {
+    /// Encode a chunk of reports into one wire buffer.
+    pub(crate) fn encode<R: WireReport>(start: u64, reports: &[R]) -> Self {
+        let mut bytes = Vec::new();
+        let mut frame_lens = Vec::with_capacity(reports.len());
+        for report in reports {
+            let before = bytes.len();
+            report.encode_into(&mut bytes);
+            let len = bytes.len() - before;
+            debug_assert_eq!(len, report.encoded_len(), "encoded_len lied");
+            frame_lens.push(len);
+        }
+        Self {
+            start,
+            bytes,
+            frame_lens,
+        }
+    }
+
+    /// Decode back into reports (a collector receiving one framed RPC,
+    /// or replaying its spool). Panics on corruption — the simulated
+    /// wire and spool are lossless.
+    pub(crate) fn decode<R: WireReport>(&self) -> Vec<R> {
+        let mut reports = Vec::with_capacity(self.frame_lens.len());
+        let mut offset = 0;
+        for &len in &self.frame_lens {
+            let report =
+                R::decode(&self.bytes[offset..offset + len]).expect("wire frame failed to decode");
+            offset += len;
+            reports.push(report);
+        }
+        debug_assert_eq!(offset, self.bytes.len());
+        reports
+    }
+}
+
+/// Combine collector shards in the requested order (see [`MergeOrder`]).
+pub(crate) fn combine_shards<S>(
+    shards: Vec<S>,
+    order: MergeOrder,
+    mut merge: impl FnMut(S, S) -> S,
+) -> S {
+    match order {
+        MergeOrder::Tree => merge_tree(shards, merge).expect("at least one shard"),
+        MergeOrder::Sequential => shards
+            .into_iter()
+            .reduce(&mut merge)
+            .expect("at least one shard"),
+        MergeOrder::ReverseSequential => shards
+            .into_iter()
+            .rev()
+            .reduce(merge)
+            .expect("at least one shard"),
+    }
+}
+
+/// A durable checkpoint of one collector's shard.
+struct Snapshot {
+    /// The `WireShard` encoding — what a real node would fsync.
+    bytes: Vec<u8>,
+    /// The epoch the snapshot was taken at.
+    epoch: u64,
+}
+
+/// One simulated collector node.
+struct CollectorState<S> {
+    /// The in-memory partial aggregate; `None` while crashed.
+    live: Option<S>,
+    /// Last durable checkpoint, if any.
+    snapshot: Option<Snapshot>,
+    /// Spooled wire chunks since the last checkpoint — the replay log.
+    log: Vec<WireChunk>,
+}
+
+/// Cumulative resource accounting of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Epochs ingested.
+    pub epochs: u64,
+    /// Users ingested.
+    pub users: u64,
+    /// Total bytes all reports occupied on the (simulated) wire.
+    pub wire_bytes: u64,
+    /// Wall-clock time of the respond + encode phases.
+    pub client_total: Duration,
+    /// Wall-clock time of the collectors' decode + absorb phases.
+    pub ingest_total: Duration,
+    /// Checkpoints taken and their total wall-clock cost.
+    pub checkpoints: u64,
+    /// Total time spent encoding snapshots.
+    pub checkpoint_total: Duration,
+    /// Total snapshot bytes across collectors at the latest checkpoint.
+    pub snapshot_bytes_last: u64,
+    /// Recoveries performed and their total wall-clock cost.
+    pub recoveries: u64,
+    /// Total time spent decoding snapshots and replaying spools.
+    pub recovery_total: Duration,
+    /// Reports replayed from spools across all recoveries.
+    pub replayed_reports: u64,
+    /// Time to combine the collector shards at the end of the stream.
+    pub merge_total: Duration,
+    /// Peak worker threads used by the parallel phases.
+    pub threads: usize,
+}
+
+/// Outcome of one [`StreamEngine::checkpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// Bytes written across all snapshotted collectors.
+    pub snapshot_bytes: u64,
+    /// Collectors snapshotted (crashed nodes are skipped).
+    pub collectors: usize,
+    /// Wall-clock encoding time.
+    pub elapsed: Duration,
+}
+
+/// Outcome of one [`StreamEngine::recover_collector`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// The epoch of the snapshot recovery started from (`None` = the
+    /// node had never checkpointed; recovery replayed its whole spool).
+    pub from_epoch: Option<u64>,
+    /// Reports replayed from the spool.
+    pub replayed_reports: u64,
+    /// Wall-clock decode + replay time.
+    pub elapsed: Duration,
+}
+
+/// The streaming epoch engine (see the module docs).
+///
+/// Generic over [`StreamIngest`], so one implementation serves both
+/// heavy-hitter protocols ([`HhStream`]) and frequency oracles
+/// ([`OracleStream`]); the concrete wrappers add `finish_at_epoch` /
+/// `finish` in their protocol family's vocabulary.
+pub struct StreamEngine<I: StreamIngest> {
+    ingest: I,
+    plan: StreamPlan,
+    client_seed: u64,
+    collectors: Vec<CollectorState<I::Shard>>,
+    epoch: u64,
+    users: u64,
+    /// Global chunk counter — routing is `chunk % collectors` across the
+    /// whole stream, exactly as in the one-shot distributed run.
+    next_chunk: usize,
+    stats: StreamStats,
+}
+
+impl<I: StreamIngest + Sync> StreamEngine<I> {
+    /// Start a stream. `seed` is the run seed of the matching serial
+    /// reference run (client coins derive from it per
+    /// [`StreamIngest::CLIENT_LABEL`]).
+    pub fn new(ingest: I, plan: StreamPlan, seed: u64) -> Self {
+        plan.validate();
+        let collectors = (0..plan.dist.collectors)
+            .map(|_| CollectorState {
+                live: Some(ingest.new_shard()),
+                snapshot: None,
+                log: Vec::new(),
+            })
+            .collect();
+        Self {
+            client_seed: derive_seed(seed, I::CLIENT_LABEL),
+            ingest,
+            plan,
+            collectors,
+            epoch: 0,
+            users: 0,
+            next_chunk: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Epochs ingested so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Users ingested so far.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Cumulative resource accounting.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Per-collector size in bytes of the latest snapshot (`None` = the
+    /// node has never checkpointed).
+    pub fn snapshot_sizes(&self) -> Vec<Option<usize>> {
+        self.collectors
+            .iter()
+            .map(|n| n.snapshot.as_ref().map(|s| s.bytes.len()))
+            .collect()
+    }
+
+    /// Per-collector epoch of the latest snapshot (`None` = the node has
+    /// never checkpointed). Callers of [`StreamEngine::snapshot_shard`] /
+    /// `finish_at_epoch` can check this to detect a *ragged* durable
+    /// view: while a crashed node sits unrecovered across a checkpoint,
+    /// its snapshot stays at an older epoch than its peers'.
+    pub fn snapshot_epochs(&self) -> Vec<Option<u64>> {
+        self.collectors
+            .iter()
+            .map(|n| n.snapshot.as_ref().map(|s| s.epoch))
+            .collect()
+    }
+
+    /// Whether a collector currently holds a live shard.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.collectors[node].live.is_some()
+    }
+
+    /// Ingest one epoch: the next `xs.len()` users of the population.
+    /// Respond + encode runs in parallel chunks; each chunk is routed to
+    /// collector `global_chunk % k`, decoded there, absorbed into the
+    /// node's live shard, and appended to its spool. Auto-checkpoints on
+    /// the [`StreamPlan::checkpoint_every`] cadence.
+    pub fn ingest_epoch(&mut self, xs: &[u64]) {
+        let k = self.plan.dist.collectors;
+        let chunk_size = self.plan.dist.chunk_size;
+        let threads = self.plan.dist.threads;
+        let start_user = self.users;
+        self.stats.threads = self
+            .stats
+            .threads
+            .max(planned_threads(threads, xs.len(), chunk_size));
+
+        // Phase 1: respond + encode (the clients' messages as they leave
+        // the devices).
+        let t0 = Instant::now();
+        let wire: Vec<WireChunk> = {
+            let ingest = &self.ingest;
+            let client_seed = self.client_seed;
+            par_chunk_map(xs, chunk_size, threads, |c, slice| {
+                let start = start_user + (c * chunk_size) as u64;
+                WireChunk::encode(start, &ingest.respond_batch(start, slice, client_seed))
+            })
+        };
+        self.stats.client_total += t0.elapsed();
+        self.stats.wire_bytes += wire.iter().map(|w| w.bytes.len() as u64).sum::<u64>();
+
+        // Phase 2: route, decode, absorb — collectors in parallel, each
+        // owning its shard and its share of the epoch's chunks. Crashed
+        // nodes only spool (their durable queue keeps receiving).
+        let t1 = Instant::now();
+        let num_chunks = wire.len();
+        let mut per_node: Vec<Vec<WireChunk>> = (0..k).map(|_| Vec::new()).collect();
+        for (c, chunk) in wire.into_iter().enumerate() {
+            per_node[(self.next_chunk + c) % k].push(chunk);
+        }
+        self.next_chunk += num_chunks;
+        let work: Vec<(Option<I::Shard>, Vec<WireChunk>)> = self
+            .collectors
+            .iter_mut()
+            .zip(per_node)
+            .map(|(node, chunks)| (node.live.take(), chunks))
+            .collect();
+        let done = {
+            let ingest = &self.ingest;
+            par_map_owned(work, threads, |_, (mut live, chunks)| {
+                if let Some(shard) = live.as_mut() {
+                    for chunk in &chunks {
+                        let reports: Vec<I::Report> = chunk.decode();
+                        ingest.absorb(shard, chunk.start, &reports);
+                    }
+                }
+                (live, chunks)
+            })
+        };
+        for (node, (live, chunks)) in self.collectors.iter_mut().zip(done) {
+            node.live = live;
+            node.log.extend(chunks);
+        }
+        self.stats.ingest_total += t1.elapsed();
+
+        self.users += xs.len() as u64;
+        self.epoch += 1;
+        self.stats.users = self.users;
+        self.stats.epochs = self.epoch;
+        if self.plan.checkpoint_every > 0
+            && self.epoch.is_multiple_of(self.plan.checkpoint_every as u64)
+        {
+            self.checkpoint();
+        }
+    }
+
+    /// Ingest a whole dataset in epochs of [`StreamPlan::epoch_size`].
+    pub fn ingest_all(&mut self, data: &[u64]) {
+        let mut off = 0;
+        while off < data.len() {
+            let hi = off.saturating_add(self.plan.epoch_size).min(data.len());
+            self.ingest_epoch(&data[off..hi]);
+            off = hi;
+        }
+    }
+
+    /// Snapshot every live collector's shard to bytes (the durable
+    /// artifact) and truncate its spool. Crashed collectors are skipped:
+    /// their last snapshot stays valid and their spool keeps growing
+    /// until recovery.
+    pub fn checkpoint(&mut self) -> CheckpointReport {
+        let t = Instant::now();
+        let mut snapshot_bytes = 0u64;
+        let mut snapshotted = 0usize;
+        for node in &mut self.collectors {
+            if let Some(shard) = &node.live {
+                let bytes = shard.encode_shard();
+                snapshot_bytes += bytes.len() as u64;
+                node.snapshot = Some(Snapshot {
+                    bytes,
+                    epoch: self.epoch,
+                });
+                node.log.clear();
+                snapshotted += 1;
+            }
+        }
+        let elapsed = t.elapsed();
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_total += elapsed;
+        self.stats.snapshot_bytes_last = self
+            .collectors
+            .iter()
+            .filter_map(|n| n.snapshot.as_ref())
+            .map(|s| s.bytes.len() as u64)
+            .sum();
+        CheckpointReport {
+            snapshot_bytes,
+            collectors: snapshotted,
+            elapsed,
+        }
+    }
+
+    /// Crash a collector: its live shard is lost. Its spool (the durable
+    /// queue feeding it) keeps receiving routed chunks, so nothing is
+    /// dropped — recovery replays them.
+    pub fn kill_collector(&mut self, node: usize) {
+        let state = &mut self.collectors[node];
+        assert!(state.live.is_some(), "collector {node} is already dead");
+        state.live = None;
+    }
+
+    /// Recover a crashed collector: decode its last snapshot (or start
+    /// empty if it never checkpointed) and replay only the spooled
+    /// reports since. The rebuilt shard is bit-for-bit the shard an
+    /// uninterrupted collector would hold.
+    pub fn recover_collector(&mut self, node: usize) -> RecoveryReport {
+        let state = &mut self.collectors[node];
+        assert!(
+            state.live.is_none(),
+            "collector {node} is alive — nothing to recover"
+        );
+        let t = Instant::now();
+        let (mut shard, from_epoch) = match &state.snapshot {
+            Some(snap) => (
+                I::Shard::decode_shard(&snap.bytes).expect("snapshot failed to decode"),
+                Some(snap.epoch),
+            ),
+            None => (self.ingest.new_shard(), None),
+        };
+        let mut replayed_reports = 0u64;
+        for chunk in &state.log {
+            let reports: Vec<I::Report> = chunk.decode();
+            replayed_reports += reports.len() as u64;
+            self.ingest.absorb(&mut shard, chunk.start, &reports);
+        }
+        self.collectors[node].live = Some(shard);
+        let elapsed = t.elapsed();
+        self.stats.recoveries += 1;
+        self.stats.recovery_total += elapsed;
+        self.stats.replayed_reports += replayed_reports;
+        RecoveryReport {
+            from_epoch,
+            replayed_reports,
+            elapsed,
+        }
+    }
+
+    /// The durable mid-stream view: decode every collector's last
+    /// snapshot and merge them (in the plan's order), leaving all live
+    /// shards untouched. `None` before the first checkpoint.
+    ///
+    /// When every collector checkpointed at the same boundary (the
+    /// normal cadence), this is exactly the aggregate of the first
+    /// `users-at-that-boundary` reports. While a crashed node sits
+    /// unrecovered across later checkpoints its snapshot lags its
+    /// peers', so the view is *ragged* — the honest answer of a degraded
+    /// fleet, not a prefix of the stream. [`StreamEngine::snapshot_epochs`]
+    /// exposes the per-node epochs so callers can detect this.
+    pub fn snapshot_shard(&self) -> Option<I::Shard> {
+        let shards: Vec<I::Shard> = self
+            .collectors
+            .iter()
+            .filter_map(|n| n.snapshot.as_ref())
+            .map(|s| I::Shard::decode_shard(&s.bytes).expect("snapshot failed to decode"))
+            .collect();
+        if shards.is_empty() {
+            return None;
+        }
+        Some(combine_shards(shards, self.plan.dist.merge, |a, b| {
+            self.ingest.merge(a, b)
+        }))
+    }
+
+    /// End the stream: recover any crashed collectors (replaying their
+    /// spools), merge all live shards in the plan's order, and return
+    /// the final aggregate with the run's accounting.
+    pub fn into_live_shard(mut self) -> (I::Shard, StreamStats) {
+        for node in 0..self.collectors.len() {
+            if self.collectors[node].live.is_none() {
+                self.recover_collector(node);
+            }
+        }
+        let t = Instant::now();
+        let shards: Vec<I::Shard> = self
+            .collectors
+            .into_iter()
+            .map(|n| n.live.expect("all collectors recovered"))
+            .collect();
+        let merged = combine_shards(shards, self.plan.dist.merge, |a, b| self.ingest.merge(a, b));
+        self.stats.merge_total += t.elapsed();
+        (merged, self.stats)
+    }
+}
+
+impl<'a, P> StreamEngine<HhStream<'a, P>>
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+{
+    /// Answer a top-k query mid-stream from the merged decoded
+    /// snapshots, without consuming the live shards. `fresh` must be a
+    /// new instance built with the same parameters and public-randomness
+    /// seed as the streamed protocol.
+    ///
+    /// Panics when users have been ingested but no collector has
+    /// checkpointed yet — an empty answer there would be
+    /// indistinguishable from a genuinely empty stream. Call
+    /// [`StreamEngine::checkpoint`] first (or set a
+    /// [`StreamPlan::checkpoint_every`] cadence).
+    pub fn finish_at_epoch(&self, fresh: &mut P) -> Vec<(u64, f64)> {
+        match self.snapshot_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finish()
+    }
+}
+
+impl<'a, O> StreamEngine<OracleStream<'a, O>>
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+{
+    /// Prepare a mid-stream frequency oracle from the merged decoded
+    /// snapshots, without consuming the live shards: folds the durable
+    /// view into `fresh` and finalizes it, so the caller can `estimate`.
+    /// `fresh` must be a new instance built with the same parameters and
+    /// public-randomness seed as the streamed oracle.
+    ///
+    /// Panics when users have been ingested but no collector has
+    /// checkpointed yet — zero estimates there would be
+    /// indistinguishable from a genuinely empty stream. Call
+    /// [`StreamEngine::checkpoint`] first (or set a
+    /// [`StreamPlan::checkpoint_every`] cadence).
+    pub fn finish_at_epoch(&self, fresh: &mut O) {
+        match self.snapshot_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finalize();
+    }
+}

@@ -1,0 +1,464 @@
+//! Streaming-vs-serial equivalence: for every heavy-hitter protocol and
+//! frequency oracle, the streaming epoch engine — which wire-encodes
+//! every report, routes it to one of `k` collectors, snapshots every
+//! collector's shard to bytes at checkpoint boundaries, and recovers
+//! killed collectors by decoding their last snapshot and replaying the
+//! spooled reports since — must produce final output bit-for-bit
+//! identical to the serial one-shot reference run for the same seed, at
+//! **any** epoch size, collector count, checkpoint cadence, kill
+//! schedule, and merge order.
+//!
+//! This is the acceptance gate of the durable-shard refactor: epochs,
+//! snapshots, crashes and replays are pure schedule/durability events,
+//! never result changes.
+
+use ldp_heavy_hitters::core::baselines::{
+    BassilySmithHeavyHitters, Bitstogram, BitstogramParams, BsHhParams, ScanHeavyHitters,
+    ScanParams,
+};
+use ldp_heavy_hitters::freq::bassily_smith::BassilySmithOracle;
+use ldp_heavy_hitters::freq::krr::KrrOracle;
+use ldp_heavy_hitters::freq::rappor::Rappor;
+use ldp_heavy_hitters::prelude::*;
+use ldp_heavy_hitters::sim::{HhStream, OracleStream, StreamEngine, StreamPlan};
+
+/// A crash in the schedule: kill `node` after `kill_after` epochs, and
+/// (optionally) recover it explicitly after `recover_after` epochs —
+/// otherwise it stays dead until the engine's final recovery sweep.
+#[derive(Clone, Copy)]
+struct Crash {
+    node: usize,
+    kill_after: u64,
+    recover_after: Option<u64>,
+}
+
+/// The stream shapes every protocol/oracle is exercised through: epoch
+/// count ~ n/epoch_size, collector counts straddling the chunk count,
+/// every merge order, checkpoint cadences including "never", and crash
+/// schedules with and without explicit recovery.
+fn stream_grid(n: usize) -> Vec<(StreamPlan, Vec<Crash>)> {
+    let dist = |collectors: usize, merge: MergeOrder| DistPlan {
+        collectors,
+        chunk_size: n / 6 + 1,
+        threads: 2,
+        merge,
+    };
+    let plan =
+        |epoch_size: usize, checkpoint_every: usize, collectors: usize, m: MergeOrder| StreamPlan {
+            epoch_size,
+            checkpoint_every,
+            dist: dist(collectors, m),
+        };
+    vec![
+        // One epoch, one collector: the degenerate serial-like shape.
+        (plan(n, 1, 1, MergeOrder::Tree), vec![]),
+        // Many ragged epochs, per-epoch checkpoints.
+        (plan(n / 5 + 3, 1, 3, MergeOrder::Sequential), vec![]),
+        // Checkpoint every 2 epochs; a crash between checkpoints forces
+        // a snapshot decode + partial spool replay.
+        (
+            plan(n / 5 + 3, 2, 3, MergeOrder::Tree),
+            vec![Crash {
+                node: 1,
+                kill_after: 3,
+                recover_after: Some(4),
+            }],
+        ),
+        // Never checkpoint; the crash replays the whole spool from an
+        // empty shard, and a second node dies until the final sweep.
+        (
+            plan(n / 4 + 1, 0, 4, MergeOrder::ReverseSequential),
+            vec![
+                Crash {
+                    node: 0,
+                    kill_after: 1,
+                    recover_after: Some(3),
+                },
+                Crash {
+                    node: 3,
+                    kill_after: 2,
+                    recover_after: None,
+                },
+            ],
+        ),
+        // Tiny epochs (many boundaries), crash recovered right away.
+        (
+            plan(n / 9 + 1, 1, 2, MergeOrder::Tree),
+            vec![Crash {
+                node: 0,
+                kill_after: 2,
+                recover_after: Some(5),
+            }],
+        ),
+    ]
+}
+
+/// Stream `input` through the engine in `epoch_size` slices, applying
+/// the crash schedule at epoch boundaries.
+fn drive<I>(engine: &mut StreamEngine<I>, input: &[u64], epoch_size: usize, crashes: &[Crash])
+where
+    I: ldp_heavy_hitters::sim::StreamIngest + Sync,
+{
+    let mut off = 0;
+    while off < input.len() {
+        let hi = off.saturating_add(epoch_size).min(input.len());
+        engine.ingest_epoch(&input[off..hi]);
+        off = hi;
+        let epoch = engine.epoch();
+        for crash in crashes {
+            if crash.kill_after == epoch && engine.is_alive(crash.node) {
+                engine.kill_collector(crash.node);
+            }
+            if crash.recover_after == Some(epoch) && !engine.is_alive(crash.node) {
+                engine.recover_collector(crash.node);
+            }
+        }
+    }
+}
+
+fn assert_stream_equivalent<P, F>(make: F, input: &[u64], seed: u64, protocol: &str)
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+    F: Fn() -> P,
+{
+    let serial = {
+        let mut server = make();
+        run_heavy_hitter(&mut server, input, seed).estimates
+    };
+    assert!(
+        !serial.is_empty(),
+        "{protocol}: serial run found nothing — test is vacuous"
+    );
+    for (i, (plan, crashes)) in stream_grid(input.len()).into_iter().enumerate() {
+        let epoch_size = plan.epoch_size;
+        let server = make();
+        let (shard, stats) = {
+            let mut engine = StreamEngine::new(HhStream(&server), plan, seed);
+            drive(&mut engine, input, epoch_size, &crashes);
+            engine.into_live_shard()
+        };
+        let mut server = server;
+        server.finish_shard(shard);
+        assert_eq!(
+            server.finish(),
+            serial,
+            "{protocol}: stream output diverged at grid shape {i}"
+        );
+        assert_eq!(stats.users as usize, input.len());
+        assert!(stats.wire_bytes > 0, "{protocol}: nothing crossed the wire");
+        if !crashes.is_empty() {
+            assert!(
+                stats.recoveries as usize >= crashes.len(),
+                "{protocol}: expected every crash recovered at shape {i}"
+            );
+        }
+    }
+}
+
+fn assert_oracle_stream_equivalent<O, F>(
+    make: F,
+    input: &[u64],
+    queries: &[u64],
+    seed: u64,
+    oracle_name: &str,
+) where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+    F: Fn() -> O,
+{
+    let serial = {
+        let mut oracle = make();
+        run_oracle(&mut oracle, input, queries, seed).answers
+    };
+    for (i, (plan, crashes)) in stream_grid(input.len()).into_iter().enumerate() {
+        let epoch_size = plan.epoch_size;
+        let oracle = make();
+        let (shard, _) = {
+            let mut engine = StreamEngine::new(OracleStream(&oracle), plan, seed);
+            drive(&mut engine, input, epoch_size, &crashes);
+            engine.into_live_shard()
+        };
+        let mut oracle = oracle;
+        oracle.finish_shard(shard);
+        oracle.finalize();
+        let answers: Vec<f64> = queries.iter().map(|&q| oracle.estimate(q)).collect();
+        assert_eq!(
+            answers, serial,
+            "{oracle_name}: answers diverged at grid shape {i}"
+        );
+    }
+}
+
+#[test]
+fn expander_sketch_streams_equal_serial() {
+    let n = 1usize << 15;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.45)]).generate(n, 91);
+    let params = SketchParams::optimal(n as u64, 16, 4.0, 0.1);
+    assert_stream_equivalent(
+        || ExpanderSketch::new(params.clone(), 301),
+        &input,
+        302,
+        "expander_sketch",
+    );
+}
+
+#[test]
+fn bitstogram_streams_equal_serial() {
+    let n = 1usize << 15;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.45)]).generate(n, 92);
+    let mut params = BitstogramParams::optimal(n as u64, 16, 4.0, 0.5);
+    params.repetitions = 1; // high-eps single-repetition profile, as in its unit tests
+    assert_stream_equivalent(
+        || Bitstogram::new(params.clone(), 303),
+        &input,
+        304,
+        "bitstogram",
+    );
+}
+
+#[test]
+fn scan_streams_equal_serial() {
+    let n = 1usize << 14;
+    let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 93);
+    let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+    assert_stream_equivalent(
+        || ScanHeavyHitters::new(params.clone(), 305),
+        &input,
+        306,
+        "scan",
+    );
+}
+
+#[test]
+fn bassily_smith_streams_equal_serial() {
+    let n = 1usize << 13;
+    let input = Workload::planted(1 << 10, vec![(0x321, 0.5)]).generate(n, 94);
+    let params = BsHhParams::optimal(n as u64, 1 << 10, 4.0, 0.2);
+    assert_stream_equivalent(
+        || BassilySmithHeavyHitters::new(params.clone(), 307),
+        &input,
+        308,
+        "bassily_smith",
+    );
+}
+
+#[test]
+fn hashtogram_oracle_streams_equal_serial() {
+    let n = 1usize << 14;
+    let input = Workload::planted(1 << 16, vec![(0xBEE, 0.25)]).generate(n, 95);
+    assert_oracle_stream_equivalent(
+        || Hashtogram::new(HashtogramParams::hashed(n as u64, 1 << 16, 1.0, 0.05), 309),
+        &input,
+        &[0xBEEu64, 7, 60_000],
+        310,
+        "hashtogram",
+    );
+}
+
+#[test]
+fn bassily_smith_oracle_streams_equal_serial() {
+    let n = 1usize << 13;
+    let input = Workload::planted(1 << 16, vec![(0x44, 0.3)]).generate(n, 96);
+    assert_oracle_stream_equivalent(
+        || BassilySmithOracle::new(1 << 16, 1.0, n as u64 / 4, 311),
+        &input,
+        &[0x44u64, 5],
+        312,
+        "bassily_smith_oracle",
+    );
+}
+
+#[test]
+fn krr_oracle_streams_equal_serial() {
+    let n = 1usize << 13;
+    let input: Vec<u64> = Workload::planted(24, vec![(3, 0.4)]).generate(n, 97);
+    assert_oracle_stream_equivalent(|| KrrOracle::new(24, 1.0), &input, &[3u64, 9], 313, "krr");
+}
+
+#[test]
+fn rappor_streams_equal_serial() {
+    let n = 1usize << 11;
+    let input: Vec<u64> = Workload::planted(100, vec![(42, 0.4)]).generate(n, 98);
+    assert_oracle_stream_equivalent(
+        || Rappor::new(100, 1.0),
+        &input,
+        &[42u64, 17],
+        314,
+        "rappor",
+    );
+}
+
+#[test]
+fn mid_stream_queries_match_prefix_runs() {
+    // `finish_at_epoch` answers from the merged decoded snapshots
+    // without consuming live shards: right after each checkpoint it must
+    // equal the serial one-shot run over exactly the ingested prefix —
+    // and the stream must keep running unperturbed afterwards.
+    let n = 1usize << 14;
+    let epoch_size = n / 4;
+    let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 99);
+    let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+    let make = || ScanHeavyHitters::new(params.clone(), 315);
+    let seed = 316;
+
+    let server = make();
+    let plan = StreamPlan {
+        epoch_size,
+        checkpoint_every: 1,
+        dist: DistPlan {
+            collectors: 3,
+            chunk_size: 1000,
+            threads: 2,
+            merge: MergeOrder::Tree,
+        },
+    };
+    let mut engine = StreamEngine::new(HhStream(&server), plan, seed);
+    for e in 0..4usize {
+        engine.ingest_epoch(&input[e * epoch_size..(e + 1) * epoch_size]);
+        let mid = engine.finish_at_epoch(&mut make());
+        let prefix = {
+            let mut s = make();
+            run_heavy_hitter(&mut s, &input[..(e + 1) * epoch_size], seed).estimates
+        };
+        assert_eq!(mid, prefix, "mid-stream query diverged after epoch {e}");
+        assert!(!mid.is_empty() || e == 0, "vacuous mid-stream query");
+    }
+    // The mid-stream queries did not perturb the live stream.
+    let (shard, _) = engine.into_live_shard();
+    let mut server = server;
+    server.finish_shard(shard);
+    let serial = {
+        let mut s = make();
+        run_heavy_hitter(&mut s, &input, seed).estimates
+    };
+    assert_eq!(server.finish(), serial);
+}
+
+#[test]
+fn oracle_mid_stream_queries_match_prefix_runs() {
+    let n = 1usize << 13;
+    let epoch_size = n / 4;
+    let input = Workload::planted(1 << 12, vec![(0xAB, 0.3)]).generate(n, 100);
+    let params = || HashtogramParams::hashed(n as u64, 1 << 12, 1.0, 0.1);
+    let make = || Hashtogram::new(params(), 317);
+    let seed = 318;
+    let queries = [0xABu64, 5, 999];
+
+    let oracle = make();
+    let plan = StreamPlan {
+        epoch_size,
+        checkpoint_every: 1,
+        dist: DistPlan::with_collectors(2),
+    };
+    let mut engine = StreamEngine::new(OracleStream(&oracle), plan, seed);
+    for e in 0..4usize {
+        engine.ingest_epoch(&input[e * epoch_size..(e + 1) * epoch_size]);
+        let mut mid = make();
+        engine.finish_at_epoch(&mut mid);
+        let mid_answers: Vec<f64> = queries.iter().map(|&q| mid.estimate(q)).collect();
+        let prefix = {
+            let mut o = make();
+            run_oracle(&mut o, &input[..(e + 1) * epoch_size], &queries, seed).answers
+        };
+        assert_eq!(
+            mid_answers, prefix,
+            "oracle mid-stream query diverged after epoch {e}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "DistPlan.collectors must be >= 1")]
+fn zero_collectors_is_rejected_up_front() {
+    let mut params = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+    let plan = DistPlan {
+        collectors: 0,
+        ..DistPlan::default()
+    };
+    let _ = run_heavy_hitter_distributed(&mut params, &[1, 2, 3], 2, &plan);
+}
+
+#[test]
+#[should_panic(expected = "DistPlan.chunk_size must be >= 1")]
+fn zero_dist_chunk_size_is_rejected_up_front() {
+    let mut params = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+    let plan = DistPlan {
+        chunk_size: 0,
+        ..DistPlan::default()
+    };
+    let _ = run_heavy_hitter_distributed(&mut params, &[1, 2, 3], 2, &plan);
+}
+
+#[test]
+#[should_panic(expected = "BatchPlan.chunk_size must be >= 1")]
+fn zero_batch_chunk_size_is_rejected_up_front() {
+    let mut params = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+    let plan = BatchPlan {
+        chunk_size: 0,
+        threads: 2,
+    };
+    let _ = run_heavy_hitter_batched(&mut params, &[1, 2, 3], 2, &plan);
+}
+
+#[test]
+#[should_panic(expected = "no checkpoint to answer from")]
+fn mid_stream_query_without_checkpoint_panics() {
+    // With checkpointing disabled, an "empty" mid-stream answer would be
+    // indistinguishable from an empty stream — the engine refuses.
+    let n = 4_000usize;
+    let input = Workload::planted(256, vec![(9, 0.35)]).generate(n, 101);
+    let params = ScanParams::new(n as u64, 256, 4.0, 0.1);
+    let make = || ScanHeavyHitters::new(params.clone(), 319);
+    let server = make();
+    let plan = StreamPlan {
+        epoch_size: n,
+        checkpoint_every: 0,
+        ..StreamPlan::default()
+    };
+    let mut engine = StreamEngine::new(HhStream(&server), plan, 320);
+    engine.ingest_epoch(&input);
+    let _ = engine.finish_at_epoch(&mut make());
+}
+
+#[test]
+fn snapshot_epochs_expose_ragged_views() {
+    // A crashed node misses a checkpoint: its snapshot epoch lags its
+    // peers' — the signal callers use to detect a degraded durable view.
+    let n = 4_000usize;
+    let input = Workload::planted(256, vec![(9, 0.35)]).generate(n, 102);
+    let params = ScanParams::new(n as u64, 256, 4.0, 0.1);
+    let server = ScanHeavyHitters::new(params, 321);
+    let plan = StreamPlan {
+        epoch_size: n / 4,
+        checkpoint_every: 1,
+        dist: DistPlan {
+            collectors: 2,
+            chunk_size: 500,
+            threads: 1,
+            merge: MergeOrder::Tree,
+        },
+    };
+    let mut engine = StreamEngine::new(HhStream(&server), plan, 322);
+    engine.ingest_epoch(&input[..n / 4]);
+    engine.ingest_epoch(&input[n / 4..n / 2]);
+    assert_eq!(engine.snapshot_epochs(), vec![Some(2), Some(2)]);
+    engine.kill_collector(1);
+    engine.ingest_epoch(&input[n / 2..3 * n / 4]);
+    // The dead node's snapshot stayed behind.
+    assert_eq!(engine.snapshot_epochs(), vec![Some(3), Some(2)]);
+    engine.recover_collector(1);
+    engine.ingest_epoch(&input[3 * n / 4..]);
+    assert_eq!(engine.snapshot_epochs(), vec![Some(4), Some(4)]);
+}
+
+#[test]
+#[should_panic(expected = "StreamPlan.epoch_size must be >= 1")]
+fn zero_epoch_size_is_rejected_up_front() {
+    let server = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+    let plan = StreamPlan {
+        epoch_size: 0,
+        ..StreamPlan::default()
+    };
+    let _ = StreamEngine::new(HhStream(&server), plan, 2);
+}
