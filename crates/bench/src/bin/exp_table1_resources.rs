@@ -23,26 +23,39 @@
 //!   and report snapshot bytes/collector, checkpoint + recovery time,
 //!   and epoch throughput next to the wire column; with `--json` /
 //!   `--json-out` the records land in the JSON document.
+//! * `--ingest-bench` — measure steady-state ingest throughput
+//!   (users/sec and MB/s) of the fused zero-copy path
+//!   (`respond_encode_batch` + `absorb_wire`) against the legacy
+//!   materializing path (respond → encode → decode → absorb), with the
+//!   two shards checked bit-for-bit equal; with `--json` / `--json-out`
+//!   the records land in the JSON document so the speedup is tracked,
+//!   not asserted (without them nothing is written — the tracked
+//!   baseline is never clobbered with a partial document).
 //! * `--quick` — small-n profile (CI smoke runs).
-//! * `--json` — additionally run the serial-vs-batched comparison and
-//!   the collector-count merge-scaling sweep, and write the
-//!   machine-readable record (the perf-trajectory baseline tracked
-//!   across PRs).
-//! * `--json-out <path>` — where `--json` writes (default
-//!   `BENCH_table1.json`).
+//! * `--json` — additionally run the serial-vs-batched comparison, the
+//!   collector-count merge-scaling sweep, *and* the ingest throughput
+//!   comparison (implied, so the document is always written whole), and
+//!   write the machine-readable record (the perf-trajectory baseline
+//!   tracked across PRs).
+//! * `--json-out <path>` — where `--json` (and `--ingest-bench`) write
+//!   (default `BENCH_table1.json`).
 
 use hh_bench::{banner, fmt_dur, json_array, JsonObject, Table};
-use hh_core::baselines::{Bitstogram, BitstogramParams};
-use hh_core::traits::{HeavyHitterProtocol, WireReport};
+use hh_core::baselines::{Bitstogram, BitstogramParams, ScanHeavyHitters, ScanParams};
+use hh_core::traits::{HeavyHitterProtocol, WireReport, WireShard};
 use hh_core::{ExpanderSketch, SketchParams};
 use hh_freq::bassily_smith::BassilySmithOracle;
+use hh_freq::krr::KrrOracle;
+use hh_freq::rappor::Rappor;
 use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire::{encode_reports, WireFrames};
 use hh_math::rng::derive_seed;
 use hh_sim::{
     run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
-    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, HhStream, ProtocolRun,
-    StreamEngine, StreamPlan, StreamWorkload, Workload,
+    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, HhStream, OracleStream,
+    ProtocolRun, StreamEngine, StreamIngest, StreamPlan, StreamWorkload, Workload,
 };
+use std::time::Instant;
 
 /// Which pipeline drives the table rows.
 #[derive(Clone, Copy, PartialEq)]
@@ -308,11 +321,130 @@ where
         .build()
 }
 
+/// One fused-vs-legacy ingest throughput measurement, single-threaded
+/// (so the comparison is pure per-user work, not scheduling):
+///
+/// * **legacy** — `respond_batch` materializes the chunk's reports,
+///   `encode_into` frames them, the collector decodes every frame back
+///   into a report vec and `absorb`s it (the pre-zero-copy pipeline);
+/// * **fused** — `respond_encode_batch` samples straight into one
+///   reused wire buffer and the collector folds the borrowed frames via
+///   `absorb_wire` — no report vec on either side, no steady-state
+///   allocation.
+///
+/// The two shards are checked bit-for-bit equal through their snapshot
+/// encoding; the throughput records (users/sec and MB/s) land in the
+/// JSON document so the speedup is tracked across PRs, not asserted.
+fn ingest_throughput<I: StreamIngest>(
+    ingest: &I,
+    name: &str,
+    data: &[u64],
+    chunk_size: usize,
+    client_seed: u64,
+) -> Vec<String> {
+    // The two paths run interleaved (legacy, fused, legacy, fused, …)
+    // for `REPS` rounds each after one unmeasured warmup pair, and the
+    // min wall-clock per path is recorded — interleaving cancels slow
+    // clock-frequency drift and the min strips scheduler noise, which
+    // matters because the fastest paths finish a rep in milliseconds.
+    const REPS: usize = 5;
+
+    // Legacy path: respond → encode → decode → absorb.
+    let run_legacy = || {
+        let t0 = Instant::now();
+        let mut shard = ingest.new_shard();
+        let mut bytes_total = 0u64;
+        for (c, xs) in data.chunks(chunk_size).enumerate() {
+            let start = (c * chunk_size) as u64;
+            let reports = ingest.respond_batch(start, xs, client_seed);
+            let mut bytes = Vec::new();
+            let lens = encode_reports(&reports, &mut bytes);
+            bytes_total += bytes.len() as u64;
+            let mut decoded = Vec::with_capacity(reports.len());
+            let mut off = 0usize;
+            for &len in &lens {
+                decoded.push(
+                    I::Report::decode(&bytes[off..off + len as usize]).expect("frame decodes"),
+                );
+                off += len as usize;
+            }
+            ingest.absorb(&mut shard, start, &decoded);
+        }
+        (t0.elapsed().as_secs_f64(), shard, bytes_total)
+    };
+
+    // Fused path: respond_encode_batch into one reused buffer →
+    // absorb_wire over the borrowed frames.
+    let run_fused = || {
+        let t1 = Instant::now();
+        let mut shard = ingest.new_shard();
+        let mut bytes_total = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
+        for (c, xs) in data.chunks(chunk_size).enumerate() {
+            let start = (c * chunk_size) as u64;
+            buf.clear();
+            let lens = ingest.respond_encode_batch(start, xs, client_seed, &mut buf);
+            bytes_total += buf.len() as u64;
+            let frames = WireFrames::new(&buf, &lens).expect("well-framed chunk");
+            ingest
+                .absorb_wire(&mut shard, start, &frames)
+                .expect("wire absorb");
+        }
+        (t1.elapsed().as_secs_f64(), shard, bytes_total)
+    };
+
+    let (_, mut legacy_shard, mut wire_bytes) = run_legacy();
+    let (_, mut fused_shard, mut fused_bytes) = run_fused();
+    let mut legacy_secs = f64::INFINITY;
+    let mut fused_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let (secs, shard, bytes) = run_legacy();
+        legacy_secs = legacy_secs.min(secs);
+        legacy_shard = shard;
+        wire_bytes = bytes;
+        let (secs, shard, bytes) = run_fused();
+        fused_secs = fused_secs.min(secs);
+        fused_shard = shard;
+        fused_bytes = bytes;
+    }
+
+    assert_eq!(fused_bytes, wire_bytes, "{name}: fused wire bytes diverged");
+    assert_eq!(
+        fused_shard.encode_shard(),
+        legacy_shard.encode_shard(),
+        "{name}: fused shard diverged from legacy"
+    );
+
+    let n = data.len() as f64;
+    println!(
+        "  {name:>16}: legacy {:>9.0} users/s ({:>6.1} MB/s) | fused {:>9.0} users/s ({:>6.1} MB/s) | x{:.2}",
+        n / legacy_secs.max(1e-9),
+        wire_bytes as f64 / 1e6 / legacy_secs.max(1e-9),
+        n / fused_secs.max(1e-9),
+        wire_bytes as f64 / 1e6 / fused_secs.max(1e-9),
+        legacy_secs / fused_secs.max(1e-9),
+    );
+    let record = |path: &str, secs: f64| {
+        JsonObject::new()
+            .str("protocol", name)
+            .str("path", path)
+            .int("n", data.len() as u64)
+            .int("chunk_size", chunk_size as u64)
+            .int("wire_bytes", wire_bytes)
+            .num("ingest_secs", secs)
+            .num("users_per_sec", n / secs.max(1e-9))
+            .num("mb_per_sec", wire_bytes as f64 / 1e6 / secs.max(1e-9))
+            .build()
+    };
+    vec![record("legacy", legacy_secs), record("fused", fused_secs)]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let serial = args.iter().any(|a| a == "--serial");
     let distributed = args.iter().any(|a| a == "--distributed");
     let stream = args.iter().any(|a| a == "--stream");
+    let ingest_bench = args.iter().any(|a| a == "--ingest-bench");
     let quick = args.iter().any(|a| a == "--quick");
     let json_out_value = args.iter().position(|a| a == "--json-out").map(|i| {
         let path = args
@@ -327,6 +459,10 @@ fn main() {
     // --json-out implies --json: asking for an output path is asking for
     // the JSON phase.
     let emit_json = args.iter().any(|a| a == "--json") || json_out_value.is_some();
+    // A baseline write always includes the ingest comparison: the JSON
+    // document is written whole, so omitting the rows would erase the
+    // tracked fused-vs-legacy history.
+    let ingest_bench = ingest_bench || emit_json;
     let json_out = json_out_value.unwrap_or_else(|| "BENCH_table1.json".to_string());
     assert!(
         !(serial && distributed),
@@ -501,12 +637,74 @@ fn main() {
         ));
     }
 
+    let mut ingest_records = Vec::new();
+    if ingest_bench {
+        let n = if quick { 1usize << 14 } else { 1 << 20 };
+        let chunk = 1usize << 13;
+        println!(
+            "\n— ingest throughput at n = {n}: fused (respond_encode_batch + absorb_wire) \
+             vs legacy (respond → encode → decode → absorb), single-threaded —\n"
+        );
+        let data = Workload::zipf(1u64 << bits, 1.2).generate(n, 131);
+
+        let p = SketchParams::optimal(n as u64, bits, eps, beta);
+        let s = ExpanderSketch::new(p, 31);
+        ingest_records.extend(ingest_throughput(
+            &HhStream(&s),
+            "expander_sketch",
+            &data,
+            chunk,
+            0x1D1,
+        ));
+
+        let scan_domain = 1u64 << 16;
+        let scan_data: Vec<u64> = data.iter().map(|&x| x & (scan_domain - 1)).collect();
+        let sp = ScanParams::new(n as u64, scan_domain, eps, beta);
+        let s = ScanHeavyHitters::new(sp, 32);
+        ingest_records.extend(ingest_throughput(
+            &HhStream(&s),
+            "scan",
+            &scan_data,
+            chunk,
+            0x1D2,
+        ));
+
+        // KRR's per-user work is one GRR draw and a one-byte frame, so a
+        // single pass over n finishes in tens of milliseconds — too
+        // short to resolve a few-percent delta. Give it 4x the
+        // population so the row measures the path, not the timer.
+        let krr_data: Vec<u64> = data.iter().cycle().take(4 * n).map(|&x| x % 64).collect();
+        let o = KrrOracle::new(64, eps);
+        ingest_records.extend(ingest_throughput(
+            &OracleStream(&o),
+            "krr",
+            &krr_data,
+            chunk,
+            0x1D3,
+        ));
+
+        // RAPPOR's per-user cost is Θ(|X|) — the fused path's win here is
+        // skipping one dense bitvector allocation per user. Smaller n
+        // keeps the row affordable.
+        let rappor_n = n / 16;
+        let rappor_data: Vec<u64> = data[..rappor_n].iter().map(|&x| x % 256).collect();
+        let o = Rappor::new(256, eps);
+        ingest_records.extend(ingest_throughput(
+            &OracleStream(&o),
+            "rappor",
+            &rappor_data,
+            chunk,
+            0x1D4,
+        ));
+    }
+
+    let mut runs = Vec::new();
+    let mut scaling = Vec::new();
     if emit_json {
         let n = if quick { 100_000usize } else { 1_000_000 };
         println!("\n— serial vs batched pipeline at n = {n} (planted workload) —\n");
         let workload = Workload::planted(1u64 << bits, vec![(0xBEEF, 0.3)]);
         let data = workload.generate(n, 97);
-        let mut runs = Vec::new();
 
         let p = SketchParams::optimal(n as u64, bits, eps, beta);
         let (json, sketch_serial) = compare_at_scale(
@@ -529,7 +727,6 @@ fn main() {
         runs.push(json);
 
         println!("\n— collector-count scaling (wire round-trip, tree merge) —\n");
-        let mut scaling = Vec::new();
         scaling.extend(merge_scaling(
             || ExpanderSketch::new(p.clone(), 11),
             "expander_sketch",
@@ -553,9 +750,16 @@ fn main() {
             .raw("runs", json_array(runs))
             .raw("merge_scaling", json_array(scaling))
             .raw("stream", json_array(stream_records))
+            .raw("ingest", json_array(ingest_records))
             .build();
         std::fs::write(&json_out, format!("{doc}\n"))
             .unwrap_or_else(|e| panic!("write {json_out}: {e}"));
         println!("\nwrote {json_out}");
+    } else if ingest_bench {
+        // Without --json the tracked baseline document would be written
+        // with its comparison arrays empty — never clobber it; the
+        // measurements (and their bit-for-bit shard checks) above are
+        // the smoke value.
+        println!("\n(pass --json / --json-out to record the ingest rows into the JSON baseline)");
     }
 }

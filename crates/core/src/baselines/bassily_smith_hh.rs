@@ -10,7 +10,7 @@
 //! capped accordingly; the `exp_table1_resources` bench extrapolates the
 //! full-domain cost.
 
-use crate::traits::HeavyHitterProtocol;
+use crate::traits::{FrameError, HeavyHitterProtocol, WireFrames};
 use hh_freq::bassily_smith::{BassilySmithOracle, BsReport, BsShard};
 use hh_freq::calibrate;
 use hh_freq::traits::FrequencyOracle;
@@ -94,6 +94,17 @@ impl HeavyHitterProtocol for BassilySmithHeavyHitters {
         self.oracle.respond_batch(start_index, xs, client_seed)
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        self.oracle
+            .respond_encode_batch(start_index, xs, client_seed, out)
+    }
+
     fn collect(&mut self, user_index: u64, report: BsReport) {
         assert!(!self.finished, "collect after finish");
         self.oracle.collect(user_index, report);
@@ -105,6 +116,15 @@ impl HeavyHitterProtocol for BassilySmithHeavyHitters {
 
     fn absorb(&self, shard: &mut BsShard, start_index: u64, reports: &[BsReport]) {
         self.oracle.absorb(shard, start_index, reports);
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut BsShard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        self.oracle.absorb_wire(shard, start_index, frames)
     }
 
     fn merge(&self, a: BsShard, b: BsShard) -> BsShard {

@@ -16,7 +16,9 @@
 //! enters the error. `PrivateExpanderSketch` removes it; the
 //! `exp_error_vs_beta` bench measures the two side by side.
 
-use crate::traits::{HeavyHitterProtocol, WireError, WireReport, WireShard};
+use crate::traits::{
+    FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
+};
 use hh_freq::calibrate;
 use hh_freq::hashtogram::{
     read_report_run, report_run_len, write_report_run, Hashtogram, HashtogramParams,
@@ -262,6 +264,32 @@ impl Bitstogram {
         let bit = (x >> m) & 1;
         2 * y + bit
     }
+
+    /// The one batched client loop `respond_batch` and the fused encode
+    /// path drive: per-user derived coin streams with the
+    /// group-assignment seed hoisted, each composite report (inner, then
+    /// outer — the same draw order as `respond`) handed to `emit` in
+    /// user order.
+    fn respond_each(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        mut emit: impl FnMut(BitstogramReport),
+    ) {
+        let group_seed = self.assignment_seed();
+        let num_groups = self.params.num_groups() as u64;
+        for (k, &x) in xs.iter().enumerate() {
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let group = Self::group_at(group_seed, i, num_groups);
+            let cell = self.cell_of(group, x);
+            emit(BitstogramReport {
+                inner: self.inner_proto.respond(i, cell, &mut rng),
+                outer: self.outer.respond(i, x, &mut rng),
+            });
+        }
+    }
 }
 
 impl HeavyHitterProtocol for Bitstogram {
@@ -283,23 +311,27 @@ impl HeavyHitterProtocol for Bitstogram {
         xs: &[u64],
         client_seed: u64,
     ) -> Vec<BitstogramReport> {
-        // Inlined `respond` with the group-assignment seed hoisted; the
-        // per-user draw order (inner report, then outer report) matches
-        // the scalar path exactly.
-        let group_seed = self.assignment_seed();
-        let num_groups = self.params.num_groups() as u64;
         let mut out = Vec::with_capacity(xs.len());
-        for (k, &x) in xs.iter().enumerate() {
-            let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
-            let group = Self::group_at(group_seed, i, num_groups);
-            let cell = self.cell_of(group, x);
-            out.push(BitstogramReport {
-                inner: self.inner_proto.respond(i, cell, &mut rng),
-                outer: self.outer.respond(i, x, &mut rng),
-            });
-        }
+        self.respond_each(start_index, xs, client_seed, |rep| out.push(rep));
         out
+    }
+
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        // Fused: write each composite pair frame straight to the wire —
+        // no intermediate report vec.
+        let mut lens = Vec::with_capacity(xs.len());
+        self.respond_each(start_index, xs, client_seed, |rep| {
+            let before = out.len();
+            rep.encode_into(out);
+            lens.push((out.len() - before) as u32);
+        });
+        lens
     }
 
     fn collect(&mut self, user_index: u64, report: BitstogramReport) {
@@ -326,6 +358,32 @@ impl HeavyHitterProtocol for Bitstogram {
         }
         let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
         self.outer.absorb(&mut shard.outer, start_index, &outer);
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut BitstogramShard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        // Zero-copy: split each composite frame in place — the inner
+        // report buffers into its (recomputed) group, the outer report
+        // tallies straight into the outer shard through the hoisted
+        // absorber.
+        let group_seed = self.assignment_seed();
+        let num_groups = self.params.num_groups() as u64;
+        let outer_absorber = self.outer.absorber();
+        for (k, frame) in frames.iter().enumerate() {
+            let (inner, outer) = wire::decode_pair::<HashtogramReport, HashtogramReport>(frame)
+                .map_err(|e| frames.frame_error(k, e))?;
+            let i = start_index + k as u64;
+            let group = Self::group_at(group_seed, i, num_groups);
+            shard.inner[group].push((i, inner));
+            outer_absorber
+                .absorb_one(&mut shard.outer, i, outer)
+                .map_err(|e| frames.frame_error(k, e))?;
+        }
+        Ok(())
     }
 
     fn merge(&self, mut a: BitstogramShard, b: BitstogramShard) -> BitstogramShard {

@@ -8,7 +8,7 @@
 //! `n > |X|` (the complementary regime noted under Theorem 3.13), and the
 //! small-domain reference the benches use for ground truth.
 
-use crate::traits::HeavyHitterProtocol;
+use crate::traits::{FrameError, HeavyHitterProtocol, WireFrames};
 use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 use hh_freq::traits::FrequencyOracle;
 use rand::Rng;
@@ -95,6 +95,17 @@ impl HeavyHitterProtocol for ScanHeavyHitters {
         self.oracle.respond_batch(start_index, xs, client_seed)
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        self.oracle
+            .respond_encode_batch(start_index, xs, client_seed, out)
+    }
+
     fn collect(&mut self, user_index: u64, report: HashtogramReport) {
         assert!(!self.finished, "collect after finish");
         self.oracle.collect(user_index, report);
@@ -106,6 +117,15 @@ impl HeavyHitterProtocol for ScanHeavyHitters {
 
     fn absorb(&self, shard: &mut HashtogramShard, start_index: u64, reports: &[HashtogramReport]) {
         self.oracle.absorb(shard, start_index, reports);
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut HashtogramShard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        self.oracle.absorb_wire(shard, start_index, frames)
     }
 
     fn merge(&self, a: HashtogramShard, b: HashtogramShard) -> HashtogramShard {

@@ -23,7 +23,9 @@
 //! estimates of the decoded candidates (steps 5–6).
 
 use crate::params::SketchParams;
-use crate::traits::{HeavyHitterProtocol, WireError, WireReport, WireShard};
+use crate::traits::{
+    FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
+};
 use hh_codes::ulrc::UniqueListCode;
 use hh_freq::hashtogram::{
     read_report_run, report_run_len, write_report_run, Hashtogram, HashtogramReport,
@@ -210,6 +212,31 @@ impl ExpanderSketch {
         self.params.cell_id(b, y, z)
     }
 
+    /// The one batched client loop `respond_batch` and the fused encode
+    /// path drive: per-user derived coin streams with the partition
+    /// component seed hoisted out of the loop, each composite report
+    /// (inner, then outer — the same draw order as `respond`) handed to
+    /// `emit` in user order.
+    fn respond_each(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        mut emit: impl FnMut(SketchReport),
+    ) {
+        let part_seed = self.partition_seed();
+        let num_coords = self.params.num_coords as u64;
+        for (k, &x) in xs.iter().enumerate() {
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let m = Self::coord_at(part_seed, i, num_coords);
+            let cell = self.cell_of(m, x);
+            let inner = self.inner_proto.respond(i, cell, &mut rng);
+            let outer = self.outer.respond(i, x, &mut rng);
+            emit(SketchReport { inner, outer });
+        }
+    }
+
     /// The stand-out lists (step 3), exposed for inspection/ablation:
     /// `lists[b][m]` = the `(y, z)` pairs whose estimate cleared τ.
     fn build_standout_lists(&mut self) -> Vec<Vec<Vec<(u64, u64)>>> {
@@ -263,22 +290,27 @@ impl HeavyHitterProtocol for ExpanderSketch {
     }
 
     fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<SketchReport> {
-        // Inlined `respond` with the partition component seed hoisted out
-        // of the loop; draw order per user is identical (inner report,
-        // then outer report, from the user's derived stream).
-        let part_seed = self.partition_seed();
-        let num_coords = self.params.num_coords as u64;
         let mut out = Vec::with_capacity(xs.len());
-        for (k, &x) in xs.iter().enumerate() {
-            let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
-            let m = Self::coord_at(part_seed, i, num_coords);
-            let cell = self.cell_of(m, x);
-            let inner = self.inner_proto.respond(i, cell, &mut rng);
-            let outer = self.outer.respond(i, x, &mut rng);
-            out.push(SketchReport { inner, outer });
-        }
+        self.respond_each(start_index, xs, client_seed, |rep| out.push(rep));
         out
+    }
+
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        // Fused: write each composite pair frame straight to the wire —
+        // no intermediate report vec.
+        let mut lens = Vec::with_capacity(xs.len());
+        self.respond_each(start_index, xs, client_seed, |rep| {
+            let before = out.len();
+            rep.encode_into(out);
+            lens.push((out.len() - before) as u32);
+        });
+        lens
     }
 
     fn collect(&mut self, user_index: u64, report: SketchReport) {
@@ -311,6 +343,34 @@ impl HeavyHitterProtocol for ExpanderSketch {
         let outer: Vec<HashtogramReport> = reports.iter().map(|r| r.outer).collect();
         self.outer.absorb(&mut shard.outer, start_index, &outer);
         shard.users += reports.len() as u64;
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut SketchShard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        // Zero-copy: split each composite frame in place — the inner
+        // report buffers into its (recomputed) coordinate, the outer
+        // report tallies straight into the outer shard through the
+        // hoisted absorber. No `Vec<SketchReport>`, no per-chunk outer
+        // report vec.
+        let part_seed = self.partition_seed();
+        let num_coords = self.params.num_coords as u64;
+        let outer_absorber = self.outer.absorber();
+        for (k, frame) in frames.iter().enumerate() {
+            let (inner, outer) = wire::decode_pair::<HashtogramReport, HashtogramReport>(frame)
+                .map_err(|e| frames.frame_error(k, e))?;
+            let i = start_index + k as u64;
+            let m = Self::coord_at(part_seed, i, num_coords);
+            shard.inner[m].push((i, inner));
+            outer_absorber
+                .absorb_one(&mut shard.outer, i, outer)
+                .map_err(|e| frames.frame_error(k, e))?;
+        }
+        shard.users += frames.len() as u64;
+        Ok(())
     }
 
     fn merge(&self, mut a: SketchShard, b: SketchShard) -> SketchShard {

@@ -10,7 +10,10 @@
 //!   `Report`, and every `Report` implements [`WireReport`] — an exact
 //!   byte encoding — so the paper's logarithmic-message claim is a
 //!   measured property (`report_bits()` bounds the encoding up to byte
-//!   alignment; pinned by the `wire_conformance` integration tests);
+//!   alignment; pinned by the `wire_conformance` integration tests).
+//!   [`HeavyHitterProtocol::respond_encode_batch`] fuses the two steps,
+//!   sampling straight into a wire buffer with no intermediate report
+//!   vec;
 //! * the **aggregator** (server side): ingestion state is first-class
 //!   and *mergeable*. A [`HeavyHitterProtocol::Shard`] is the
 //!   self-contained partial aggregate one collector node holds;
@@ -22,7 +25,10 @@
 //!   associative and commutative (observationally) with `new_shard()`
 //!   as identity: any shard tree over any partition of the reports
 //!   leaves the server bit-for-bit identical to serial per-user
-//!   [`HeavyHitterProtocol::collect`] calls.
+//!   [`HeavyHitterProtocol::collect`] calls. The zero-copy entry point
+//!   [`HeavyHitterProtocol::absorb_wire`] folds borrowed wire frames
+//!   ([`WireFrames`]) into a shard without constructing `Report`
+//!   values — bit-for-bit equal to decode-then-absorb.
 //!
 //! [`HeavyHitterProtocol::collect_batch`]'s default is the one shared
 //! sharding path — absorb chunks on worker threads, merge tree-wise,
@@ -40,8 +46,9 @@
 //! `batch_equivalence` and `distributed_merge` integration tests enforce
 //! this bit-for-bit.
 
-pub use hh_freq::wire::{WireError, WireReport, WireShard};
+pub use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
 
+use hh_freq::wire::encode_reports;
 use hh_math::par::{merge_tree, par_chunk_map, shard_chunk_size};
 use hh_math::rng::client_rng;
 use rand::Rng;
@@ -86,6 +93,26 @@ pub trait HeavyHitterProtocol {
             .collect()
     }
 
+    /// Client, fused respond + encode: append the wire frames of the
+    /// contiguous user range `start_index .. start_index + xs.len()` to
+    /// `out`, returning each frame's length.
+    ///
+    /// Byte-for-byte identical to
+    /// [`HeavyHitterProtocol::respond_batch`] followed by per-report
+    /// `encode_into` (the default does exactly that); fused overrides
+    /// sample straight into the wire buffer with no intermediate report
+    /// vec — `out` is typically a pooled buffer reused across batches,
+    /// making the steady-state client phase allocation-free.
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        encode_reports(&self.respond_batch(start_index, xs, client_seed), out)
+    }
+
     /// Server: ingest one message. The semantic ground truth every shard
     /// path must match observationally.
     fn collect(&mut self, user_index: u64, report: Self::Report);
@@ -102,6 +129,31 @@ pub trait HeavyHitterProtocol {
     /// (absorbed state is exact — integer tallies, never floats — so
     /// ranges may be absorbed in any order across any number of shards).
     fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+
+    /// Server, zero-copy: fold borrowed wire frames into `shard` without
+    /// constructing `Report` values — frame `k` is user
+    /// `start_index + k`'s report.
+    ///
+    /// Must leave `shard` bit-for-bit identical to decoding every frame
+    /// and calling [`HeavyHitterProtocol::absorb`] (the default does
+    /// exactly that; the `wire_conformance` proptests pin every override
+    /// against it). A corrupt frame — undecodable bytes, or a decoded
+    /// value outside the protocol's domain — returns a [`FrameError`]
+    /// naming the frame and its byte offset; on `Err` the shard may hold
+    /// a partial absorption and must be discarded.
+    fn absorb_wire(
+        &self,
+        shard: &mut Self::Shard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        let mut reports = Vec::with_capacity(frames.len());
+        for (k, frame) in frames.iter().enumerate() {
+            reports.push(Self::Report::decode(frame).map_err(|e| frames.frame_error(k, e))?);
+        }
+        self.absorb(shard, start_index, &reports);
+        Ok(())
+    }
 
     /// Combine two partial aggregates. Associative and commutative
     /// (observationally), with [`HeavyHitterProtocol::new_shard`] as

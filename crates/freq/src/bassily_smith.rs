@@ -20,10 +20,12 @@ use crate::randomizers::BinaryRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
 use crate::wire::{
     pack_row_bit, read_tally_run, read_uint, tally_run_len, uint_len, unpack_row_bit, varint_len,
-    write_tally_run, write_uint, write_varint, ShardReader, WireError, WireReport, WireShard,
+    write_tally_run, write_uint, write_varint, FrameError, ShardReader, WireError, WireFrames,
+    WireReport, WireShard,
 };
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
+use hh_math::rng::client_rng;
 use rand::Rng;
 
 /// Bassily–Smith-style JL projection oracle.
@@ -151,6 +153,31 @@ impl FrequencyOracle for BassilySmithOracle {
         }
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        // Fused: pack `row·2 + bit` straight into the wire buffer, same
+        // per-user draws (row, then RR coin) as the default respond path.
+        xs.iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                assert!(x < self.domain);
+                let i = start_index + k as u64;
+                let mut rng = client_rng(client_seed, i);
+                let j = rng.gen_range(0..self.w);
+                let true_bit = u64::from(self.phi(j, x) > 0.0);
+                let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
+                let before = out.len();
+                write_uint(out, pack_row_bit(j, if sent == 1 { 1 } else { -1 }));
+                (out.len() - before) as u32
+            })
+            .collect()
+    }
+
     fn collect(&mut self, _user_index: u64, report: BsReport) {
         assert!(!self.finalized);
         // Each user contributes c_ε·(±1) to her sampled row (the debias
@@ -171,6 +198,27 @@ impl FrequencyOracle for BassilySmithOracle {
             shard.tallies[rep.row as usize] += i64::from(rep.bit);
         }
         shard.users += reports.len() as u64;
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut BsShard,
+        _start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        // Zero-copy: unpack `row·2 + bit` off each borrowed frame and
+        // fold the ±1 tally. Rows are validated (absorb's slice indexing
+        // would panic on the same corruption).
+        for (k, frame) in frames.iter().enumerate() {
+            let (row, bit) =
+                unpack_row_bit(read_uint(frame).map_err(|e| frames.frame_error(k, e))?);
+            if row >= self.w {
+                return Err(frames.frame_error(k, WireError::Invalid("report row outside w")));
+            }
+            shard.tallies[row as usize] += i64::from(bit);
+        }
+        shard.users += frames.len() as u64;
+        Ok(())
     }
 
     fn merge(&self, mut a: BsShard, b: BsShard) -> BsShard {

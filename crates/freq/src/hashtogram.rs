@@ -31,7 +31,7 @@ use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
 use crate::wire::{
     count_run_len, pack_row_bit, read_count_run, read_tally_run, read_uint, tally_run_len,
     uint_len, unpack_row_bit, varint_len, write_count_run, write_tally_run, write_uint,
-    write_varint, ShardReader, WireError, WireReport, WireShard,
+    write_varint, FrameError, ShardReader, WireError, WireFrames, WireReport, WireShard,
 };
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
@@ -342,6 +342,83 @@ impl Hashtogram {
     pub fn randomizer(&self) -> crate::randomizers::HadamardResponse {
         crate::randomizers::HadamardResponse::new(self.params.buckets, self.params.eps)
     }
+
+    /// The one batched client loop both [`Hashtogram::respond_batch`]
+    /// and the fused encode path drive: per-user derived coin streams,
+    /// the group-assignment component seed hoisted out of the loop (it
+    /// costs two SplitMix hops per user in the scalar path), each report
+    /// handed to `emit` in user order.
+    fn respond_each(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        mut emit: impl FnMut(HashtogramReport),
+    ) {
+        let assign_seed = self.assignment_seed();
+        let groups = self.params.groups as u64;
+        let buckets = self.params.buckets;
+        for (k, &x) in xs.iter().enumerate() {
+            assert!(x < self.params.domain, "input {x} outside domain");
+            let i = start_index + k as u64;
+            let mut rng = client_rng(client_seed, i);
+            let group = Self::group_at(assign_seed, i, groups);
+            let b = self.bucket(group, x);
+            let s = self.sign(group, x);
+            let ell = rng.gen_range(0..buckets);
+            let true_pm = i64::from(hadamard_entry(ell, b)) * s;
+            let true_bit = u64::from(true_pm > 0);
+            let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
+            emit(HashtogramReport {
+                ell,
+                bit: if sent == 1 { 1 } else { -1 },
+            });
+        }
+    }
+
+    /// The hoisted zero-copy ingester: assignment seed and shapes derived
+    /// once per batch. Shared by this oracle's own wire path and by the
+    /// composite protocols that wrap it (`ExpanderSketch` / `Bitstogram`
+    /// outer halves), so their per-report folds cannot drift from
+    /// [`Hashtogram::absorb`].
+    pub fn absorber(&self) -> HashtogramAbsorber {
+        HashtogramAbsorber {
+            assign_seed: self.assignment_seed(),
+            groups: self.params.groups as u64,
+            buckets: self.params.buckets as usize,
+        }
+    }
+}
+
+/// Hoisted per-report shard ingester for [`Hashtogram`] reports (see
+/// [`Hashtogram::absorber`]): validates the row and folds the ±1 tally
+/// into the right `(group, row)` cell.
+#[derive(Debug, Clone, Copy)]
+pub struct HashtogramAbsorber {
+    assign_seed: u64,
+    groups: u64,
+    buckets: usize,
+}
+
+impl HashtogramAbsorber {
+    /// Fold one report for `user_index` into `shard`. `Err` when the
+    /// row index is outside `W` — a corrupt frame would otherwise alias
+    /// into a *neighboring group's* row of the flat tally.
+    pub fn absorb_one(
+        &self,
+        shard: &mut HashtogramShard,
+        user_index: u64,
+        rep: HashtogramReport,
+    ) -> Result<(), WireError> {
+        if rep.ell as usize >= self.buckets {
+            return Err(WireError::Invalid("report row outside W"));
+        }
+        let g = Hashtogram::group_at(self.assign_seed, user_index, self.groups) as usize;
+        shard.tallies[g * self.buckets + rep.ell as usize] += i64::from(rep.bit);
+        shard.group_counts[g] += 1;
+        shard.users += 1;
+        Ok(())
+    }
 }
 
 impl FrequencyOracle for Hashtogram {
@@ -369,31 +446,27 @@ impl FrequencyOracle for Hashtogram {
         xs: &[u64],
         client_seed: u64,
     ) -> Vec<HashtogramReport> {
-        // Same per-user draws as `respond` with the contract's derived
-        // streams, with the group-assignment component seed hoisted out of
-        // the loop (it costs two SplitMix hops per user in the scalar
-        // path).
-        let assign_seed = self.assignment_seed();
-        let groups = self.params.groups as u64;
-        let buckets = self.params.buckets;
         let mut out = Vec::with_capacity(xs.len());
-        for (k, &x) in xs.iter().enumerate() {
-            assert!(x < self.params.domain, "input {x} outside domain");
-            let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
-            let group = Self::group_at(assign_seed, i, groups);
-            let b = self.bucket(group, x);
-            let s = self.sign(group, x);
-            let ell = rng.gen_range(0..buckets);
-            let true_pm = i64::from(hadamard_entry(ell, b)) * s;
-            let true_bit = u64::from(true_pm > 0);
-            let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
-            out.push(HashtogramReport {
-                ell,
-                bit: if sent == 1 { 1 } else { -1 },
-            });
-        }
+        self.respond_each(start_index, xs, client_seed, |rep| out.push(rep));
         out
+    }
+
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        // Fused: the same per-user draws as `respond_batch`, written
+        // straight to the wire — no intermediate report vec.
+        let mut lens = Vec::with_capacity(xs.len());
+        self.respond_each(start_index, xs, client_seed, |rep| {
+            let before = out.len();
+            rep.encode_into(out);
+            lens.push((out.len() - before) as u32);
+        });
+        lens
     }
 
     fn collect(&mut self, user_index: u64, report: HashtogramReport) {
@@ -413,27 +486,36 @@ impl FrequencyOracle for Hashtogram {
     }
 
     fn absorb(&self, shard: &mut HashtogramShard, start_index: u64, reports: &[HashtogramReport]) {
-        // The group is recomputed from the user index under a hoisted
-        // assignment seed — reports carry payload only.
-        let assign_seed = self.assignment_seed();
-        let groups = self.params.groups as u64;
-        let buckets = self.params.buckets as usize;
-        for (k, rep) in reports.iter().enumerate() {
-            // The row index must be validated here: a corrupt decoded
-            // frame with ell >= W would otherwise alias into a
-            // *neighboring group's* row of the flat tally (the serial
-            // `collect` path panics on the same corruption via its
-            // per-group indexing).
-            assert!(
-                (rep.ell as usize) < buckets,
-                "report row {} outside W = {buckets}",
-                rep.ell
-            );
-            let g = Self::group_at(assign_seed, start_index + k as u64, groups) as usize;
-            shard.tallies[g * buckets + rep.ell as usize] += i64::from(rep.bit);
-            shard.group_counts[g] += 1;
+        // The group is recomputed from the user index under the hoisted
+        // absorber — reports carry payload only. Rows are validated
+        // there: a corrupt report with ell >= W would otherwise alias
+        // into a neighboring group's row of the flat tally (the serial
+        // `collect` path panics on the same corruption via its per-group
+        // indexing), so a bad row panics here too.
+        let absorber = self.absorber();
+        for (k, &rep) in reports.iter().enumerate() {
+            absorber
+                .absorb_one(shard, start_index + k as u64, rep)
+                .unwrap_or_else(|_| {
+                    panic!("report row {} outside W = {}", rep.ell, self.params.buckets)
+                });
         }
-        shard.users += reports.len() as u64;
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut HashtogramShard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        let absorber = self.absorber();
+        for (k, frame) in frames.iter().enumerate() {
+            let rep = HashtogramReport::decode(frame).map_err(|e| frames.frame_error(k, e))?;
+            absorber
+                .absorb_one(shard, start_index + k as u64, rep)
+                .map_err(|e| frames.frame_error(k, e))?;
+        }
+        Ok(())
     }
 
     fn merge(&self, mut a: HashtogramShard, b: HashtogramShard) -> HashtogramShard {

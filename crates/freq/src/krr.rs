@@ -9,9 +9,10 @@
 use crate::randomizers::GeneralizedRandomizedResponse;
 use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
 use crate::wire::{
-    count_run_len, read_count_run, varint_len, write_count_run, write_varint, ShardReader,
-    WireError, WireShard,
+    count_run_len, read_count_run, read_uint, varint_len, write_count_run, write_uint,
+    write_varint, FrameError, ShardReader, WireError, WireFrames, WireShard,
 };
+use hh_math::rng::client_rng;
 use rand::Rng;
 
 /// GRR-based frequency oracle over `[k]`.
@@ -80,6 +81,28 @@ impl FrequencyOracle for KrrOracle {
         self.grr.sample(RandomizerInput::Value(x), rng)
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        // Fused: sample each GRR output straight into the wire buffer,
+        // same per-user coin streams as the default respond path.
+        xs.iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                let i = start_index + k as u64;
+                let mut rng = client_rng(client_seed, i);
+                let v = self.grr.sample(RandomizerInput::Value(x), &mut rng);
+                let before = out.len();
+                write_uint(out, v);
+                (out.len() - before) as u32
+            })
+            .collect()
+    }
+
     fn collect(&mut self, _user_index: u64, report: u64) {
         assert!(!self.finalized);
         assert!(report < self.k);
@@ -100,6 +123,27 @@ impl FrequencyOracle for KrrOracle {
             shard.counts[report as usize] += 1;
         }
         shard.users += reports.len() as u64;
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut KrrShard,
+        _start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        // Zero-copy: each frame is the GRR value's minimal encoding —
+        // read it and bump the histogram cell, no report vec.
+        for (k, frame) in frames.iter().enumerate() {
+            let v = read_uint(frame).map_err(|e| frames.frame_error(k, e))?;
+            if v >= self.k {
+                return Err(
+                    frames.frame_error(k, WireError::Invalid("GRR report outside the domain"))
+                );
+            }
+            shard.counts[v as usize] += 1;
+        }
+        shard.users += frames.len() as u64;
+        Ok(())
     }
 
     fn merge(&self, mut a: KrrShard, b: KrrShard) -> KrrShard {

@@ -36,6 +36,8 @@ pub mod rappor;
 pub mod traits;
 pub mod wire;
 
-pub use hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
+pub use hashtogram::{
+    Hashtogram, HashtogramAbsorber, HashtogramParams, HashtogramReport, HashtogramShard,
+};
 pub use traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-pub use wire::{WireError, WireReport, WireShard};
+pub use wire::{FrameError, WireError, WireFrames, WireReport, WireShard};

@@ -9,7 +9,10 @@
 //!   [`FrequencyOracle::respond_batch`] turn a user's input into a
 //!   `Report`, and every `Report` implements [`WireReport`] — an exact
 //!   byte encoding, so "logarithmic-size message" is a measured property,
-//!   not a theoretical one;
+//!   not a theoretical one. The fused entry point
+//!   [`FrequencyOracle::respond_encode_batch`] samples straight into a
+//!   wire buffer (no intermediate report vec) — byte-identical to
+//!   respond-then-encode;
 //! * the **aggregator** (server side): ingestion state is first-class and
 //!   *mergeable*. A [`FrequencyOracle::Shard`] is a self-contained
 //!   partial aggregate; [`FrequencyOracle::new_shard`] makes an empty
@@ -21,7 +24,10 @@
 //!   tree, over any partition of the reports, yields bit-for-bit the
 //!   state of serial per-user [`FrequencyOracle::collect`] calls (the
 //!   `batch_equivalence` and `distributed_merge` integration tests pin
-//!   this).
+//!   this). The zero-copy entry point [`FrequencyOracle::absorb_wire`]
+//!   folds borrowed wire frames ([`WireFrames`]) into a shard without
+//!   constructing `Report` values — bit-for-bit equal to
+//!   decode-then-absorb.
 //!
 //! [`FrequencyOracle::collect_batch`] is no longer a per-protocol
 //! parallel accumulator: its default is the one shared sharding path —
@@ -37,7 +43,7 @@
 //! aggregate, do not depend on chunk boundaries, thread count, collector
 //! assignment, or merge order.
 
-use crate::wire::{WireReport, WireShard};
+use crate::wire::{encode_reports, FrameError, WireFrames, WireReport, WireShard};
 use hh_math::par::par_chunk_map;
 use hh_math::rng::client_rng;
 use rand::Rng;
@@ -149,6 +155,26 @@ pub trait FrequencyOracle {
             .collect()
     }
 
+    /// Client-side, fused respond + encode: append the wire frames of
+    /// the contiguous user range `start_index .. start_index + xs.len()`
+    /// to `out`, returning each frame's length.
+    ///
+    /// Byte-for-byte identical to [`FrequencyOracle::respond_batch`]
+    /// followed by per-report `encode_into` (the default does exactly
+    /// that); fused overrides sample straight into the wire buffer with
+    /// no intermediate report vec, which is what makes the steady-state
+    /// ingest pipeline allocation-free (`out` is typically a pooled
+    /// buffer reused across batches).
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        encode_reports(&self.respond_batch(start_index, xs, client_seed), out)
+    }
+
     /// Server-side: ingest one report. The semantic ground truth every
     /// shard path must match observationally.
     fn collect(&mut self, user_index: u64, report: Self::Report);
@@ -165,6 +191,31 @@ pub trait FrequencyOracle {
     /// state is exact — integer tallies, never floats — so ranges may be
     /// absorbed in any order across any number of shards).
     fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+
+    /// Server-side, zero-copy: fold borrowed wire frames into `shard`
+    /// without constructing `Report` values — frame `k` is user
+    /// `start_index + k`'s report.
+    ///
+    /// Must leave `shard` bit-for-bit identical to decoding every frame
+    /// and calling [`FrequencyOracle::absorb`] (the default does exactly
+    /// that; the `wire_conformance` proptests pin every override against
+    /// it). A corrupt frame — undecodable bytes, or a decoded value
+    /// outside the protocol's domain — returns a [`FrameError`] naming
+    /// the frame and its byte offset; on `Err` the shard may hold a
+    /// partial absorption and must be discarded.
+    fn absorb_wire(
+        &self,
+        shard: &mut Self::Shard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        let mut reports = Vec::with_capacity(frames.len());
+        for (k, frame) in frames.iter().enumerate() {
+            reports.push(Self::Report::decode(frame).map_err(|e| frames.frame_error(k, e))?);
+        }
+        self.absorb(shard, start_index, &reports);
+        Ok(())
+    }
 
     /// Combine two partial aggregates. Associative and commutative
     /// (observationally), with [`FrequencyOracle::new_shard`] as

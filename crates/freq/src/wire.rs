@@ -29,6 +29,35 @@
 //! * Composite reports (one message wrapping two oracle reports)
 //!   prefix the first component with a one-byte length so the decoder
 //!   can split without protocol parameters.
+//!
+//! # Borrowed frames: the zero-copy ingest contract
+//!
+//! A batch of encoded reports travels as one *chunk*: a contiguous byte
+//! buffer of concatenated frames plus each frame's length.
+//! [`WireFrames`] is the borrowed view of such a chunk — it owns
+//! nothing, so a collector can fold frames straight out of a pooled
+//! arena into its shard (`absorb_wire` on the protocol traits) without
+//! materializing `Report` values. The contract:
+//!
+//! * frame `k` of a chunk starting at `start_index` is user
+//!   `start_index + k`'s report — position carries the user identity,
+//!   nothing is repeated on the wire;
+//! * [`WireFrames::new`] validates the framing up front: zero-length
+//!   frames (no report encodes to zero bytes), frame lengths overrunning
+//!   the buffer, and trailing bytes beyond the last frame are all
+//!   rejected at chunk-decode time;
+//! * a failed frame decode surfaces as a [`FrameError`] carrying the
+//!   frame index and byte offset, so corruption is diagnosable down to
+//!   the byte;
+//! * the view is transient: spools and snapshots that must outlive the
+//!   arena copy what they need (see `hh_sim::stream`), while the hot
+//!   ingest path stays allocation-free.
+//!
+//! The fused client half is `respond_encode_batch` on the protocol
+//! traits: sample straight into the chunk buffer
+//! ([`encode_reports`] framing), never building the intermediate report
+//! vec. `tests/wire_conformance.rs` pins both halves against the
+//! materializing paths bit-for-bit.
 
 use std::fmt;
 
@@ -145,6 +174,172 @@ pub fn decode_pair<A: WireReport, B: WireReport>(bytes: &[u8]) -> Result<(A, B),
 /// `second_bits` — the `report_bits()` of the composite protocols.
 pub fn pair_wire_bits(first_bits: usize, second_bits: usize) -> usize {
     8 * (1 + first_bits.div_ceil(8) + second_bits.div_ceil(8))
+}
+
+/// Append each report's encoding to `out`, returning the frame lengths —
+/// the framing side of the fused encode path ([`WireFrames`] is the
+/// borrowing side). This is what the default
+/// `respond_encode_batch` trait implementations delegate to; fused
+/// overrides produce byte-identical output without materializing the
+/// report slice first.
+pub fn encode_reports<R: WireReport>(reports: &[R], out: &mut Vec<u8>) -> Vec<u32> {
+    reports
+        .iter()
+        .map(|report| {
+            let before = out.len();
+            report.encode_into(out);
+            let len = out.len() - before;
+            debug_assert_eq!(len, report.encoded_len(), "encoded_len lied");
+            len as u32
+        })
+        .collect()
+}
+
+/// A borrowed view over one chunk of framed wire bytes: the concatenated
+/// report encodings of a contiguous user range, plus each frame's
+/// length.
+///
+/// This is the contract of the zero-copy ingest path: the bytes are
+/// *borrowed* (typically from a pooled arena that outlives the view —
+/// see `hh_sim::stream`), frame `k` belongs to user `start_index + k`,
+/// and `absorb_wire` implementations fold the frames into a shard
+/// without ever constructing owned `Report` values. Construction
+/// validates the framing: every frame must be non-empty (no report
+/// encodes to zero bytes) and the frame lengths must cover the buffer
+/// exactly — trailing garbage and overruns are rejected here, at
+/// chunk-decode time, not silently ignored downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct WireFrames<'a> {
+    bytes: &'a [u8],
+    frame_lens: &'a [u32],
+}
+
+impl<'a> WireFrames<'a> {
+    /// Frame a byte buffer. Rejects zero-length frames, frame lengths
+    /// overrunning the buffer ([`WireError::Truncated`]), and bytes
+    /// beyond the last frame ([`WireError::Trailing`]).
+    pub fn new(bytes: &'a [u8], frame_lens: &'a [u32]) -> Result<Self, WireError> {
+        let mut total = 0usize;
+        for &len in frame_lens {
+            if len == 0 {
+                return Err(WireError::Invalid("zero-length frame"));
+            }
+            total = total
+                .checked_add(len as usize)
+                .ok_or(WireError::Truncated)?;
+        }
+        if total > bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        if total < bytes.len() {
+            return Err(WireError::Trailing);
+        }
+        Ok(Self { bytes, frame_lens })
+    }
+
+    /// Number of frames (= users) in the chunk.
+    pub fn len(&self) -> usize {
+        self.frame_lens.len()
+    }
+
+    /// Whether the chunk holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frame_lens.is_empty()
+    }
+
+    /// Total wire bytes across all frames.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Iterate the frames in user order.
+    pub fn iter(&self) -> Frames<'a> {
+        Frames {
+            bytes: self.bytes,
+            lens: self.frame_lens.iter(),
+        }
+    }
+
+    /// Pin a decode failure to frame `frame` of this chunk (its index
+    /// and the byte offset its encoding starts at).
+    pub fn frame_error(&self, frame: usize, error: WireError) -> FrameError {
+        let byte_offset = self.frame_lens[..frame]
+            .iter()
+            .map(|&l| l as usize)
+            .sum::<usize>();
+        FrameError {
+            frame,
+            byte_offset,
+            error,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &WireFrames<'a> {
+    type Item = &'a [u8];
+    type IntoIter = Frames<'a>;
+
+    fn into_iter(self) -> Frames<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the frames of a [`WireFrames`] view, in user order.
+#[derive(Debug, Clone)]
+pub struct Frames<'a> {
+    bytes: &'a [u8],
+    lens: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Iterator for Frames<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let &len = self.lens.next()?;
+        // In bounds: `WireFrames::new` checked the lengths cover the
+        // buffer exactly.
+        let (frame, rest) = self.bytes.split_at(len as usize);
+        self.bytes = rest;
+        Some(frame)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.lens.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Frames<'_> {}
+
+/// A decode failure pinned to one frame of a wire chunk: which frame,
+/// where its bytes start, and why it failed. `absorb_wire`
+/// implementations return this so a corrupt spool or RPC is diagnosable
+/// down to the byte (the streaming engine adds the collector id and the
+/// chunk's start user on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameError {
+    /// Index of the failing frame within the chunk (user
+    /// `start_index + frame`).
+    pub frame: usize,
+    /// Byte offset of the frame's first byte within the chunk buffer.
+    pub byte_offset: usize,
+    /// The underlying wire error.
+    pub error: WireError,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame {} at byte offset {}: {}",
+            self.frame, self.byte_offset, self.error
+        )
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// A mergeable aggregation shard with an exact byte encoding — the
@@ -512,6 +707,69 @@ mod tests {
         assert_eq!(read_tally_run(&mut r), Ok(tallies));
         assert_eq!(read_count_run(&mut r), Ok(counts));
         assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn wire_frames_iterate_in_order() {
+        let mut bytes = Vec::new();
+        let lens = encode_reports(&[1u64, 300, 70_000], &mut bytes);
+        assert_eq!(lens, vec![1, 2, 3]);
+        let frames = WireFrames::new(&bytes, &lens).expect("well-framed");
+        assert_eq!(frames.len(), 3);
+        assert!(!frames.is_empty());
+        assert_eq!(frames.total_bytes(), 6);
+        let decoded: Vec<u64> = frames
+            .iter()
+            .map(|f| u64::decode(f).expect("frame decodes"))
+            .collect();
+        assert_eq!(decoded, vec![1, 300, 70_000]);
+        assert_eq!(frames.iter().len(), 3);
+    }
+
+    #[test]
+    fn empty_chunk_is_well_framed() {
+        let frames = WireFrames::new(&[], &[]).expect("empty chunk");
+        assert!(frames.is_empty());
+        assert_eq!(frames.iter().count(), 0);
+    }
+
+    #[test]
+    fn wire_frames_reject_malformed_framing() {
+        // Trailing garbage: bytes beyond the last frame.
+        assert_eq!(
+            WireFrames::new(&[7, 8, 9], &[1, 1]).unwrap_err(),
+            WireError::Trailing
+        );
+        // Frame lengths overrunning the buffer.
+        assert_eq!(
+            WireFrames::new(&[7, 8], &[1, 2]).unwrap_err(),
+            WireError::Truncated
+        );
+        // Zero-length frames: no report encodes to zero bytes.
+        assert_eq!(
+            WireFrames::new(&[7], &[1, 0]).unwrap_err(),
+            WireError::Invalid("zero-length frame")
+        );
+        // Length sums that overflow must not wrap around to "fits".
+        assert_eq!(
+            WireFrames::new(&[7], &[u32::MAX; 5]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn frame_errors_carry_index_and_offset() {
+        let mut bytes = Vec::new();
+        let lens = encode_reports(&[1u64, 300, 70_000], &mut bytes);
+        let frames = WireFrames::new(&bytes, &lens).expect("well-framed");
+        let err = frames.frame_error(2, WireError::Truncated);
+        assert_eq!(err.frame, 2);
+        assert_eq!(err.byte_offset, 3);
+        assert_eq!(err.error, WireError::Truncated);
+        assert_eq!(
+            err.to_string(),
+            "frame 2 at byte offset 3: wire report truncated"
+        );
     }
 
     #[test]

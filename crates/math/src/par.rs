@@ -123,6 +123,37 @@ where
         .collect()
 }
 
+/// Map `f` over the chunks of a slice, each chunk paired with one owned
+/// seed value, in parallel — the substrate of the fused respond+encode
+/// phase, where each chunk writes into a pooled wire buffer moved in as
+/// its seed. `seeds` must hold exactly one value per chunk
+/// (`items.len().div_ceil(chunk_size)`); `f` receives
+/// `(chunk_index, chunk, seed)` and results come back in chunk order,
+/// independent of `threads`.
+pub fn par_chunk_zip_map<T, S, U, F>(
+    items: &[T],
+    chunk_size: usize,
+    threads: usize,
+    seeds: Vec<S>,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    S: Send,
+    U: Send,
+    F: Fn(usize, &[T], S) -> U + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let num_chunks = items.len().div_ceil(chunk_size);
+    assert_eq!(
+        seeds.len(),
+        num_chunks,
+        "need one seed per chunk ({num_chunks} chunks)"
+    );
+    let work: Vec<(&[T], S)> = items.chunks(chunk_size).zip(seeds).collect();
+    par_map_owned(work, threads, |c, (chunk, seed)| f(c, chunk, seed))
+}
+
 /// Map `f` over owned `items` in parallel, returning one result per
 /// item in item order. `f` receives `(item_index, item)` by value — the
 /// owned-item counterpart of [`par_chunk_map`] for work units that must
@@ -238,6 +269,27 @@ mod tests {
             assert_eq!(got, expect, "threads = {threads}");
         }
         assert!(par_map_owned(Vec::<u8>::new(), 0, |_, x| x).is_empty());
+    }
+
+    #[test]
+    fn zip_map_pairs_chunks_with_seeds() {
+        let items: Vec<u64> = (0..95).collect();
+        let seeds: Vec<u64> = (0..10).map(|c| c * 1000).collect();
+        for threads in [1, 3] {
+            let got = par_chunk_zip_map(&items, 10, threads, seeds.clone(), |c, chunk, seed| {
+                assert_eq!(seed, c as u64 * 1000);
+                chunk.iter().sum::<u64>() + seed
+            });
+            assert_eq!(got.len(), 10);
+            assert_eq!(got[0], (0..10).sum::<u64>());
+            assert_eq!(got[9], (90..95).sum::<u64>() + 9000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed per chunk")]
+    fn zip_map_rejects_mismatched_seed_count() {
+        let _ = par_chunk_zip_map(&[1u64, 2, 3], 2, 1, vec![0u8], |_, _, _| ());
     }
 
     #[test]

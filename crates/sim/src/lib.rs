@@ -13,15 +13,17 @@
 //!   - [`run_heavy_hitter`] / [`run_oracle`] — the serial reference
 //!     path, one user at a time;
 //!   - [`run_heavy_hitter_batched`] / [`run_oracle_batched`] — the
-//!     batch-first parallel pipeline: chunked `respond_batch` on scoped
-//!     worker threads, shard-based `collect_batch` ingest, then the
-//!     unchanged `finish`. Configured by [`BatchPlan`] (chunk size,
-//!     thread count — neither affects output);
+//!     fused parallel pipeline: chunked `respond_encode_batch` on
+//!     scoped worker threads (each chunk's reports sampled straight
+//!     into a wire buffer), zero-copy `absorb_wire` ingest into
+//!     per-chunk shards merged tree-wise, then the unchanged `finish`.
+//!     Configured by [`BatchPlan`] (chunk size, thread count — neither
+//!     affects output);
 //!   - [`run_heavy_hitter_distributed`] / [`run_oracle_distributed`] —
-//!     a simulated collector fleet: every report is round-tripped
-//!     through its `WireReport` byte encoding, routed to one of `k`
-//!     collector nodes, absorbed into that node's shard, and the shards
-//!     are merged (tree-wise by default) before `finish`. Configured by
+//!     a simulated collector fleet: every report crosses the wire as a
+//!     fused-encoded frame, chunks are routed to one of `k` collector
+//!     nodes, folded there from borrowed frames, and the shards are
+//!     merged (tree-wise by default) before `finish`. Configured by
 //!     [`DistPlan`] (collector count, chunk size, threads,
 //!     [`MergeOrder`] — none affects output); also accounts measured
 //!     wire bytes. Both are thin single-epoch wrappers over [`stream`].

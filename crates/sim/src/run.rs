@@ -17,16 +17,18 @@
 //!
 //! # The batched pipeline
 //!
-//! [`run_heavy_hitter_batched`] executes in three phases:
+//! [`run_heavy_hitter_batched`] executes in three phases, all wire-native
+//! (the same fused path the streaming engine runs):
 //!
-//! 1. **respond** — the population is partitioned into chunks of
-//!    [`BatchPlan::chunk_size`]; scoped worker threads map
-//!    `respond_batch` over the chunks ([`hh_math::par::par_chunk_map`])
-//!    and the per-chunk report vectors are reassembled in user order;
-//! 2. **ingest** — `collect_batch` hands the server each chunk's reports
-//!    in user order (freeing each chunk as it lands, so peak driver
-//!    memory is one report set, never two); the shared sharding path
-//!    absorbs into per-thread shards and merges exactly;
+//! 1. **respond + encode** — the population is partitioned into chunks
+//!    of [`BatchPlan::chunk_size`]; scoped worker threads run the fused
+//!    `respond_encode_batch` over the chunks, sampling each user's
+//!    report straight into a per-chunk wire buffer (no intermediate
+//!    `Report` vec — the buffered state is a few bytes per user);
+//! 2. **ingest** — each chunk's borrowed frames are folded into a fresh
+//!    shard in parallel (`absorb_wire`, zero-copy — no decoded report
+//!    vec either), the shards merge tree-wise, and the result folds into
+//!    the server;
 //! 3. **finish** — unchanged single-threaded aggregation/decoding.
 //!
 //! # The distributed pipeline
@@ -40,9 +42,10 @@
 //!    clients' messages as they would leave the device); total wire
 //!    bytes are accounted;
 //! 2. **collect** — chunk `c`'s bytes are routed to collector
-//!    `c % collectors`; each collector decodes its frames and absorbs
-//!    them into its own shard (collectors run in parallel — they share
-//!    nothing);
+//!    `c % collectors`; each collector folds its chunks' borrowed wire
+//!    frames straight into its own shard (`absorb_wire` — collectors run
+//!    in parallel and share nothing, and no `Report` values are ever
+//!    materialized);
 //! 3. **merge** — the collector shards are combined in the order given
 //!    by [`MergeOrder`] (tree-wise by default) and folded into the
 //!    server;
@@ -52,10 +55,11 @@
 //! crash recovery and mid-stream queries — lives in [`crate::stream`];
 //! this module's drivers and that engine share one ingestion path.
 
-use crate::stream::{HhStream, OracleStream, StreamEngine, StreamPlan};
+use crate::stream::{HhStream, OracleStream, StreamEngine, StreamIngest, StreamPlan};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
-use hh_math::par::par_chunk_map;
+use hh_freq::wire::WireFrames;
+use hh_math::par::{merge_tree, par_chunk_map, par_map_owned};
 use hh_math::rng::{client_rng, derive_seed};
 use std::time::{Duration, Instant};
 
@@ -199,20 +203,31 @@ where
     plan.validate();
     let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
+    // Fused respond + encode: each chunk's reports are sampled straight
+    // into a wire buffer — no intermediate report vec, and the buffered
+    // frames are a few bytes per user instead of a full `Report`.
     let t0 = Instant::now();
-    let chunk_reports = {
+    let chunks = {
         let server = &*server;
         par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
-            server.respond_batch((c * plan.chunk_size) as u64, xs, client_seed)
+            let mut bytes = Vec::new();
+            let frame_lens = server.respond_encode_batch(
+                (c * plan.chunk_size) as u64,
+                xs,
+                client_seed,
+                &mut bytes,
+            );
+            (bytes, frame_lens)
         })
     };
     let client_total = t0.elapsed();
-    // Ingest chunk by chunk, in user order, dropping each chunk's reports
-    // as it lands — identical output to one whole-stream call (ingest is
-    // order-exact) without flattening into a second n-sized buffer.
+    // Zero-copy ingest: fold the chunks' borrowed frames into per-worker
+    // shards in parallel (`absorb_wire` — no decoded report vec), merge
+    // tree-wise, fold the result in. Identical output to serial per-user
+    // ingest: shards are exact and order-exact.
     let t1 = Instant::now();
-    for (c, reports) in chunk_reports.into_iter().enumerate() {
-        server.collect_batch((c * plan.chunk_size) as u64, reports);
+    if let Some(shard) = absorb_chunks_sharded(&HhStream(&*server), chunks, plan, threads) {
+        server.finish_shard(shard);
     }
     let server_ingest = t1.elapsed();
     let t2 = Instant::now();
@@ -236,6 +251,58 @@ where
 /// [`par_chunk_map`]'s behavior.
 fn effective_threads(plan: &BatchPlan, n: usize) -> usize {
     hh_math::par::planned_threads(plan.threads, n, plan.chunk_size)
+}
+
+/// One encoded wire chunk as the batched drivers buffer it: the
+/// concatenated frame bytes and each frame's length.
+type WireChunkBuf = (Vec<u8>, Vec<u32>);
+
+/// The zero-copy ingest phase of the batched drivers: fold encoded wire
+/// chunks into shards in parallel and merge them tree-wise.
+///
+/// Contiguous chunks are grouped so at most ~one shard per worker is
+/// ever alive — a shard can be O(domain) state, not O(chunk) (a hashed
+/// Hashtogram holds its full `groups × buckets` tally), so one shard
+/// per *chunk* would make peak memory scale with `n / chunk_size`.
+/// Grouping does not change output: absorption is order-exact, and
+/// groups preserve chunk order.
+///
+/// The in-process pipeline is lossless, so corruption is a bug — the
+/// panic carries the failing chunk's start user and (via `FrameError`)
+/// the frame index and byte offset.
+fn absorb_chunks_sharded<I: StreamIngest + Sync>(
+    ingest: &I,
+    chunks: Vec<WireChunkBuf>,
+    plan: &BatchPlan,
+    workers: usize,
+) -> Option<I::Shard> {
+    let chunk_size = plan.chunk_size;
+    let per_group = chunks.len().div_ceil(workers.max(1)).max(1);
+    let mut groups: Vec<(usize, Vec<WireChunkBuf>)> = Vec::new();
+    let mut it = chunks.into_iter();
+    let mut first_chunk = 0usize;
+    loop {
+        let group: Vec<_> = it.by_ref().take(per_group).collect();
+        if group.is_empty() {
+            break;
+        }
+        let len = group.len();
+        groups.push((first_chunk, group));
+        first_chunk += len;
+    }
+    let shards = par_map_owned(groups, plan.threads, |_, (first_chunk, group)| {
+        let mut shard = ingest.new_shard();
+        for (j, (bytes, frame_lens)) in group.into_iter().enumerate() {
+            let start = ((first_chunk + j) * chunk_size) as u64;
+            let frames = WireFrames::new(&bytes, &frame_lens)
+                .unwrap_or_else(|e| panic!("chunk starting at user {start} is misframed: {e}"));
+            ingest
+                .absorb_wire(&mut shard, start, &frames)
+                .unwrap_or_else(|e| panic!("chunk starting at user {start}: {e}"));
+        }
+        shard
+    });
+    merge_tree(shards, |a, b| ingest.merge(a, b))
 }
 
 /// The order in which collector shards are combined. Every order yields
@@ -479,17 +546,27 @@ where
     plan.validate();
     let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
     let threads = effective_threads(plan, data.len());
+    // Same fused pipeline as `run_heavy_hitter_batched`: respond
+    // straight into wire buffers, then zero-copy absorb into per-chunk
+    // shards merged tree-wise.
     let t0 = Instant::now();
-    let chunk_reports = {
+    let chunks = {
         let oracle = &*oracle;
         par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
-            oracle.respond_batch((c * plan.chunk_size) as u64, xs, client_seed)
+            let mut bytes = Vec::new();
+            let frame_lens = oracle.respond_encode_batch(
+                (c * plan.chunk_size) as u64,
+                xs,
+                client_seed,
+                &mut bytes,
+            );
+            (bytes, frame_lens)
         })
     };
     let client_total = t0.elapsed();
     let t1 = Instant::now();
-    for (c, reports) in chunk_reports.into_iter().enumerate() {
-        oracle.collect_batch((c * plan.chunk_size) as u64, reports);
+    if let Some(shard) = absorb_chunks_sharded(&OracleStream(&*oracle), chunks, plan, threads) {
+        oracle.finish_shard(shard);
     }
     oracle.finalize();
     let server_build = t1.elapsed();

@@ -7,10 +7,15 @@
 //! tolerate collector loss. [`StreamEngine`] is that machine:
 //!
 //! 1. **Epochs** — each [`StreamEngine::ingest_epoch`] call takes the
-//!    next slice of the population: reports are produced and wire-encoded
-//!    in parallel chunks, each chunk's bytes are routed to one of `k`
-//!    collector nodes (global chunk index mod `k`), and every collector
-//!    decodes its frames and absorbs them into its private live shard.
+//!    next slice of the population: the fused client path
+//!    (`respond_encode_batch`) samples each parallel chunk's reports
+//!    straight into a pooled wire buffer, each chunk's bytes are routed
+//!    to one of `k` collector nodes (global chunk index mod `k`), and
+//!    every collector folds the chunk's *borrowed* frames into its
+//!    private live shard (`absorb_wire`) — no intermediate report vec on
+//!    either side, and after the first checkpointed epoch no steady-state
+//!    buffer allocation either (chunk buffers cycle
+//!    pool → respond → spool → checkpoint → pool).
 //! 2. **Snapshots** — at epoch boundaries (cadence
 //!    [`StreamPlan::checkpoint_every`]) every collector's shard is
 //!    encoded to bytes through its `WireShard` codec — the durable
@@ -40,8 +45,8 @@
 use crate::run::{DistPlan, MergeOrder};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
-use hh_freq::wire::{WireReport, WireShard};
-use hh_math::par::{merge_tree, par_chunk_map, par_map_owned, planned_threads};
+use hh_freq::wire::{FrameError, WireFrames, WireReport, WireShard};
+use hh_math::par::{merge_tree, par_chunk_zip_map, par_map_owned, planned_threads};
 use hh_math::rng::derive_seed;
 use std::time::{Duration, Instant};
 
@@ -111,10 +116,28 @@ pub trait StreamIngest {
 
     /// Reports of the contiguous user range starting at `start_index`.
     fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report>;
+    /// Fused respond + encode: append the user range's wire frames to
+    /// `out`, returning each frame's length — byte-identical to
+    /// [`StreamIngest::respond_batch`] plus per-report encoding.
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32>;
     /// An empty partial aggregate.
     fn new_shard(&self) -> Self::Shard;
     /// Fold a contiguous user range of reports into `shard`.
     fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
+    /// Zero-copy: fold a chunk of borrowed wire frames into `shard` —
+    /// bit-for-bit equal to decode + [`StreamIngest::absorb`].
+    fn absorb_wire(
+        &self,
+        shard: &mut Self::Shard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError>;
     /// Combine two partial aggregates.
     fn merge(&self, a: Self::Shard, b: Self::Shard) -> Self::Shard;
 }
@@ -136,12 +159,32 @@ where
         self.0.respond_batch(start_index, xs, client_seed)
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        self.0
+            .respond_encode_batch(start_index, xs, client_seed, out)
+    }
+
     fn new_shard(&self) -> P::Shard {
         self.0.new_shard()
     }
 
     fn absorb(&self, shard: &mut P::Shard, start_index: u64, reports: &[P::Report]) {
         self.0.absorb(shard, start_index, reports);
+    }
+
+    fn absorb_wire(
+        &self,
+        shard: &mut P::Shard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        self.0.absorb_wire(shard, start_index, frames)
     }
 
     fn merge(&self, a: P::Shard, b: P::Shard) -> P::Shard {
@@ -166,6 +209,17 @@ where
         self.0.respond_batch(start_index, xs, client_seed)
     }
 
+    fn respond_encode_batch(
+        &self,
+        start_index: u64,
+        xs: &[u64],
+        client_seed: u64,
+        out: &mut Vec<u8>,
+    ) -> Vec<u32> {
+        self.0
+            .respond_encode_batch(start_index, xs, client_seed, out)
+    }
+
     fn new_shard(&self) -> O::Shard {
         self.0.new_shard()
     }
@@ -174,55 +228,74 @@ where
         self.0.absorb(shard, start_index, reports);
     }
 
+    fn absorb_wire(
+        &self,
+        shard: &mut O::Shard,
+        start_index: u64,
+        frames: &WireFrames<'_>,
+    ) -> Result<(), FrameError> {
+        self.0.absorb_wire(shard, start_index, frames)
+    }
+
     fn merge(&self, a: O::Shard, b: O::Shard) -> O::Shard {
         self.0.merge(a, b)
     }
 }
 
-/// One chunk of reports as framed wire bytes: the concatenated
-/// encodings, each report's frame length, and the user index the chunk
-/// starts at. This is both the simulated RPC to a collector and the
-/// spool entry replayed on recovery.
+/// One chunk of reports as owned framed wire bytes: the concatenated
+/// encodings (written by the fused `respond_encode_batch` path), each
+/// report's frame length, and the user index the chunk starts at. This
+/// is both the simulated RPC to a collector and the spool entry
+/// replayed on recovery. Byte buffers cycle through the engine's pool
+/// (pool → respond → spool → checkpoint → pool), so steady-state
+/// epochs reuse capacity instead of allocating.
 pub(crate) struct WireChunk {
     pub(crate) start: u64,
     pub(crate) bytes: Vec<u8>,
-    pub(crate) frame_lens: Vec<usize>,
+    pub(crate) frame_lens: Vec<u32>,
 }
 
 impl WireChunk {
-    /// Encode a chunk of reports into one wire buffer.
-    pub(crate) fn encode<R: WireReport>(start: u64, reports: &[R]) -> Self {
-        let mut bytes = Vec::new();
-        let mut frame_lens = Vec::with_capacity(reports.len());
-        for report in reports {
-            let before = bytes.len();
-            report.encode_into(&mut bytes);
-            let len = bytes.len() - before;
-            debug_assert_eq!(len, report.encoded_len(), "encoded_len lied");
-            frame_lens.push(len);
-        }
-        Self {
-            start,
-            bytes,
-            frame_lens,
-        }
+    /// The borrowed frame view collectors absorb from — validated
+    /// framing (no trailing garbage, no zero-length frames).
+    pub(crate) fn frames(&self) -> Result<WireFrames<'_>, hh_freq::wire::WireError> {
+        WireFrames::new(&self.bytes, &self.frame_lens)
     }
 
-    /// Decode back into reports (a collector receiving one framed RPC,
-    /// or replaying its spool). Panics on corruption — the simulated
-    /// wire and spool are lossless.
-    pub(crate) fn decode<R: WireReport>(&self) -> Vec<R> {
-        let mut reports = Vec::with_capacity(self.frame_lens.len());
-        let mut offset = 0;
-        for &len in &self.frame_lens {
-            let report =
-                R::decode(&self.bytes[offset..offset + len]).expect("wire frame failed to decode");
-            offset += len;
-            reports.push(report);
-        }
-        debug_assert_eq!(offset, self.bytes.len());
-        reports
+    /// Reclaim the chunk's byte buffer for the pool (cleared, capacity
+    /// kept).
+    fn into_buffer(mut self) -> Vec<u8> {
+        self.bytes.clear();
+        self.bytes
     }
+}
+
+/// Absorb one routed/spooled chunk into a shard through the zero-copy
+/// wire path. The simulated wire and spool are lossless, so corruption
+/// is a bug, not an operational event — but when it happens, the panic
+/// names the collector, the chunk's start user, and (via [`FrameError`])
+/// the frame index and byte offset, so a corrupt spool is diagnosable.
+fn absorb_chunk<I: StreamIngest>(
+    ingest: &I,
+    shard: &mut I::Shard,
+    collector: usize,
+    chunk: &WireChunk,
+) {
+    let frames = chunk.frames().unwrap_or_else(|e| {
+        panic!(
+            "collector {collector}: chunk starting at user {} is misframed: {e}",
+            chunk.start
+        )
+    });
+    ingest
+        .absorb_wire(shard, chunk.start, &frames)
+        .unwrap_or_else(|e| {
+            panic!(
+                "collector {collector}: chunk starting at user {} (frame user {}): {e}",
+                chunk.start,
+                chunk.start + e.frame as u64
+            )
+        });
 }
 
 /// Combine collector shards in the requested order (see [`MergeOrder`]).
@@ -333,6 +406,11 @@ pub struct StreamEngine<I: StreamIngest> {
     /// Global chunk counter — routing is `chunk % collectors` across the
     /// whole stream, exactly as in the one-shot distributed run.
     next_chunk: usize,
+    /// Recycled wire-chunk byte buffers: the respond phase pops them,
+    /// the spool holds them until its checkpoint truncation returns
+    /// them. After the first checkpointed epoch, steady-state ingest
+    /// reuses this capacity instead of allocating per chunk.
+    pool: Vec<Vec<u8>>,
     stats: StreamStats,
 }
 
@@ -357,6 +435,7 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             epoch: 0,
             users: 0,
             next_chunk: 0,
+            pool: Vec::new(),
             stats: StreamStats::default(),
         }
     }
@@ -403,10 +482,13 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
     }
 
     /// Ingest one epoch: the next `xs.len()` users of the population.
-    /// Respond + encode runs in parallel chunks; each chunk is routed to
-    /// collector `global_chunk % k`, decoded there, absorbed into the
-    /// node's live shard, and appended to its spool. Auto-checkpoints on
-    /// the [`StreamPlan::checkpoint_every`] cadence.
+    /// The fused respond + encode phase samples each chunk's reports
+    /// straight into a pooled wire buffer (no intermediate report vec);
+    /// each chunk is routed to collector `global_chunk % k`, absorbed
+    /// into the node's live shard *from its borrowed frames*
+    /// (`absorb_wire` — no decoded report vec either), and appended to
+    /// its spool. Auto-checkpoints on the
+    /// [`StreamPlan::checkpoint_every`] cadence.
     pub fn ingest_epoch(&mut self, xs: &[u64]) {
         let k = self.plan.dist.collectors;
         let chunk_size = self.plan.dist.chunk_size;
@@ -417,43 +499,53 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             .threads
             .max(planned_threads(threads, xs.len(), chunk_size));
 
-        // Phase 1: respond + encode (the clients' messages as they leave
-        // the devices).
+        // Phase 1: fused respond + encode (the clients' messages as they
+        // leave the devices), written into pooled buffers.
         let t0 = Instant::now();
+        let num_chunks = xs.len().div_ceil(chunk_size);
+        let buffers: Vec<Vec<u8>> = (0..num_chunks)
+            .map(|_| self.pool.pop().unwrap_or_default())
+            .collect();
         let wire: Vec<WireChunk> = {
             let ingest = &self.ingest;
             let client_seed = self.client_seed;
-            par_chunk_map(xs, chunk_size, threads, |c, slice| {
+            par_chunk_zip_map(xs, chunk_size, threads, buffers, |c, slice, mut bytes| {
                 let start = start_user + (c * chunk_size) as u64;
-                WireChunk::encode(start, &ingest.respond_batch(start, slice, client_seed))
+                debug_assert!(bytes.is_empty(), "pooled buffer not cleared");
+                let frame_lens = ingest.respond_encode_batch(start, slice, client_seed, &mut bytes);
+                WireChunk {
+                    start,
+                    bytes,
+                    frame_lens,
+                }
             })
         };
         self.stats.client_total += t0.elapsed();
         self.stats.wire_bytes += wire.iter().map(|w| w.bytes.len() as u64).sum::<u64>();
 
-        // Phase 2: route, decode, absorb — collectors in parallel, each
-        // owning its shard and its share of the epoch's chunks. Crashed
-        // nodes only spool (their durable queue keeps receiving).
+        // Phase 2: route + absorb-from-wire — collectors in parallel,
+        // each owning its shard and its share of the epoch's chunks.
+        // Crashed nodes only spool (their durable queue keeps
+        // receiving).
         let t1 = Instant::now();
-        let num_chunks = wire.len();
         let mut per_node: Vec<Vec<WireChunk>> = (0..k).map(|_| Vec::new()).collect();
         for (c, chunk) in wire.into_iter().enumerate() {
             per_node[(self.next_chunk + c) % k].push(chunk);
         }
         self.next_chunk += num_chunks;
-        let work: Vec<(Option<I::Shard>, Vec<WireChunk>)> = self
+        let work: Vec<(usize, Option<I::Shard>, Vec<WireChunk>)> = self
             .collectors
             .iter_mut()
             .zip(per_node)
-            .map(|(node, chunks)| (node.live.take(), chunks))
+            .enumerate()
+            .map(|(id, (node, chunks))| (id, node.live.take(), chunks))
             .collect();
         let done = {
             let ingest = &self.ingest;
-            par_map_owned(work, threads, |_, (mut live, chunks)| {
+            par_map_owned(work, threads, |_, (id, mut live, chunks)| {
                 if let Some(shard) = live.as_mut() {
                     for chunk in &chunks {
-                        let reports: Vec<I::Report> = chunk.decode();
-                        ingest.absorb(shard, chunk.start, &reports);
+                        absorb_chunk(ingest, shard, id, chunk);
                     }
                 }
                 (live, chunks)
@@ -494,6 +586,7 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         let t = Instant::now();
         let mut snapshot_bytes = 0u64;
         let mut snapshotted = 0usize;
+        let pool = &mut self.pool;
         for node in &mut self.collectors {
             if let Some(shard) = &node.live {
                 let bytes = shard.encode_shard();
@@ -502,7 +595,10 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
                     bytes,
                     epoch: self.epoch,
                 });
-                node.log.clear();
+                // Truncate the spool: its chunks are no longer needed
+                // for replay, so their buffers go back to the pool for
+                // the next epoch's respond phase.
+                pool.extend(node.log.drain(..).map(WireChunk::into_buffer));
                 snapshotted += 1;
             }
         }
@@ -544,16 +640,21 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         let t = Instant::now();
         let (mut shard, from_epoch) = match &state.snapshot {
             Some(snap) => (
-                I::Shard::decode_shard(&snap.bytes).expect("snapshot failed to decode"),
+                I::Shard::decode_shard(&snap.bytes).unwrap_or_else(|e| {
+                    panic!(
+                        "collector {node}: snapshot from epoch {} ({} bytes) failed to decode: {e}",
+                        snap.epoch,
+                        snap.bytes.len()
+                    )
+                }),
                 Some(snap.epoch),
             ),
             None => (self.ingest.new_shard(), None),
         };
         let mut replayed_reports = 0u64;
         for chunk in &state.log {
-            let reports: Vec<I::Report> = chunk.decode();
-            replayed_reports += reports.len() as u64;
-            self.ingest.absorb(&mut shard, chunk.start, &reports);
+            replayed_reports += chunk.frame_lens.len() as u64;
+            absorb_chunk(&self.ingest, &mut shard, node, chunk);
         }
         self.collectors[node].live = Some(shard);
         let elapsed = t.elapsed();
@@ -582,8 +683,17 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         let shards: Vec<I::Shard> = self
             .collectors
             .iter()
-            .filter_map(|n| n.snapshot.as_ref())
-            .map(|s| I::Shard::decode_shard(&s.bytes).expect("snapshot failed to decode"))
+            .enumerate()
+            .filter_map(|(id, n)| n.snapshot.as_ref().map(|s| (id, s)))
+            .map(|(id, s)| {
+                I::Shard::decode_shard(&s.bytes).unwrap_or_else(|e| {
+                    panic!(
+                        "collector {id}: snapshot from epoch {} ({} bytes) failed to decode: {e}",
+                        s.epoch,
+                        s.bytes.len()
+                    )
+                })
+            })
             .collect();
         if shards.is_empty() {
             return None;

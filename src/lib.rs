@@ -42,7 +42,7 @@ pub mod prelude {
     pub use hh_core::{ExpanderSketch, SketchParams};
     pub use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
     pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
-    pub use hh_freq::wire::{WireError, WireReport, WireShard};
+    pub use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
     pub use hh_math::{client_rng, derive_seed, seeded_rng};
     pub use hh_sim::{
         run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,

@@ -290,6 +290,73 @@ fn rappor_streams_equal_serial() {
 }
 
 #[test]
+fn fused_ingest_crash_grid_matches_serial() {
+    // The engine's whole ingest path is now fused and zero-copy:
+    // `respond_encode_batch` writes each chunk straight into a pooled
+    // wire buffer and collectors fold the borrowed frames via
+    // `absorb_wire` — including recovery replay from the spool. This
+    // grid leans on exactly the parts that path changed: a chunk size
+    // far below the epoch (many pooled buffers cycling per epoch), more
+    // collectors than chunks in the last ragged epoch, a sparse
+    // checkpoint cadence, and the same node crashing twice (the second
+    // recovery replays spooled chunks through `absorb_wire` on top of a
+    // decoded snapshot).
+    let n = 1usize << 14;
+    let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 103);
+    let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+    let make = || ScanHeavyHitters::new(params.clone(), 323);
+    let seed = 324;
+    let serial = {
+        let mut s = make();
+        run_heavy_hitter(&mut s, &input, seed).estimates
+    };
+    assert!(!serial.is_empty(), "serial run found nothing — vacuous");
+
+    let plan = StreamPlan {
+        epoch_size: n / 7 + 1,
+        checkpoint_every: 3,
+        dist: DistPlan {
+            collectors: 5,
+            chunk_size: n / 40 + 1,
+            threads: 2,
+            merge: MergeOrder::Sequential,
+        },
+    };
+    let crashes = vec![
+        Crash {
+            node: 2,
+            kill_after: 2,
+            recover_after: Some(4),
+        },
+        Crash {
+            node: 2,
+            kill_after: 5,
+            recover_after: Some(6),
+        },
+        Crash {
+            node: 4,
+            kill_after: 3,
+            recover_after: None,
+        },
+    ];
+    let server = make();
+    let (shard, stats) = {
+        let mut engine = StreamEngine::new(HhStream(&server), plan.clone(), seed);
+        drive(&mut engine, &input, plan.epoch_size, &crashes);
+        engine.into_live_shard()
+    };
+    let mut server = server;
+    server.finish_shard(shard);
+    assert_eq!(server.finish(), serial, "fused crash grid diverged");
+    assert_eq!(stats.users as usize, n);
+    assert!(
+        stats.recoveries >= 3,
+        "expected all three crashes recovered"
+    );
+    assert!(stats.replayed_reports > 0, "recovery replayed nothing");
+}
+
+#[test]
 fn mid_stream_queries_match_prefix_runs() {
     // `finish_at_epoch` answers from the merged decoded snapshots
     // without consuming live shards: right after each checkpoint it must

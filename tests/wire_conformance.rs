@@ -171,3 +171,204 @@ fn malformed_frames_are_rejected() {
     assert!(SketchReport::decode(&[]).is_err());
     assert!(SketchReport::decode(&[5, 1, 2]).is_err());
 }
+
+#[test]
+fn malformed_chunk_framing_is_rejected() {
+    // Chunk-level framing (`WireFrames`) is validated up front: trailing
+    // garbage after the last frame, frame lengths overrunning the
+    // buffer, and zero-length frames must all fail at chunk-decode time
+    // rather than being silently ignored by the absorb loop.
+    assert_eq!(
+        WireFrames::new(&[1, 2, 3], &[1, 1]).unwrap_err(),
+        WireError::Trailing
+    );
+    assert_eq!(
+        WireFrames::new(&[1, 2], &[1, 3]).unwrap_err(),
+        WireError::Truncated
+    );
+    assert_eq!(
+        WireFrames::new(&[1, 2], &[1, 0, 1]).unwrap_err(),
+        WireError::Invalid("zero-length frame")
+    );
+}
+
+#[test]
+fn corrupt_wire_chunks_surface_frame_and_offset() {
+    // A chunk whose frames decode but violate the protocol's domain
+    // must come back as a `FrameError` naming the frame and its byte
+    // offset — the provenance the streaming engine's diagnostics build
+    // on — and never panic.
+    let oracle = KrrOracle::new(8, 1.0);
+    // Frame 0 is a valid report (3); frame 1 encodes 200, outside [8].
+    let bytes = [3u8, 200];
+    let lens = [1u32, 1];
+    let frames = WireFrames::new(&bytes, &lens).expect("well-framed");
+    let mut shard = oracle.new_shard();
+    let err = oracle
+        .absorb_wire(&mut shard, 0, &frames)
+        .expect_err("out-of-domain report must be rejected");
+    assert_eq!(err.frame, 1);
+    assert_eq!(err.byte_offset, 1);
+    assert_eq!(
+        err.error,
+        WireError::Invalid("GRR report outside the domain")
+    );
+}
+
+mod zero_copy_ingest {
+    //! Property: the fused client path (`respond_encode_batch`) writes
+    //! byte-identical wire chunks to respond-then-encode, and the
+    //! zero-copy server path (`absorb_wire`) leaves shards bit-for-bit
+    //! equal to decode-then-absorb — for every protocol and oracle, over
+    //! random inputs, chunk boundaries, chunk processing orders, and
+    //! shard assignments.
+
+    use super::inputs;
+    use ldp_heavy_hitters::core::baselines::{
+        BassilySmithHeavyHitters, Bitstogram, BitstogramParams, BsHhParams, ScanHeavyHitters,
+        ScanParams,
+    };
+    use ldp_heavy_hitters::freq::bassily_smith::BassilySmithOracle;
+    use ldp_heavy_hitters::freq::krr::KrrOracle;
+    use ldp_heavy_hitters::freq::rappor::Rappor;
+    use ldp_heavy_hitters::freq::wire::encode_reports;
+    use ldp_heavy_hitters::prelude::*;
+    use ldp_heavy_hitters::sim::{HhStream, OracleStream, StreamIngest};
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    /// The shared schedule of one property case: random chunk
+    /// boundaries, a shuffled chunk processing order, and a random
+    /// two-shard split, applied identically to the fused and the
+    /// materializing pipeline. Shards are compared bit-for-bit through
+    /// their snapshot encoding.
+    fn assert_fused_matches_materialized<I: StreamIngest>(
+        ingest: &I,
+        xs: &[u64],
+        chunk_size: usize,
+        client_seed: u64,
+        order_seed: u64,
+        protocol: &str,
+    ) {
+        let num_chunks = xs.len().div_ceil(chunk_size);
+        let mut order: Vec<usize> = (0..num_chunks).collect();
+        let mut rng = seeded_rng(order_seed);
+        for i in (1..order.len()).rev() {
+            let j = (rng.gen_range(0..(i + 1) as u64)) as usize;
+            order.swap(i, j);
+        }
+
+        let mut wire_shards = [ingest.new_shard(), ingest.new_shard()];
+        let mut ref_shards = [ingest.new_shard(), ingest.new_shard()];
+        for &c in &order {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(xs.len());
+            let start = lo as u64;
+            let slice = &xs[lo..hi];
+
+            // Fused client path vs respond-then-encode: byte-identical.
+            let mut bytes = Vec::new();
+            let lens = ingest.respond_encode_batch(start, slice, client_seed, &mut bytes);
+            let reports = ingest.respond_batch(start, slice, client_seed);
+            let mut ref_bytes = Vec::new();
+            let ref_lens = encode_reports(&reports, &mut ref_bytes);
+            assert_eq!(bytes, ref_bytes, "{protocol}: fused encoding diverged");
+            assert_eq!(lens, ref_lens, "{protocol}: fused framing diverged");
+
+            // Zero-copy absorb vs decode-then-absorb, same target shard.
+            let frames = WireFrames::new(&bytes, &lens)
+                .unwrap_or_else(|e| panic!("{protocol}: chunk {c} misframed: {e}"));
+            let which = rng.gen_range(0..2u64) as usize;
+            ingest
+                .absorb_wire(&mut wire_shards[which], start, &frames)
+                .unwrap_or_else(|e| panic!("{protocol}: chunk {c} failed to absorb: {e}"));
+            let decoded: Vec<I::Report> = frames
+                .iter()
+                .map(|f| I::Report::decode(f).expect("frame decodes"))
+                .collect();
+            ingest.absorb(&mut ref_shards[which], start, &decoded);
+        }
+        let [wa, wb] = wire_shards;
+        let [ra, rb] = ref_shards;
+        let wire = ingest.merge(wa, wb);
+        let reference = ingest.merge(ra, rb);
+        assert_eq!(
+            wire.encode_shard(),
+            reference.encode_shard(),
+            "{protocol}: absorb_wire shard diverged from decode+absorb"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn all_protocols_absorb_wire_equals_decode_absorb(
+            n in 100usize..350,
+            chunk_size in 1usize..160,
+            data_seed in 0u64..1_000,
+            client_seed in 0u64..1_000,
+            order_seed in 0u64..1_000,
+        ) {
+            // Heavy-hitter protocols.
+            let p = SketchParams::optimal(n as u64, 12, 2.0, 0.2);
+            let server = ExpanderSketch::new(p, 71);
+            assert_fused_matches_materialized(
+                &HhStream(&server), &inputs(n, 1 << 12, data_seed),
+                chunk_size, client_seed, order_seed, "expander_sketch",
+            );
+
+            let p = BitstogramParams::optimal(n as u64, 12, 2.0, 0.3);
+            let server = Bitstogram::new(p, 72);
+            assert_fused_matches_materialized(
+                &HhStream(&server), &inputs(n, 1 << 12, data_seed ^ 1),
+                chunk_size, client_seed, order_seed, "bitstogram",
+            );
+
+            let server = ScanHeavyHitters::new(ScanParams::new(n as u64, 256, 2.0, 0.1), 73);
+            assert_fused_matches_materialized(
+                &HhStream(&server), &inputs(n, 256, data_seed ^ 2),
+                chunk_size, client_seed, order_seed, "scan",
+            );
+
+            let server = BassilySmithHeavyHitters::new(
+                BsHhParams::optimal(n as u64, 1 << 10, 2.0, 0.2), 74,
+            );
+            assert_fused_matches_materialized(
+                &HhStream(&server), &inputs(n, 1 << 10, data_seed ^ 3),
+                chunk_size, client_seed, order_seed, "bassily_smith_hh",
+            );
+
+            // Frequency oracles.
+            let oracle = Hashtogram::new(HashtogramParams::hashed(n as u64, 1 << 20, 1.0, 0.1), 75);
+            assert_fused_matches_materialized(
+                &OracleStream(&oracle), &inputs(n, 1 << 20, data_seed ^ 4),
+                chunk_size, client_seed, order_seed, "hashtogram_hashed",
+            );
+
+            let oracle = Hashtogram::new(HashtogramParams::direct(200, 1.0, 0.1), 76);
+            assert_fused_matches_materialized(
+                &OracleStream(&oracle), &inputs(n, 200, data_seed ^ 5),
+                chunk_size, client_seed, order_seed, "hashtogram_direct",
+            );
+
+            let oracle = BassilySmithOracle::new(1 << 16, 1.0, 256, 77);
+            assert_fused_matches_materialized(
+                &OracleStream(&oracle), &inputs(n, 1 << 16, data_seed ^ 6),
+                chunk_size, client_seed, order_seed, "bassily_smith_oracle",
+            );
+
+            let oracle = KrrOracle::new(24, 1.0);
+            assert_fused_matches_materialized(
+                &OracleStream(&oracle), &inputs(n, 24, data_seed ^ 7),
+                chunk_size, client_seed, order_seed, "krr",
+            );
+
+            let oracle = Rappor::new(100, 1.0);
+            assert_fused_matches_materialized(
+                &OracleStream(&oracle), &inputs(n, 100, data_seed ^ 8),
+                chunk_size, client_seed, order_seed, "rappor",
+            );
+        }
+    }
+}
