@@ -10,6 +10,11 @@
 //! \[4\] linear-in-n memory and a per-query cost that makes domain scans
 //! explode.
 //!
+//! Every protocol in this binary is **registry-dispatched**: rows name
+//! protocols by their `hh_sim::registry` names and run them through the
+//! type-erased drivers, so adding a protocol to the registry adds it to
+//! the harness with no per-binary plumbing.
+//!
 //! Flags:
 //!
 //! * `--serial` — drive the table rows through the serial reference
@@ -31,29 +36,35 @@
 //!   the records land in the JSON document so the speedup is tracked,
 //!   not asserted (without them nothing is written — the tracked
 //!   baseline is never clobbered with a partial document).
+//! * `--pipeline` — measure end-to-end streaming ingest throughput of
+//!   the **pipelined collector runtime** (long-lived collector actors,
+//!   bounded queues, no epoch barriers) against the lock-step
+//!   `StreamEngine` over the same epochs/checkpoints, with the final
+//!   shards checked bit-for-bit equal; with `--json` / `--json-out` the
+//!   records (including backpressure stats) land in the JSON document.
 //! * `--quick` — small-n profile (CI smoke runs).
 //! * `--json` — additionally run the serial-vs-batched comparison, the
-//!   collector-count merge-scaling sweep, *and* the ingest throughput
-//!   comparison (implied, so the document is always written whole), and
-//!   write the machine-readable record (the perf-trajectory baseline
-//!   tracked across PRs).
-//! * `--json-out <path>` — where `--json` (and `--ingest-bench`) write
-//!   (default `BENCH_table1.json`).
+//!   collector-count merge-scaling sweep, the ingest throughput
+//!   comparison *and* the pipeline comparison (implied, so the document
+//!   is always written whole), and write the machine-readable record
+//!   (the perf-trajectory baseline tracked across PRs).
+//! * `--json-out <path>` — where `--json` (and the implied comparisons)
+//!   write (default `BENCH_table1.json`).
 
 use hh_bench::{banner, fmt_dur, json_array, JsonObject, Table};
-use hh_core::baselines::{Bitstogram, BitstogramParams, ScanHeavyHitters, ScanParams};
-use hh_core::traits::{HeavyHitterProtocol, WireReport, WireShard};
+use hh_core::baselines::{ScanHeavyHitters, ScanParams};
 use hh_core::{ExpanderSketch, SketchParams};
-use hh_freq::bassily_smith::BassilySmithOracle;
 use hh_freq::krr::KrrOracle;
 use hh_freq::rappor::Rappor;
-use hh_freq::traits::FrequencyOracle;
-use hh_freq::wire::{encode_reports, WireFrames};
+use hh_freq::wire::{encode_reports, WireFrames, WireReport};
 use hh_math::rng::derive_seed;
+use hh_sim::registry::{build_hh, build_oracle, ProtocolSpec};
 use hh_sim::{
-    run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
-    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, HhStream, OracleStream,
-    ProtocolRun, StreamEngine, StreamIngest, StreamPlan, StreamWorkload, Workload,
+    run_dyn_heavy_hitter, run_dyn_heavy_hitter_batched, run_dyn_heavy_hitter_distributed,
+    run_dyn_oracle, run_dyn_oracle_batched, run_dyn_oracle_distributed, run_pipelined_all,
+    BatchPlan, DistPlan, DynHhProtocol, DynHhStream, DynOracleStream, HhStream,
+    MaterializingIngest, OracleStream, PipelineConfig, ProtocolRun, StreamEngine, StreamIngest,
+    StreamPlan, StreamWorkload, Workload,
 };
 use std::time::Instant;
 
@@ -80,26 +91,23 @@ const WIRE_SAMPLE_CAP: usize = 1 << 13;
 /// sizes concentrate; fixed so reruns print identical columns).
 const WIRE_SAMPLE_SEED: u64 = 0x317E;
 
-/// Mean encoded size of a batch of reports.
-fn mean_wire_bytes<R: WireReport>(reports: &[R]) -> f64 {
-    let total: usize = reports.iter().map(|r| r.encoded_len()).sum();
-    total as f64 / reports.len().max(1) as f64
+/// Mean encoded report size over a leading sample of the population,
+/// measured through the fused wire path.
+fn sample_wire_bytes(server: &dyn DynHhProtocol, data: &[u64]) -> f64 {
+    let sample = &data[..data.len().min(WIRE_SAMPLE_CAP)];
+    let mut buf = Vec::new();
+    server.respond_encode_batch(0, sample, WIRE_SAMPLE_SEED, &mut buf);
+    buf.len() as f64 / sample.len().max(1) as f64
 }
 
-fn drive<P>(server: &mut P, data: &[u64], seed: u64, driver: Driver) -> RowRun
-where
-    P: HeavyHitterProtocol + Sync,
-    P::Report: Send + Sync,
-{
+fn drive(server: &mut dyn DynHhProtocol, data: &[u64], seed: u64, driver: Driver) -> RowRun {
     match driver {
         Driver::Serial | Driver::Batched => {
-            let sample = &data[..data.len().min(WIRE_SAMPLE_CAP)];
-            let wire_bytes_per_user =
-                mean_wire_bytes(&server.respond_batch(0, sample, WIRE_SAMPLE_SEED));
+            let wire_bytes_per_user = sample_wire_bytes(&*server, data);
             let run = if driver == Driver::Serial {
-                run_heavy_hitter(server, data, seed)
+                run_dyn_heavy_hitter(server, data, seed)
             } else {
-                run_heavy_hitter_batched(server, data, seed, &BatchPlan::default())
+                run_dyn_heavy_hitter_batched(server, data, seed, &BatchPlan::default())
             };
             RowRun {
                 run,
@@ -107,7 +115,7 @@ where
             }
         }
         Driver::Distributed => {
-            let d = run_heavy_hitter_distributed(server, data, seed, &DistPlan::default());
+            let d = run_dyn_heavy_hitter_distributed(server, data, seed, &DistPlan::default());
             RowRun {
                 wire_bytes_per_user: d.wire_bytes_per_user(),
                 run: ProtocolRun {
@@ -126,23 +134,24 @@ where
     }
 }
 
-/// One serial-vs-batched wall-clock comparison. Returns the JSON record
-/// and the serial estimates (reused by [`merge_scaling`] as the
-/// equality reference, so the serial run happens once).
-fn compare_at_scale<P, F>(make: F, name: &str, data: &[u64], seed: u64) -> (String, Vec<(u64, f64)>)
-where
-    P: HeavyHitterProtocol + Sync,
-    P::Report: Send + Sync,
-    F: Fn() -> P,
-{
+/// One serial-vs-batched wall-clock comparison of a registry protocol.
+/// Returns the JSON record and the serial estimates (reused by
+/// [`merge_scaling`] as the equality reference, so the serial run
+/// happens once).
+fn compare_at_scale(
+    name: &str,
+    spec: &ProtocolSpec,
+    data: &[u64],
+    seed: u64,
+) -> (String, Vec<(u64, f64)>) {
     let serial = {
-        let mut s = make();
-        run_heavy_hitter(&mut s, data, seed)
+        let mut s = build_hh(name, spec).expect("registered protocol");
+        run_dyn_heavy_hitter(s.as_mut(), data, seed)
     };
     let plan = BatchPlan::default();
     let batched = {
-        let mut s = make();
-        run_heavy_hitter_batched(&mut s, data, seed, &plan)
+        let mut s = build_hh(name, spec).expect("registered protocol");
+        run_dyn_heavy_hitter_batched(s.as_mut(), data, seed, &plan)
     };
     assert_eq!(
         serial.estimates, batched.estimates,
@@ -177,23 +186,18 @@ where
 /// Collector-count scaling: distributed runs at k ∈ {1, 2, 8}, each
 /// checked bit-for-bit against the caller's serial reference estimates,
 /// returned as JSON records.
-fn merge_scaling<P, F>(
-    make: F,
+fn merge_scaling(
     name: &str,
+    spec: &ProtocolSpec,
     data: &[u64],
     seed: u64,
     serial: &[(u64, f64)],
-) -> Vec<String>
-where
-    P: HeavyHitterProtocol + Sync,
-    P::Report: Send + Sync,
-    F: Fn() -> P,
-{
+) -> Vec<String> {
     let mut out = Vec::new();
     for collectors in [1usize, 2, 8] {
-        let mut s = make();
-        let run = run_heavy_hitter_distributed(
-            &mut s,
+        let mut s = build_hh(name, spec).expect("registered protocol");
+        let run = run_dyn_heavy_hitter_distributed(
+            s.as_mut(),
             data,
             seed,
             &DistPlan::with_collectors(collectors),
@@ -232,15 +236,10 @@ where
 /// fleet with per-epoch checkpoints, one collector crash after
 /// `epochs/2` epochs and recovery one epoch later — verified bit-for-bit
 /// against the serial one-shot run, reported as a JSON record.
-fn stream_run<P, F>(make: F, name: &str, domain: u64, n_per_epoch: usize, seed: u64) -> String
-where
-    P: HeavyHitterProtocol + Sync,
-    P::Report: Send + Sync,
-    F: Fn() -> P,
-{
+fn stream_run(name: &str, spec: &ProtocolSpec, n_per_epoch: usize, seed: u64) -> String {
     let epochs = 6u64;
     let collectors = 4usize;
-    let workload = StreamWorkload::zipf_ramp(domain, 1.05, 1.4, epochs as usize, 0.15);
+    let workload = StreamWorkload::zipf_ramp(spec.domain, 1.05, 1.4, epochs as usize, 0.15);
     let plan = StreamPlan {
         epoch_size: n_per_epoch,
         checkpoint_every: 1,
@@ -251,8 +250,8 @@ where
         },
     };
 
-    let server = make();
-    let mut engine = StreamEngine::new(HhStream(&server), plan, seed);
+    let server = build_hh(name, spec).expect("registered protocol");
+    let mut engine = StreamEngine::new(DynHhStream(server.as_ref()), plan, seed);
     let mut all_data = Vec::new();
     let mut recovery_secs = 0.0;
     for epoch in 0..epochs {
@@ -274,8 +273,8 @@ where
     let estimates = server.finish();
 
     let serial = {
-        let mut s = make();
-        run_heavy_hitter(&mut s, &all_data, seed).estimates
+        let mut s = build_hh(name, spec).expect("registered protocol");
+        run_dyn_heavy_hitter(s.as_mut(), &all_data, seed).estimates
     };
     assert_eq!(estimates, serial, "{name}: streamed output diverged");
 
@@ -335,7 +334,10 @@ where
 /// The two shards are checked bit-for-bit equal through their snapshot
 /// encoding; the throughput records (users/sec and MB/s) land in the
 /// JSON document so the speedup is tracked across PRs, not asserted.
-fn ingest_throughput<I: StreamIngest>(
+/// Necessarily typed (`MaterializingIngest`): the legacy path exists
+/// only on the typed surface — a type-erased protocol has no reports to
+/// materialize.
+fn ingest_throughput<I: MaterializingIngest>(
     ingest: &I,
     name: &str,
     data: &[u64],
@@ -364,7 +366,8 @@ fn ingest_throughput<I: StreamIngest>(
             let mut off = 0usize;
             for &len in &lens {
                 decoded.push(
-                    I::Report::decode(&bytes[off..off + len as usize]).expect("frame decodes"),
+                    <I as MaterializingIngest>::Report::decode(&bytes[off..off + len as usize])
+                        .expect("frame decodes"),
                 );
                 off += len as usize;
             }
@@ -410,8 +413,8 @@ fn ingest_throughput<I: StreamIngest>(
 
     assert_eq!(fused_bytes, wire_bytes, "{name}: fused wire bytes diverged");
     assert_eq!(
-        fused_shard.encode_shard(),
-        legacy_shard.encode_shard(),
+        ingest.encode_shard(&fused_shard),
+        ingest.encode_shard(&legacy_shard),
         "{name}: fused shard diverged from legacy"
     );
 
@@ -439,12 +442,106 @@ fn ingest_throughput<I: StreamIngest>(
     vec![record("legacy", legacy_secs), record("fused", fused_secs)]
 }
 
+/// One pipelined-vs-lock-step streaming throughput measurement over a
+/// registry-dispatched (type-erased) protocol: the same population,
+/// epoch schedule and checkpoint cadence driven end-to-end through
+///
+/// * **lockstep** — the epoch-barrier `StreamEngine` (parallel respond →
+///   barrier → absorb → barrier → checkpoint), and
+/// * **pipelined** — the collector-actor runtime (bounded queues, chunks
+///   absorbed and snapshots encoded concurrently with encoding).
+///
+/// Final shards are checked bit-for-bit equal through the snapshot
+/// codec; the records (users/sec plus the pipelined runtime's
+/// backpressure stats) land in the JSON document as `pipeline` rows.
+fn pipeline_throughput<I: StreamIngest + Sync + Copy>(
+    ingest: I,
+    name: &str,
+    data: &[u64],
+    plan: &StreamPlan,
+    config: &PipelineConfig,
+    seed: u64,
+) -> Vec<String> {
+    const REPS: usize = 7;
+
+    let run_lockstep = || {
+        let t = Instant::now();
+        let mut engine = StreamEngine::new(ingest, plan.clone(), seed);
+        engine.ingest_all(data);
+        let (shard, stats) = engine.into_live_shard();
+        (t.elapsed().as_secs_f64(), shard, stats)
+    };
+    let run_pipe = || {
+        let t = Instant::now();
+        let (shard, stats) = run_pipelined_all(&ingest, plan, config, seed, data);
+        (t.elapsed().as_secs_f64(), shard, stats)
+    };
+
+    // Interleaved best-of-REPS after one unmeasured warmup pair, as in
+    // `ingest_throughput`.
+    let (_, mut lock_shard, _) = run_lockstep();
+    let (_, mut pipe_shard, mut pipe_stats) = run_pipe();
+    let mut lock_secs = f64::INFINITY;
+    let mut pipe_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let (secs, shard, _) = run_lockstep();
+        lock_secs = lock_secs.min(secs);
+        lock_shard = shard;
+        let (secs, shard, stats) = run_pipe();
+        pipe_secs = pipe_secs.min(secs);
+        pipe_shard = shard;
+        pipe_stats = stats;
+    }
+
+    assert_eq!(
+        ingest.encode_shard(&pipe_shard),
+        ingest.encode_shard(&lock_shard),
+        "{name}: pipelined shard diverged from lock-step"
+    );
+
+    let n = data.len() as f64;
+    println!(
+        "  {name:>16}: lockstep {:>9.0} users/s | pipelined {:>9.0} users/s | x{:.2} \
+         | peak queue {} | stall {}",
+        n / lock_secs.max(1e-9),
+        n / pipe_secs.max(1e-9),
+        lock_secs / pipe_secs.max(1e-9),
+        pipe_stats.max_queue_occupancy,
+        fmt_dur(pipe_stats.producer_stall),
+    );
+    let record = |path: &str, secs: f64| {
+        JsonObject::new()
+            .str("protocol", name)
+            .str("path", path)
+            .int("n", data.len() as u64)
+            .int("epoch_size", plan.epoch_size as u64)
+            .int("checkpoint_every", plan.checkpoint_every as u64)
+            .int("collectors", plan.dist.collectors as u64)
+            .int("chunk_size", plan.dist.chunk_size as u64)
+            .int("queue_depth", config.queue_depth as u64)
+            .int("workers", config.workers as u64)
+            .num("ingest_secs", secs)
+            .num("users_per_sec", n / secs.max(1e-9))
+    };
+    vec![
+        record("lockstep", lock_secs).build(),
+        record("pipelined", pipe_secs)
+            .int("max_queue_occupancy", pipe_stats.max_queue_occupancy as u64)
+            .num(
+                "producer_stall_secs",
+                pipe_stats.producer_stall.as_secs_f64(),
+            )
+            .build(),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let serial = args.iter().any(|a| a == "--serial");
     let distributed = args.iter().any(|a| a == "--distributed");
     let stream = args.iter().any(|a| a == "--stream");
     let ingest_bench = args.iter().any(|a| a == "--ingest-bench");
+    let pipeline_bench = args.iter().any(|a| a == "--pipeline");
     let quick = args.iter().any(|a| a == "--quick");
     let json_out_value = args.iter().position(|a| a == "--json-out").map(|i| {
         let path = args
@@ -459,10 +556,11 @@ fn main() {
     // --json-out implies --json: asking for an output path is asking for
     // the JSON phase.
     let emit_json = args.iter().any(|a| a == "--json") || json_out_value.is_some();
-    // A baseline write always includes the ingest comparison: the JSON
-    // document is written whole, so omitting the rows would erase the
-    // tracked fused-vs-legacy history.
+    // A baseline write always includes every throughput comparison: the
+    // JSON document is written whole, so omitting rows would erase the
+    // tracked history.
     let ingest_bench = ingest_bench || emit_json;
+    let pipeline_bench = pipeline_bench || emit_json;
     let json_out = json_out_value.unwrap_or_else(|| "BENCH_table1.json".to_string());
     assert!(
         !(serial && distributed),
@@ -494,6 +592,13 @@ fn main() {
     let beta = 0.1;
     let logns: &[u32] = if quick { &[12, 13] } else { &[14, 16, 18] };
 
+    // The registry-dispatched heavy-hitter rows: display label, registry
+    // name, construction seed, run seed, public-randomness note.
+    let hh_rows: &[(&str, &str, u64, u64, &str)] = &[
+        ("ours", "expander_sketch", 1, 2, "64 bits (one seed)"),
+        ("bitstogram [3]", "bitstogram", 3, 4, "64 bits (one seed)"),
+    ];
+
     let mut t = Table::new(&[
         "protocol",
         "n",
@@ -508,50 +613,46 @@ fn main() {
         let n = 1u64 << logn;
         let workload = Workload::zipf(1u64 << bits, 1.2);
         let data = workload.generate(n as usize, derive_seed(7, u64::from(logn)));
+        let spec = |seed| ProtocolSpec {
+            n,
+            domain: 1u64 << bits,
+            eps,
+            beta,
+            seed,
+        };
 
-        let p = SketchParams::optimal(n, bits, eps, beta);
-        let mut s = ExpanderSketch::new(p, 1);
-        let row = drive(&mut s, &data, 2, driver);
-        t.row(&[
-            "ours".into(),
-            format!("2^{logn}"),
-            fmt_dur(row.run.server_time()),
-            fmt_dur(row.run.user_time()),
-            format!("{} KiB", row.run.memory_bytes / 1024),
-            row.run.report_bits.to_string(),
-            format!("{:.2}", row.wire_bytes_per_user),
-            "64 bits (one seed)".into(),
-        ]);
-
-        let p = BitstogramParams::optimal(n, bits, eps, beta);
-        let mut s = Bitstogram::new(p, 3);
-        let row = drive(&mut s, &data, 4, driver);
-        t.row(&[
-            "bitstogram [3]".into(),
-            format!("2^{logn}"),
-            fmt_dur(row.run.server_time()),
-            fmt_dur(row.run.user_time()),
-            format!("{} KiB", row.run.memory_bytes / 1024),
-            row.run.report_bits.to_string(),
-            format!("{:.2}", row.wire_bytes_per_user),
-            "64 bits (one seed)".into(),
-        ]);
+        for &(display, name, build_seed, run_seed, pub_rand) in hh_rows {
+            let mut s = build_hh(name, &spec(build_seed)).expect("registered protocol");
+            let row = drive(s.as_mut(), &data, run_seed, driver);
+            t.row(&[
+                display.into(),
+                format!("2^{logn}"),
+                fmt_dur(row.run.server_time()),
+                fmt_dur(row.run.user_time()),
+                format!("{} KiB", row.run.memory_bytes / 1024),
+                row.run.report_bits.to_string(),
+                format!("{:.2}", row.wire_bytes_per_user),
+                pub_rand.into(),
+            ]);
+        }
 
         // Bassily–Smith FO with w = n rows; query cost O(n) each. A
         // full heavy-hitter scan would be n·|X| — measure a 512-query
         // slice and extrapolate.
-        let mut o = BassilySmithOracle::new(1u64 << bits, eps, n, 5);
+        let mut o = build_oracle("bassily_smith", &spec(5)).expect("registered oracle");
         let queries: Vec<u64> = (0..512u64).collect();
         // (server_build, client_total, query_total, wire B/user) under
         // the same driver as the other rows.
         let (server_build, client_total, query_total, wire, mem, bits_claim) = match driver {
             Driver::Serial | Driver::Batched => {
                 let sample = &data[..data.len().min(WIRE_SAMPLE_CAP)];
-                let wire = mean_wire_bytes(&o.respond_batch(0, sample, WIRE_SAMPLE_SEED));
+                let mut buf = Vec::new();
+                o.respond_encode_batch(0, sample, WIRE_SAMPLE_SEED, &mut buf);
+                let wire = buf.len() as f64 / sample.len().max(1) as f64;
                 let run = if serial {
-                    run_oracle(&mut o, &data, &queries, 6)
+                    run_dyn_oracle(o.as_mut(), &data, &queries, 6)
                 } else {
-                    run_oracle_batched(&mut o, &data, &queries, 6, &BatchPlan::default())
+                    run_dyn_oracle_batched(o.as_mut(), &data, &queries, 6, &BatchPlan::default())
                 };
                 (
                     run.server_build,
@@ -563,7 +664,13 @@ fn main() {
                 )
             }
             Driver::Distributed => {
-                let run = run_oracle_distributed(&mut o, &data, &queries, 6, &DistPlan::default());
+                let run = run_dyn_oracle_distributed(
+                    o.as_mut(),
+                    &data,
+                    &queries,
+                    6,
+                    &DistPlan::default(),
+                );
                 (
                     run.server_build,
                     run.client_total,
@@ -599,6 +706,8 @@ fn main() {
         println!("    a lower bound on per-user compute at >1 thread; use --serial for the");
         println!("    paper's per-user cost metric.");
     }
+    println!("  - all rows dispatch through hh_sim::registry (type-erased protocols);");
+    println!("    the serial driver ingests per-user through the same wire path.");
     println!("  - claim bits is report_bits() (the protocol's worst-case message claim);");
     println!("    wire B/user is the measured mean size of the actual encoded reports");
     println!("    (end-to-end through the collector fleet under --distributed). The");
@@ -618,20 +727,27 @@ fn main() {
             "\n— streaming epoch engine (6 epochs x ~{n_per_epoch} users, 4 collectors, \
              Zipf-ramp drift, per-epoch checkpoints, 1 crash + recovery) —\n"
         );
-        let p = SketchParams::optimal(n_total as u64, bits, eps, beta);
         stream_records.push(stream_run(
-            || ExpanderSketch::new(p.clone(), 21),
             "expander_sketch",
-            1u64 << bits,
+            &ProtocolSpec {
+                n: n_total as u64,
+                domain: 1u64 << bits,
+                eps,
+                beta,
+                seed: 21,
+            },
             n_per_epoch,
             22,
         ));
-        let scan_domain = 1u64 << 16;
-        let sp = hh_core::baselines::ScanParams::new(n_total as u64, scan_domain, eps, beta);
         stream_records.push(stream_run(
-            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 23),
             "scan",
-            scan_domain,
+            &ProtocolSpec {
+                n: n_total as u64,
+                domain: 1u64 << 16,
+                eps,
+                beta,
+                seed: 23,
+            },
             n_per_epoch,
             24,
         ));
@@ -698,6 +814,111 @@ fn main() {
         ));
     }
 
+    let mut pipeline_records = Vec::new();
+    if pipeline_bench {
+        println!(
+            "\n— streaming ingest throughput: pipelined collector runtime (actors + \
+             bounded queues) vs lock-step StreamEngine (epoch barriers), \
+             registry-dispatched —\n"
+        );
+        // Both runtimes simulate the same fleet at the same thread
+        // budget: k = 2 collector nodes, and the lock-step engine's
+        // parallel phases get `threads = k` workers — the pipelined side
+        // runs 1 encoder + k long-lived actors. What the comparison then
+        // isolates is the coordination machinery itself: lock-step pays
+        // a scoped spawn + join barrier per phase per epoch and buffers
+        // each whole epoch before absorbing; the actor runtime keeps its
+        // threads alive and absorbs/checkpoints behind the encoder. On a
+        // multi-core host the pipelined side additionally overlaps the
+        // stages in real time.
+        let plan = |n: usize, epoch_div: usize, chunk: usize| StreamPlan {
+            epoch_size: (n / epoch_div).max(1),
+            checkpoint_every: 1,
+            dist: DistPlan {
+                collectors: 2,
+                chunk_size: chunk.min(n.max(1)),
+                threads: 2,
+                ..DistPlan::default()
+            },
+        };
+        let config = |queue_depth| PipelineConfig {
+            queue_depth,
+            workers: 1,
+        };
+        let spec = |n: usize, domain, seed| ProtocolSpec {
+            n: n as u64,
+            domain,
+            eps,
+            beta,
+            seed,
+        };
+
+        let n = if quick { 1usize << 13 } else { 1 << 19 };
+        let data = Workload::zipf(1u64 << bits, 1.2).generate(n, 151);
+        let s = build_hh("expander_sketch", &spec(n, 1u64 << bits, 41)).expect("registered");
+        pipeline_records.extend(pipeline_throughput(
+            DynHhStream(s.as_ref()),
+            "expander_sketch",
+            &data,
+            &plan(n, 16, 1 << 14),
+            &config(2),
+            42,
+        ));
+
+        let scan_n = if quick { 1usize << 13 } else { 1 << 20 };
+        let scan_domain = 1u64 << 16;
+        let scan_data: Vec<u64> = data
+            .iter()
+            .cycle()
+            .take(scan_n)
+            .map(|&x| x & (scan_domain - 1))
+            .collect();
+        let s = build_hh("scan", &spec(scan_n, scan_domain, 43)).expect("registered");
+        pipeline_records.extend(pipeline_throughput(
+            DynHhStream(s.as_ref()),
+            "scan",
+            &scan_data,
+            &plan(scan_n, 16, 1 << 14),
+            &config(4),
+            44,
+        ));
+
+        // As in the ingest rows: KRR is so cheap per user it needs a
+        // larger population to resolve the runtime delta.
+        let krr_n = if quick { 1usize << 14 } else { 1 << 21 };
+        let krr_data: Vec<u64> = data.iter().cycle().take(krr_n).map(|&x| x % 64).collect();
+        let o = build_oracle("krr", &spec(krr_n, 64, 45)).expect("registered");
+        pipeline_records.extend(pipeline_throughput(
+            DynOracleStream(o.as_ref()),
+            "krr",
+            &krr_data,
+            &plan(krr_n, 16, 1 << 15),
+            &config(4),
+            46,
+        ));
+
+        // RAPPOR reports are dense bitvectors (32 B/user at |X| = 256);
+        // many short epochs is the shape a live telemetry stream has,
+        // and each one costs the lock-step engine two spawn/join
+        // barriers plus a fully buffered epoch.
+        let rappor_n = if quick { 1usize << 11 } else { 1 << 17 };
+        let rappor_data: Vec<u64> = data
+            .iter()
+            .cycle()
+            .take(rappor_n)
+            .map(|&x| x % 256)
+            .collect();
+        let o = build_oracle("rappor", &spec(rappor_n, 256, 47)).expect("registered");
+        pipeline_records.extend(pipeline_throughput(
+            DynOracleStream(o.as_ref()),
+            "rappor",
+            &rappor_data,
+            &plan(rappor_n, 32, 1 << 12),
+            &config(2),
+            48,
+        ));
+    }
+
     let mut runs = Vec::new();
     let mut scaling = Vec::new();
     if emit_json {
@@ -706,37 +927,39 @@ fn main() {
         let workload = Workload::planted(1u64 << bits, vec![(0xBEEF, 0.3)]);
         let data = workload.generate(n, 97);
 
-        let p = SketchParams::optimal(n as u64, bits, eps, beta);
-        let (json, sketch_serial) = compare_at_scale(
-            || ExpanderSketch::new(p.clone(), 11),
-            "expander_sketch",
-            &data,
-            12,
-        );
+        let sketch_spec = ProtocolSpec {
+            n: n as u64,
+            domain: 1u64 << bits,
+            eps,
+            beta,
+            seed: 11,
+        };
+        let (json, sketch_serial) = compare_at_scale("expander_sketch", &sketch_spec, &data, 12);
         runs.push(json);
 
         let scan_domain = 1u64 << 16;
         let scan_data: Vec<u64> = data.iter().map(|&x| x & (scan_domain - 1)).collect();
-        let sp = hh_core::baselines::ScanParams::new(n as u64, scan_domain, eps, beta);
-        let (json, scan_serial) = compare_at_scale(
-            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 13),
-            "scan",
-            &scan_data,
-            14,
-        );
+        let scan_spec = ProtocolSpec {
+            n: n as u64,
+            domain: scan_domain,
+            eps,
+            beta,
+            seed: 13,
+        };
+        let (json, scan_serial) = compare_at_scale("scan", &scan_spec, &scan_data, 14);
         runs.push(json);
 
         println!("\n— collector-count scaling (wire round-trip, tree merge) —\n");
         scaling.extend(merge_scaling(
-            || ExpanderSketch::new(p.clone(), 11),
             "expander_sketch",
+            &sketch_spec,
             &data,
             12,
             &sketch_serial,
         ));
         scaling.extend(merge_scaling(
-            || hh_core::baselines::ScanHeavyHitters::new(sp.clone(), 13),
             "scan",
+            &scan_spec,
             &scan_data,
             14,
             &scan_serial,
@@ -751,15 +974,18 @@ fn main() {
             .raw("merge_scaling", json_array(scaling))
             .raw("stream", json_array(stream_records))
             .raw("ingest", json_array(ingest_records))
+            .raw("pipeline", json_array(pipeline_records))
             .build();
         std::fs::write(&json_out, format!("{doc}\n"))
             .unwrap_or_else(|e| panic!("write {json_out}: {e}"));
         println!("\nwrote {json_out}");
-    } else if ingest_bench {
+    } else if ingest_bench || pipeline_bench {
         // Without --json the tracked baseline document would be written
         // with its comparison arrays empty — never clobber it; the
         // measurements (and their bit-for-bit shard checks) above are
         // the smoke value.
-        println!("\n(pass --json / --json-out to record the ingest rows into the JSON baseline)");
+        println!(
+            "\n(pass --json / --json-out to record the throughput rows into the JSON baseline)"
+        );
     }
 }

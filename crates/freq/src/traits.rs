@@ -135,7 +135,11 @@ pub trait FrequencyOracle {
     /// aggregate can be checkpointed to stable storage and a crashed
     /// node recovered by decoding its last snapshot and replaying the
     /// reports since (see `hh_sim::stream`).
-    type Shard: Send + WireShard;
+    ///
+    /// Shards own their state outright (`'static`), so they can cross
+    /// type-erasure boundaries — `hh_sim`'s object-safe protocol layer
+    /// moves them as `Box<dyn Any>` behind byte-level wire interfaces.
+    type Shard: Send + WireShard + 'static;
 
     /// Client-side: user `user_index` holding `x` produces her report.
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> Self::Report;

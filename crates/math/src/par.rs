@@ -19,6 +19,73 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// A recycling pool of byte buffers: [`BufferPool::take`] hands out a
+/// cleared buffer (reusing returned capacity when available),
+/// [`BufferPool::put`] reclaims one. This is the allocation backbone of
+/// the streaming engines' wire-chunk cycle (pool → respond → spool →
+/// checkpoint → pool): after warm-up, steady-state ingest reuses
+/// capacity instead of allocating per chunk.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    bufs: Vec<Vec<u8>>,
+    /// Buffers handed out that had recycled capacity.
+    reused: u64,
+    /// Buffers handed out freshly allocated (pool was empty).
+    fresh: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared buffer — recycled capacity if the pool has any,
+    /// freshly allocated otherwise.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.bufs.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty(), "pooled buffer not cleared");
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer to the pool (cleared, capacity kept).
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.bufs.push(buf);
+    }
+
+    /// Return every buffer of an iterator to the pool.
+    pub fn put_all(&mut self, bufs: impl IntoIterator<Item = Vec<u8>>) {
+        for buf in bufs {
+            self.put(buf);
+        }
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// `(reused, fresh)` counts of buffers handed out so far — the
+    /// recycling hit rate.
+    pub fn handout_counts(&self) -> (u64, u64) {
+        (self.reused, self.fresh)
+    }
+}
+
 /// Smallest per-shard chunk the shared sharding path will create:
 /// shard setup/merge is O(state size), so tiny chunks would be all
 /// overhead.
@@ -211,6 +278,23 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take();
+        a.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.len(), 1);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(b.capacity(), cap, "recycled buffer must keep capacity");
+        assert!(pool.is_empty());
+        assert_eq!(pool.handout_counts(), (1, 1));
+        pool.put_all([b, Vec::new()]);
+        assert_eq!(pool.len(), 2);
+    }
 
     #[test]
     fn maps_in_chunk_order() {

@@ -35,6 +35,18 @@
 //!   the merged decoded snapshots without stopping the stream.
 //!   Configured by [`StreamPlan`] (epoch size, checkpoint cadence, the
 //!   fleet's [`DistPlan`] — none affects output).
+//! * [`pipeline`] removes the lock-step engine's epoch barriers:
+//!   long-lived collector *actor* threads behind bounded queues absorb
+//!   chunks, encode checkpoints and replay recoveries concurrently with
+//!   the client-side encoding, under backpressure — bit-for-bit equal
+//!   to [`stream`]'s engine for every queue depth and worker count
+//!   (chunk sequence numbers keep per-collector order exact).
+//!   Configured by [`PipelineConfig`].
+//! * [`erased`] is the object-safe protocol layer — [`DynHhProtocol`] /
+//!   [`DynOracle`] pass reports as wire frames and shards as opaque
+//!   boxes or snapshot bytes, so every driver and engine above also
+//!   runs protocols chosen at *runtime*; [`registry`] maps stable names
+//!   to constructors from one [`ProtocolSpec`].
 //! * [`metrics`] summarizes accuracy against ground truth.
 //!
 //! **Determinism:** user `i`'s client coins are the derived stream
@@ -47,18 +59,29 @@
 //! `batch_equivalence` and `distributed_merge` integration tests at the
 //! workspace root.
 
+pub mod erased;
 pub mod metrics;
+pub mod pipeline;
+pub mod registry;
 pub mod run;
 pub mod stream;
 pub mod workload;
 
+pub use erased::{
+    erase_hh, erase_oracle, DynHhProtocol, DynHhStream, DynOracle, DynOracleStream, DynShard,
+    Erased,
+};
+pub use pipeline::{run_pipelined, run_pipelined_all, PipelineConfig, PipelineSession};
+pub use registry::{build_hh, build_oracle, ProtocolSpec};
 pub use run::{
-    run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
-    run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, DistributedOracleRun,
-    DistributedRun, MergeOrder, OracleRun, ProtocolRun,
+    run_dyn_heavy_hitter, run_dyn_heavy_hitter_batched, run_dyn_heavy_hitter_distributed,
+    run_dyn_oracle, run_dyn_oracle_batched, run_dyn_oracle_distributed, run_heavy_hitter,
+    run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle, run_oracle_batched,
+    run_oracle_distributed, BatchPlan, DistPlan, DistributedOracleRun, DistributedRun, MergeOrder,
+    OracleRun, ProtocolRun,
 };
 pub use stream::{
-    CheckpointReport, HhStream, OracleStream, RecoveryReport, StreamEngine, StreamIngest,
-    StreamPlan, StreamStats,
+    CheckpointReport, HhStream, MaterializingIngest, OracleStream, RecoveryReport, StreamEngine,
+    StreamIngest, StreamPlan, StreamStats,
 };
 pub use workload::{StreamWorkload, Workload};

@@ -1,0 +1,786 @@
+//! The pipelined collector runtime: long-lived collector actors fed by
+//! bounded channels, so ingest, absorption and checkpointing overlap.
+//!
+//! The lock-step [`StreamEngine`](crate::stream::StreamEngine) runs each
+//! epoch as parallel respond → barrier → parallel absorb → barrier →
+//! checkpoint: collector threads idle while clients encode, clients idle
+//! while collectors absorb, and everyone idles while snapshots encode —
+//! exactly the central coordination cost the fully-distributed local
+//! model is supposed to avoid. This module removes the barriers:
+//!
+//! * every collector is a **long-lived actor thread** owning its shard,
+//!   snapshot and spool, fed by a **bounded** command queue
+//!   (`std::sync::mpsc::sync_channel`, depth
+//!   [`PipelineConfig::queue_depth`]);
+//! * the session side encodes wire chunks (on
+//!   [`PipelineConfig::workers`] encoder threads) and sends each chunk
+//!   to its collector **the moment it is encoded** — collectors absorb
+//!   epoch `e`'s chunks while the producers are still encoding the rest
+//!   of `e` (or already `e+1`), and cadence checkpoints execute inside
+//!   the collector threads while the producers keep going;
+//! * a full queue applies **backpressure**: the producer blocks until
+//!   the collector drains, and the stall is measured
+//!   ([`StreamStats::producer_stall`], with the high-water mark in
+//!   [`StreamStats::max_queue_occupancy`]).
+//!
+//! # Bit-for-bit equivalence with the lock-step engine
+//!
+//! Every chunk carries its **global sequence number**; chunk `s` routes
+//! to collector `s % k` (the lock-step rule), and each collector holds a
+//! small reorder buffer so it absorbs its chunks in increasing sequence
+//! order even when concurrent encoder workers finish out of order. All
+//! of an epoch's sends happen before the epoch-boundary command sends
+//! (checkpoint / kill / recover), and `mpsc` queues are FIFO, so every
+//! collector observes exactly the lock-step event order: same chunks,
+//! same order, same checkpoint boundaries. Shards, snapshots, recoveries
+//! and final output are therefore *bit-for-bit* identical to
+//! [`StreamEngine`](crate::stream::StreamEngine) — pinned by the
+//! pipelined-vs-lock-step proptest grid in
+//! `tests/streaming_equivalence.rs`.
+//!
+//! # Use
+//!
+//! The actors borrow the protocol, so the runtime runs inside a scope:
+//! [`run_pipelined`] spawns the fleet, hands a [`PipelineSession`] to
+//! your closure (drive it like the lock-step engine: `ingest_epoch`,
+//! `checkpoint`, `kill_collector`, `recover_collector`,
+//! `finish_at_epoch`), then shuts the fleet down, merges the collector
+//! shards and returns the final aggregate with its [`StreamStats`].
+
+use crate::stream::{
+    absorb_chunk, combine_shards, encode_snapshot, rebuild_shard, CheckpointReport, HhStream,
+    OracleStream, RecoveryReport, Snapshot, StreamIngest, StreamPlan, StreamStats, WireChunk,
+};
+use hh_core::traits::HeavyHitterProtocol;
+use hh_freq::traits::FrequencyOracle;
+use hh_math::par::BufferPool;
+use hh_math::rng::derive_seed;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Shape of the pipelined runtime: how deep the collector queues are and
+/// how many encoder threads feed them. Neither affects output.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Bounded depth (in wire chunks) of each collector's command
+    /// queue. A full queue blocks the producer — backpressure instead of
+    /// unbounded buffering.
+    pub queue_depth: usize,
+    /// Encoder threads running the fused `respond_encode_batch` on the
+    /// session side. `1` encodes on the session thread itself (no extra
+    /// threads, still fully overlapped with the collector actors).
+    pub workers: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 4,
+            workers: rayon::current_num_threads().max(1),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Panic early (with the field named) on degenerate shapes instead
+    /// of deadlocking on an unusable channel or encoding nothing.
+    pub fn validate(&self) {
+        assert!(
+            self.queue_depth >= 1,
+            "PipelineConfig.queue_depth must be >= 1 (got 0)"
+        );
+        assert!(
+            self.workers >= 1,
+            "PipelineConfig.workers must be >= 1 (got 0)"
+        );
+    }
+}
+
+/// One command down a collector's queue. Everything the lock-step engine
+/// does to a collector between barriers arrives here as a message, in
+/// the same order.
+enum Cmd {
+    /// One routed wire chunk. `seq` is the chunk's global sequence
+    /// number — the collector absorbs strictly in `seq` order.
+    Chunk { seq: u64, chunk: WireChunk },
+    /// Snapshot the live shard (no-op while crashed) and truncate the
+    /// spool. `epoch` stamps the snapshot; `reply` is `None` for
+    /// fire-and-forget cadence checkpoints.
+    Checkpoint {
+        epoch: u64,
+        reply: Option<Sender<CollectorCheckpoint>>,
+    },
+    /// Crash: drop the live shard. The spool keeps receiving.
+    Kill,
+    /// Rebuild the live shard from the last snapshot plus the spool.
+    Recover { reply: Sender<RecoveryReport> },
+    /// Copy the latest snapshot's bytes into `buf` (pooled by the
+    /// session) for a mid-stream query.
+    Query {
+        buf: Vec<u8>,
+        reply: Sender<QueryReply>,
+    },
+    /// End of stream: recover if crashed, then hand the live shard and
+    /// the actor's accounting back and exit.
+    Finish,
+}
+
+/// Reply to [`Cmd::Checkpoint`] when a report was requested.
+struct CollectorCheckpoint {
+    /// Whether a snapshot was written (`false` while crashed).
+    snapshotted: bool,
+    /// Size of the written snapshot.
+    snapshot_bytes: u64,
+}
+
+/// Reply to [`Cmd::Query`].
+struct QueryReply {
+    collector: usize,
+    /// Epoch of the returned snapshot (`None` = never checkpointed; the
+    /// buffer comes back unused).
+    epoch: Option<u64>,
+    buf: Vec<u8>,
+}
+
+/// The accounting one collector actor hands back at [`Cmd::Finish`].
+#[derive(Default)]
+struct CollectorTotals {
+    ingest_total: Duration,
+    checkpoint_total: Duration,
+    snapshot_bytes_last: u64,
+    recoveries: u64,
+    recovery_total: Duration,
+    replayed_reports: u64,
+}
+
+/// The state one collector actor owns.
+struct CollectorActor<'a, I: StreamIngest> {
+    ingest: &'a I,
+    id: usize,
+    k: usize,
+    /// The in-memory partial aggregate; `None` while crashed.
+    live: Option<I::Shard>,
+    snapshot: Option<Snapshot>,
+    /// Spooled chunks since the last checkpoint, in sequence order.
+    log: Vec<WireChunk>,
+    /// Early arrivals from concurrent encoder workers, keyed by global
+    /// sequence number, held until their predecessors are absorbed.
+    pending: BTreeMap<u64, WireChunk>,
+    /// The next global chunk sequence this collector will absorb
+    /// (starts at `id`, steps by `k`).
+    next_seq: u64,
+    epoch: u64,
+    pool_tx: Sender<Vec<u8>>,
+    totals: CollectorTotals,
+}
+
+impl<'a, I: StreamIngest> CollectorActor<'a, I> {
+    /// Absorb (if alive) and spool every pending chunk that is next in
+    /// sequence order.
+    fn drain_in_order(&mut self) {
+        while let Some(chunk) = self.pending.remove(&self.next_seq) {
+            self.next_seq += self.k as u64;
+            if let Some(shard) = self.live.as_mut() {
+                let t = Instant::now();
+                absorb_chunk(self.ingest, shard, self.id, &chunk);
+                self.totals.ingest_total += t.elapsed();
+            }
+            self.log.push(chunk);
+        }
+    }
+
+    /// Snapshot the live shard (through the shared
+    /// [`encode_snapshot`] sequence, reusing the previous snapshot's
+    /// buffer) and truncate the spool — buffers go back to the
+    /// session's pool.
+    fn checkpoint(&mut self) -> CollectorCheckpoint {
+        let Some(shard) = &self.live else {
+            return CollectorCheckpoint {
+                snapshotted: false,
+                snapshot_bytes: 0,
+            };
+        };
+        let t = Instant::now();
+        let snap = encode_snapshot(self.ingest, shard, self.snapshot.take(), self.epoch);
+        let snapshot_bytes = snap.bytes.len() as u64;
+        self.snapshot = Some(snap);
+        for chunk in self.log.drain(..) {
+            // The session may have gone away on a panic path; losing
+            // pooled buffers then is fine.
+            let _ = self.pool_tx.send(chunk.into_buffer());
+        }
+        self.totals.checkpoint_total += t.elapsed();
+        self.totals.snapshot_bytes_last = snapshot_bytes;
+        CollectorCheckpoint {
+            snapshotted: true,
+            snapshot_bytes,
+        }
+    }
+
+    /// Decode the last snapshot and replay the spool (the shared
+    /// [`rebuild_shard`] sequence).
+    fn recover(&mut self) -> RecoveryReport {
+        assert!(
+            self.live.is_none(),
+            "collector {} is alive — nothing to recover",
+            self.id
+        );
+        let t = Instant::now();
+        let (shard, from_epoch, replayed_reports) =
+            rebuild_shard(self.ingest, self.id, self.snapshot.as_ref(), &self.log);
+        self.live = Some(shard);
+        let elapsed = t.elapsed();
+        self.totals.recoveries += 1;
+        self.totals.recovery_total += elapsed;
+        self.totals.replayed_reports += replayed_reports;
+        RecoveryReport {
+            from_epoch,
+            replayed_reports,
+            elapsed,
+        }
+    }
+}
+
+/// One collector actor's lifetime: receive commands until [`Cmd::Finish`]
+/// (or the session disappears), then hand back the shard and accounting.
+fn collector_loop<I: StreamIngest>(
+    ingest: &I,
+    id: usize,
+    k: usize,
+    rx: Receiver<Cmd>,
+    pool_tx: Sender<Vec<u8>>,
+    done_tx: Sender<(usize, I::Shard, CollectorTotals)>,
+    occupancy: &AtomicUsize,
+) {
+    let mut actor = CollectorActor {
+        ingest,
+        id,
+        k,
+        live: Some(ingest.new_shard()),
+        snapshot: None,
+        log: Vec::new(),
+        pending: BTreeMap::new(),
+        next_seq: id as u64,
+        epoch: 0,
+        pool_tx,
+        totals: CollectorTotals::default(),
+    };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Chunk { seq, chunk } => {
+                occupancy.fetch_sub(1, Ordering::Relaxed);
+                actor.pending.insert(seq, chunk);
+                actor.drain_in_order();
+            }
+            Cmd::Checkpoint { epoch, reply } => {
+                debug_assert!(
+                    actor.pending.is_empty(),
+                    "collector {id}: checkpoint arrived before its epoch's chunks"
+                );
+                actor.epoch = epoch;
+                let report = actor.checkpoint();
+                if let Some(reply) = reply {
+                    let _ = reply.send(report);
+                }
+            }
+            Cmd::Kill => {
+                assert!(actor.live.is_some(), "collector {id} is already dead");
+                actor.live = None;
+            }
+            Cmd::Recover { reply } => {
+                let report = actor.recover();
+                let _ = reply.send(report);
+            }
+            Cmd::Query { mut buf, reply } => {
+                buf.clear();
+                let epoch = actor.snapshot.as_ref().map(|snap| {
+                    buf.extend_from_slice(&snap.bytes);
+                    snap.epoch
+                });
+                let _ = reply.send(QueryReply {
+                    collector: id,
+                    epoch,
+                    buf,
+                });
+            }
+            Cmd::Finish => {
+                if actor.live.is_none() {
+                    actor.recover();
+                }
+                let shard = actor.live.take().expect("just recovered");
+                done_tx
+                    .send((id, shard, actor.totals))
+                    .expect("session hung up before collecting shards");
+                return;
+            }
+        }
+    }
+    // Session dropped without Finish (panic unwinding): just exit.
+}
+
+/// Route one encoded chunk to its collector, counting occupancy and
+/// blocking (with the stall measured) when the queue is full.
+fn send_chunk(
+    txs: &[SyncSender<Cmd>],
+    occupancy: &[AtomicUsize],
+    max_occupancy: &AtomicUsize,
+    stall_nanos: &AtomicU64,
+    seq: u64,
+    chunk: WireChunk,
+) {
+    let id = (seq % txs.len() as u64) as usize;
+    // Counted before the send so the consumer's decrement can never
+    // observe a zero it would wrap below; the high-water mark therefore
+    // includes the chunk currently being offered.
+    let occ = occupancy[id].fetch_add(1, Ordering::Relaxed) + 1;
+    max_occupancy.fetch_max(occ, Ordering::Relaxed);
+    match txs[id].try_send(Cmd::Chunk { seq, chunk }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(cmd)) => {
+            let t = Instant::now();
+            txs[id].send(cmd).unwrap_or_else(|_| {
+                panic!("collector {id} hung up with its queue full");
+            });
+            stall_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        Err(TrySendError::Disconnected(_)) => panic!("collector {id} hung up"),
+    }
+}
+
+/// The driving half of the pipelined runtime (see the module docs): the
+/// API of the lock-step engine, but every call is a message send into
+/// the running collector fleet. Obtained inside [`run_pipelined`].
+pub struct PipelineSession<'a, I: StreamIngest> {
+    ingest: &'a I,
+    plan: StreamPlan,
+    config: PipelineConfig,
+    client_seed: u64,
+    txs: Vec<SyncSender<Cmd>>,
+    pool_rx: Receiver<Vec<u8>>,
+    pool: BufferPool,
+    /// Pooled reply buffers for snapshot queries, so repeated mid-stream
+    /// `finish_at_epoch` calls reuse capacity instead of re-allocating
+    /// per snapshot.
+    query_bufs: Vec<Vec<u8>>,
+    /// Mirror of each collector's crashed/alive state (exact, because
+    /// commands are applied in send order).
+    alive: Vec<bool>,
+    epoch: u64,
+    users: u64,
+    next_chunk: u64,
+    checkpoints: u64,
+    client_total: Duration,
+    wire_bytes: u64,
+    occupancy: &'a [AtomicUsize],
+    max_occupancy: &'a AtomicUsize,
+    stall_nanos: &'a AtomicU64,
+}
+
+impl<'a, I: StreamIngest + Sync> PipelineSession<'a, I> {
+    /// Epochs ingested so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Users ingested so far.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Whether a collector currently holds a live shard.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Ingest one epoch: encode the next `xs.len()` users' wire chunks
+    /// (on [`PipelineConfig::workers`] threads) and stream each chunk to
+    /// its collector as soon as it is encoded. Returns once every chunk
+    /// is *enqueued* — absorption proceeds concurrently in the collector
+    /// actors. Auto-checkpoints on the [`StreamPlan::checkpoint_every`]
+    /// cadence (also asynchronously, inside the actors).
+    pub fn ingest_epoch(&mut self, xs: &[u64]) {
+        let chunk_size = self.plan.dist.chunk_size;
+        let t0 = Instant::now();
+        // Reclaim the buffers collectors freed at their last checkpoints.
+        while let Ok(buf) = self.pool_rx.try_recv() {
+            self.pool.put(buf);
+        }
+        let num_chunks = xs.len().div_ceil(chunk_size);
+        let start_user = self.users;
+        let workers = self.config.workers.min(num_chunks).max(1);
+        if workers <= 1 {
+            for (c, slice) in xs.chunks(chunk_size).enumerate() {
+                let start = start_user + (c * chunk_size) as u64;
+                let mut bytes = self.pool.take();
+                let frame_lens =
+                    self.ingest
+                        .respond_encode_batch(start, slice, self.client_seed, &mut bytes);
+                self.wire_bytes += bytes.len() as u64;
+                send_chunk(
+                    &self.txs,
+                    self.occupancy,
+                    self.max_occupancy,
+                    self.stall_nanos,
+                    self.next_chunk + c as u64,
+                    WireChunk {
+                        start,
+                        bytes,
+                        frame_lens,
+                    },
+                );
+            }
+        } else {
+            // Concurrent encoders share a claim queue and send each
+            // chunk themselves; collectors reorder by sequence number.
+            let buffers: Vec<Vec<u8>> = (0..num_chunks).map(|_| self.pool.take()).collect();
+            let work = Mutex::new(xs.chunks(chunk_size).zip(buffers).enumerate());
+            let wire_bytes = AtomicU64::new(0);
+            let (ingest, client_seed, base_seq) = (self.ingest, self.client_seed, self.next_chunk);
+            let (txs, occupancy) = (&self.txs, self.occupancy);
+            let (max_occupancy, stall_nanos) = (self.max_occupancy, self.stall_nanos);
+            let (work, wire_total) = (&work, &wire_bytes);
+            // Plain scoped OS threads, NOT a rayon pool: encoders block
+            // on full collector queues (that's the backpressure), and a
+            // blocked task would wedge a fixed work-stealing pool.
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(move || loop {
+                        let next = work.lock().expect("encoder panicked").next();
+                        let Some((c, (slice, mut bytes))) = next else {
+                            break;
+                        };
+                        let start = start_user + (c * chunk_size) as u64;
+                        debug_assert!(bytes.is_empty(), "pooled buffer not cleared");
+                        let frame_lens =
+                            ingest.respond_encode_batch(start, slice, client_seed, &mut bytes);
+                        wire_total.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                        send_chunk(
+                            txs,
+                            occupancy,
+                            max_occupancy,
+                            stall_nanos,
+                            base_seq + c as u64,
+                            WireChunk {
+                                start,
+                                bytes,
+                                frame_lens,
+                            },
+                        );
+                    });
+                }
+            });
+            self.wire_bytes += wire_bytes.load(Ordering::Relaxed);
+        }
+        self.next_chunk += num_chunks as u64;
+        self.users += xs.len() as u64;
+        self.epoch += 1;
+        self.client_total += t0.elapsed();
+        if self.plan.checkpoint_every > 0
+            && self.epoch.is_multiple_of(self.plan.checkpoint_every as u64)
+        {
+            // Fire-and-forget: the snapshots encode inside the collector
+            // actors while the next epoch's encoding proceeds.
+            self.send_checkpoint(None);
+        }
+    }
+
+    /// Ingest a whole dataset in epochs of [`StreamPlan::epoch_size`].
+    pub fn ingest_all(&mut self, data: &[u64]) {
+        let mut off = 0;
+        while off < data.len() {
+            let hi = off.saturating_add(self.plan.epoch_size).min(data.len());
+            self.ingest_epoch(&data[off..hi]);
+            off = hi;
+        }
+    }
+
+    fn send_checkpoint(&mut self, reply: Option<&Sender<CollectorCheckpoint>>) {
+        self.checkpoints += 1;
+        for tx in &self.txs {
+            tx.send(Cmd::Checkpoint {
+                epoch: self.epoch,
+                reply: reply.cloned(),
+            })
+            .expect("collector hung up");
+        }
+    }
+
+    /// Checkpoint every live collector now and wait for the fleet's
+    /// reports. (Cadence checkpoints don't wait; this explicit form
+    /// matches the lock-step engine's synchronous `checkpoint()`.)
+    pub fn checkpoint(&mut self) -> CheckpointReport {
+        let t = Instant::now();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.send_checkpoint(Some(&reply_tx));
+        drop(reply_tx);
+        let mut snapshot_bytes = 0u64;
+        let mut collectors = 0usize;
+        for _ in 0..self.txs.len() {
+            let report = reply_rx.recv().expect("collector died mid-checkpoint");
+            if report.snapshotted {
+                snapshot_bytes += report.snapshot_bytes;
+                collectors += 1;
+            }
+        }
+        CheckpointReport {
+            snapshot_bytes,
+            collectors,
+            elapsed: t.elapsed(),
+        }
+    }
+
+    /// Crash a collector: its live shard is lost once the command
+    /// reaches it (after everything already queued — the same stream
+    /// position a lock-step kill at this epoch boundary would hit). Its
+    /// spool keeps receiving routed chunks.
+    pub fn kill_collector(&mut self, node: usize) {
+        assert!(self.alive[node], "collector {node} is already dead");
+        self.alive[node] = false;
+        self.txs[node].send(Cmd::Kill).expect("collector hung up");
+    }
+
+    /// Recover a crashed collector (snapshot decode + spool replay, in
+    /// the actor) and wait for its report.
+    pub fn recover_collector(&mut self, node: usize) -> RecoveryReport {
+        assert!(
+            !self.alive[node],
+            "collector {node} is alive — nothing to recover"
+        );
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.txs[node]
+            .send(Cmd::Recover { reply: reply_tx })
+            .expect("collector hung up");
+        let report = reply_rx.recv().expect("collector died mid-recovery");
+        self.alive[node] = true;
+        report
+    }
+
+    /// The durable mid-stream view: fetch every collector's latest
+    /// snapshot (bytes copied into pooled buffers, reused across calls),
+    /// decode and merge them in the plan's order. `None` before the
+    /// first checkpoint. Live shards are untouched; the fleet keeps
+    /// absorbing whatever is still queued while the session decodes.
+    pub fn snapshot_shard(&mut self) -> Option<I::Shard> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for tx in &self.txs {
+            let buf = self.query_bufs.pop().unwrap_or_default();
+            tx.send(Cmd::Query {
+                buf,
+                reply: reply_tx.clone(),
+            })
+            .expect("collector hung up");
+        }
+        drop(reply_tx);
+        let k = self.txs.len();
+        let mut slots: Vec<Option<(u64, Vec<u8>)>> = (0..k).map(|_| None).collect();
+        for _ in 0..k {
+            let reply = reply_rx.recv().expect("collector died mid-query");
+            match reply.epoch {
+                Some(epoch) => slots[reply.collector] = Some((epoch, reply.buf)),
+                None => self.query_bufs.push(reply.buf),
+            }
+        }
+        let mut shards: Vec<I::Shard> = Vec::new();
+        for (id, slot) in slots.into_iter().enumerate() {
+            if let Some((epoch, buf)) = slot {
+                shards.push(self.ingest.decode_shard(&buf).unwrap_or_else(|e| {
+                    panic!(
+                        "collector {id}: snapshot from epoch {epoch} ({} bytes) failed to decode: {e}",
+                        buf.len()
+                    )
+                }));
+                self.query_bufs.push(buf);
+            }
+        }
+        if shards.is_empty() {
+            return None;
+        }
+        Some(combine_shards(shards, self.plan.dist.merge, |a, b| {
+            self.ingest.merge(a, b)
+        }))
+    }
+
+    /// Shut the fleet down: every actor recovers if crashed, hands its
+    /// shard back, and exits; the shards merge in the plan's order.
+    fn finish(
+        self,
+        done_rx: Receiver<(usize, I::Shard, CollectorTotals)>,
+    ) -> (I::Shard, StreamStats) {
+        let k = self.txs.len();
+        for tx in &self.txs {
+            tx.send(Cmd::Finish).expect("collector hung up");
+        }
+        drop(self.txs);
+        let mut shard_slots: Vec<Option<I::Shard>> = (0..k).map(|_| None).collect();
+        let mut stats = StreamStats {
+            epochs: self.epoch,
+            users: self.users,
+            wire_bytes: self.wire_bytes,
+            client_total: self.client_total,
+            checkpoints: self.checkpoints,
+            threads: self.config.workers + k,
+            ..StreamStats::default()
+        };
+        for _ in 0..k {
+            let (id, shard, totals) = done_rx.recv().expect("collector died before finishing");
+            shard_slots[id] = Some(shard);
+            stats.ingest_total += totals.ingest_total;
+            stats.checkpoint_total += totals.checkpoint_total;
+            stats.snapshot_bytes_last += totals.snapshot_bytes_last;
+            stats.recoveries += totals.recoveries;
+            stats.recovery_total += totals.recovery_total;
+            stats.replayed_reports += totals.replayed_reports;
+        }
+        stats.max_queue_occupancy = self.max_occupancy.load(Ordering::Relaxed);
+        stats.producer_stall = Duration::from_nanos(self.stall_nanos.load(Ordering::Relaxed));
+        let t = Instant::now();
+        let shards: Vec<I::Shard> = shard_slots
+            .into_iter()
+            .map(|s| s.expect("every collector reported"))
+            .collect();
+        let merged = combine_shards(shards, self.plan.dist.merge, |a, b| self.ingest.merge(a, b));
+        stats.merge_total = t.elapsed();
+        (merged, stats)
+    }
+}
+
+impl<'a, 'p, P> PipelineSession<'a, HhStream<'p, P>>
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+{
+    /// Answer a top-k query mid-stream from the merged decoded
+    /// snapshots, without consuming the live shards. `fresh` must be a
+    /// new instance built with the same parameters and public-randomness
+    /// seed as the streamed protocol.
+    ///
+    /// Panics when users have been ingested but no collector has
+    /// checkpointed yet — an empty answer there would be
+    /// indistinguishable from a genuinely empty stream.
+    pub fn finish_at_epoch(&mut self, fresh: &mut P) -> Vec<(u64, f64)> {
+        match self.snapshot_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finish()
+    }
+}
+
+impl<'a, 'p, O> PipelineSession<'a, OracleStream<'p, O>>
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+{
+    /// Prepare a mid-stream frequency oracle from the merged decoded
+    /// snapshots, without consuming the live shards (the oracle analogue
+    /// of the heavy-hitter `finish_at_epoch`).
+    pub fn finish_at_epoch(&mut self, fresh: &mut O) {
+        match self.snapshot_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finalize();
+    }
+}
+
+/// Run the pipelined collector runtime: spawn `plan.dist.collectors`
+/// long-lived collector actors (plus the session's encoder workers),
+/// hand a [`PipelineSession`] to `drive`, then shut the fleet down and
+/// return the merged final shard, the run's [`StreamStats`], and
+/// `drive`'s own result.
+///
+/// Output is bit-for-bit identical to driving the lock-step
+/// [`StreamEngine`](crate::stream::StreamEngine) through the same
+/// sequence of calls, for every queue depth and worker count (see the
+/// module docs for why).
+pub fn run_pipelined<I, R>(
+    ingest: &I,
+    plan: &StreamPlan,
+    config: &PipelineConfig,
+    seed: u64,
+    drive: impl FnOnce(&mut PipelineSession<'_, I>) -> R,
+) -> (I::Shard, StreamStats, R)
+where
+    I: StreamIngest + Sync,
+{
+    plan.validate();
+    config.validate();
+    let k = plan.dist.collectors;
+    let occupancy: Vec<AtomicUsize> = (0..k).map(|_| AtomicUsize::new(0)).collect();
+    let max_occupancy = AtomicUsize::new(0);
+    let stall_nanos = AtomicU64::new(0);
+    // Plain scoped OS threads, NOT a rayon pool: a collector actor
+    // blocks in `recv` for the lifetime of the stream, and lifetime-long
+    // blocking tasks would occupy (and at k >= pool size, wedge) a
+    // fixed work-stealing pool.
+    std::thread::scope(|s| {
+        let (done_tx, done_rx) = mpsc::channel();
+        let (pool_tx, pool_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(k);
+        for (id, occ) in occupancy.iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth);
+            txs.push(tx);
+            let done_tx = done_tx.clone();
+            let pool_tx = pool_tx.clone();
+            s.spawn(move || collector_loop(ingest, id, k, rx, pool_tx, done_tx, occ));
+        }
+        drop(done_tx);
+        drop(pool_tx);
+        let mut session = PipelineSession {
+            ingest,
+            plan: plan.clone(),
+            config: config.clone(),
+            client_seed: derive_seed(seed, I::CLIENT_LABEL),
+            txs,
+            pool_rx,
+            pool: BufferPool::new(),
+            query_bufs: Vec::new(),
+            alive: vec![true; k],
+            epoch: 0,
+            users: 0,
+            next_chunk: 0,
+            checkpoints: 0,
+            client_total: Duration::ZERO,
+            wire_bytes: 0,
+            occupancy: &occupancy,
+            max_occupancy: &max_occupancy,
+            stall_nanos: &stall_nanos,
+        };
+        let out = drive(&mut session);
+        let (shard, stats) = session.finish(done_rx);
+        (shard, stats, out)
+    })
+}
+
+/// Convenience: ingest `data` in [`StreamPlan::epoch_size`] epochs
+/// through the pipelined runtime and return the merged final shard and
+/// stats — the pipelined counterpart of building a lock-step engine,
+/// calling `ingest_all`, and finishing it.
+pub fn run_pipelined_all<I>(
+    ingest: &I,
+    plan: &StreamPlan,
+    config: &PipelineConfig,
+    seed: u64,
+    data: &[u64],
+) -> (I::Shard, StreamStats)
+where
+    I: StreamIngest + Sync,
+{
+    let (shard, stats, ()) = run_pipelined(ingest, plan, config, seed, |session| {
+        session.ingest_all(data);
+    });
+    (shard, stats)
+}

@@ -55,7 +55,8 @@
 //! crash recovery and mid-stream queries — lives in [`crate::stream`];
 //! this module's drivers and that engine share one ingestion path.
 
-use crate::stream::{HhStream, OracleStream, StreamEngine, StreamIngest, StreamPlan};
+use crate::erased::{DynHhProtocol, DynHhStream, DynOracle, DynOracleStream};
+use crate::stream::{HhStream, OracleStream, StreamEngine, StreamIngest, StreamPlan, StreamStats};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
 use hh_freq::wire::WireFrames;
@@ -200,49 +201,71 @@ where
     P: HeavyHitterProtocol + Sync,
     P::Report: Send + Sync,
 {
-    plan.validate();
-    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
-    let threads = effective_threads(plan, data.len());
-    // Fused respond + encode: each chunk's reports are sampled straight
-    // into a wire buffer — no intermediate report vec, and the buffered
-    // frames are a few bytes per user instead of a full `Report`.
-    let t0 = Instant::now();
-    let chunks = {
-        let server = &*server;
-        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
-            let mut bytes = Vec::new();
-            let frame_lens = server.respond_encode_batch(
-                (c * plan.chunk_size) as u64,
-                xs,
-                client_seed,
-                &mut bytes,
-            );
-            (bytes, frame_lens)
-        })
-    };
-    let client_total = t0.elapsed();
-    // Zero-copy ingest: fold the chunks' borrowed frames into per-worker
-    // shards in parallel (`absorb_wire` — no decoded report vec), merge
-    // tree-wise, fold the result in. Identical output to serial per-user
-    // ingest: shards are exact and order-exact.
+    let out = batched_ingest(&HhStream(&*server), data, seed, plan);
     let t1 = Instant::now();
-    if let Some(shard) = absorb_chunks_sharded(&HhStream(&*server), chunks, plan, threads) {
+    if let Some(shard) = out.shard {
         server.finish_shard(shard);
     }
-    let server_ingest = t1.elapsed();
+    let server_ingest = out.ingest_total + t1.elapsed();
     let t2 = Instant::now();
     let estimates = server.finish();
     let server_finish = t2.elapsed();
     ProtocolRun {
         estimates,
         n: data.len(),
-        client_total,
+        client_total: out.client_total,
         server_ingest,
         server_finish,
-        threads,
+        threads: out.threads,
         report_bits: server.report_bits(),
         memory_bytes: server.memory_bytes(),
         detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// Outcome of [`batched_ingest`]: the merged shard (if any data) and the
+/// phase timings.
+struct BatchedIngest<S> {
+    shard: Option<S>,
+    client_total: Duration,
+    ingest_total: Duration,
+    threads: usize,
+}
+
+/// The shared fused batched pipeline over any [`StreamIngest`] — typed
+/// or type-erased: parallel `respond_encode_batch` into per-chunk wire
+/// buffers, then zero-copy sharded `absorb_wire` with a tree merge.
+fn batched_ingest<I: StreamIngest + Sync>(
+    ingest: &I,
+    data: &[u64],
+    seed: u64,
+    plan: &BatchPlan,
+) -> BatchedIngest<I::Shard> {
+    plan.validate();
+    let client_seed = derive_seed(seed, I::CLIENT_LABEL);
+    let threads = effective_threads(plan, data.len());
+    // Fused respond + encode: each chunk's reports are sampled straight
+    // into a wire buffer — no intermediate report vec, and the buffered
+    // frames are a few bytes per user instead of a full `Report`.
+    let t0 = Instant::now();
+    let chunks = par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
+        let mut bytes = Vec::new();
+        let frame_lens =
+            ingest.respond_encode_batch((c * plan.chunk_size) as u64, xs, client_seed, &mut bytes);
+        (bytes, frame_lens)
+    });
+    let client_total = t0.elapsed();
+    // Zero-copy ingest: fold the chunks' borrowed frames into per-worker
+    // shards in parallel (`absorb_wire` — no decoded report vec), merge
+    // tree-wise. Identical output to serial per-user ingest: shards are
+    // exact and order-exact.
+    let t1 = Instant::now();
+    let shard = absorb_chunks_sharded(ingest, chunks, plan, threads);
+    BatchedIngest {
+        shard,
+        client_total,
+        ingest_total: t1.elapsed(),
+        threads,
     }
 }
 
@@ -303,6 +326,19 @@ fn absorb_chunks_sharded<I: StreamIngest + Sync>(
         shard
     });
     merge_tree(shards, |a, b| ingest.merge(a, b))
+}
+
+/// The shared collector-fleet ingest over any [`StreamIngest`] — typed
+/// or type-erased: a single-epoch run of the lock-step streaming engine.
+fn one_shot_fleet<I: StreamIngest + Sync>(
+    ingest: I,
+    data: &[u64],
+    seed: u64,
+    plan: &DistPlan,
+) -> (I::Shard, StreamStats) {
+    let mut engine = StreamEngine::new(ingest, StreamPlan::one_shot(plan), seed);
+    engine.ingest_epoch(data);
+    engine.into_live_shard()
 }
 
 /// The order in which collector shards are combined. Every order yields
@@ -437,11 +473,7 @@ where
     P::Report: Send + Sync,
 {
     plan.validate();
-    let (merged, stats) = {
-        let mut engine = StreamEngine::new(HhStream(&*server), StreamPlan::one_shot(plan), seed);
-        engine.ingest_epoch(data);
-        engine.into_live_shard()
-    };
+    let (merged, stats) = one_shot_fleet(HhStream(&*server), data, seed, plan);
 
     // Fold the fleet's merged shard into the server.
     let t2 = Instant::now();
@@ -543,43 +575,26 @@ where
     O: FrequencyOracle + Sync,
     O::Report: Send + Sync,
 {
-    plan.validate();
-    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
-    let threads = effective_threads(plan, data.len());
     // Same fused pipeline as `run_heavy_hitter_batched`: respond
     // straight into wire buffers, then zero-copy absorb into per-chunk
     // shards merged tree-wise.
-    let t0 = Instant::now();
-    let chunks = {
-        let oracle = &*oracle;
-        par_chunk_map(data, plan.chunk_size, plan.threads, |c, xs| {
-            let mut bytes = Vec::new();
-            let frame_lens = oracle.respond_encode_batch(
-                (c * plan.chunk_size) as u64,
-                xs,
-                client_seed,
-                &mut bytes,
-            );
-            (bytes, frame_lens)
-        })
-    };
-    let client_total = t0.elapsed();
+    let out = batched_ingest(&OracleStream(&*oracle), data, seed, plan);
     let t1 = Instant::now();
-    if let Some(shard) = absorb_chunks_sharded(&OracleStream(&*oracle), chunks, plan, threads) {
+    if let Some(shard) = out.shard {
         oracle.finish_shard(shard);
     }
     oracle.finalize();
-    let server_build = t1.elapsed();
+    let server_build = out.ingest_total + t1.elapsed();
     let t3 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
     let query_total = t3.elapsed();
     OracleRun {
         answers,
         n: data.len(),
-        client_total,
+        client_total: out.client_total,
         server_build,
         query_total,
-        threads,
+        threads: out.threads,
         report_bits: oracle.report_bits(),
         memory_bytes: oracle.memory_bytes(),
     }
@@ -635,12 +650,236 @@ where
     O::Report: Send + Sync,
 {
     plan.validate();
-    let (merged, stats) = {
-        let mut engine =
-            StreamEngine::new(OracleStream(&*oracle), StreamPlan::one_shot(plan), seed);
-        engine.ingest_epoch(data);
-        engine.into_live_shard()
-    };
+    let (merged, stats) = one_shot_fleet(OracleStream(&*oracle), data, seed, plan);
+
+    let t1 = Instant::now();
+    oracle.finish_shard(merged);
+    oracle.finalize();
+    let server_build = stats.ingest_total + stats.merge_total + t1.elapsed();
+
+    let t2 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t2.elapsed();
+
+    DistributedOracleRun {
+        answers,
+        n: data.len(),
+        collectors: plan.collectors,
+        wire_bytes: stats.wire_bytes,
+        client_total: stats.client_total,
+        server_build,
+        query_total,
+        threads: stats.threads,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+/// Run a type-erased heavy-hitter protocol serially — the dyn twin of
+/// [`run_heavy_hitter`], used by registry-dispatched binaries.
+///
+/// Reports are produced and ingested through the wire-native surface
+/// (per-user `respond_encode_batch` / `absorb_wire`), so the coins —
+/// and therefore the estimates — are bit-for-bit the typed serial
+/// run's.
+pub fn run_dyn_heavy_hitter(
+    server: &mut dyn DynHhProtocol,
+    data: &[u64],
+    seed: u64,
+) -> ProtocolRun {
+    let client_seed = derive_seed(seed, HH_CLIENT_LABEL);
+    let mut client_total = Duration::ZERO;
+    let mut server_ingest = Duration::ZERO;
+    let mut shard = server.new_shard();
+    let mut buf: Vec<u8> = Vec::new();
+    for (i, &x) in data.iter().enumerate() {
+        let t0 = Instant::now();
+        buf.clear();
+        let lens =
+            server.respond_encode_batch(i as u64, std::slice::from_ref(&x), client_seed, &mut buf);
+        client_total += t0.elapsed();
+        let t1 = Instant::now();
+        let frames = WireFrames::new(&buf, &lens)
+            .unwrap_or_else(|e| panic!("user {i}: misframed report: {e}"));
+        server
+            .absorb_wire(&mut shard, i as u64, &frames)
+            .unwrap_or_else(|e| panic!("user {i}: {e}"));
+        server_ingest += t1.elapsed();
+    }
+    let t1 = Instant::now();
+    server.finish_shard(shard);
+    server_ingest += t1.elapsed();
+    let t2 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t2.elapsed();
+    ProtocolRun {
+        estimates,
+        n: data.len(),
+        client_total,
+        server_ingest,
+        server_finish,
+        threads: 1,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// Run a type-erased heavy-hitter protocol through the batched parallel
+/// pipeline — the dyn twin of [`run_heavy_hitter_batched`] (same shared
+/// ingest path, same bit-for-bit output).
+pub fn run_dyn_heavy_hitter_batched(
+    server: &mut dyn DynHhProtocol,
+    data: &[u64],
+    seed: u64,
+    plan: &BatchPlan,
+) -> ProtocolRun {
+    let out = batched_ingest(&DynHhStream(&*server), data, seed, plan);
+    let t1 = Instant::now();
+    if let Some(shard) = out.shard {
+        server.finish_shard(shard);
+    }
+    let server_ingest = out.ingest_total + t1.elapsed();
+    let t2 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t2.elapsed();
+    ProtocolRun {
+        estimates,
+        n: data.len(),
+        client_total: out.client_total,
+        server_ingest,
+        server_finish,
+        threads: out.threads,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// Run a type-erased heavy-hitter protocol across a simulated collector
+/// fleet — the dyn twin of [`run_heavy_hitter_distributed`] (the same
+/// single-epoch run of the lock-step streaming engine).
+pub fn run_dyn_heavy_hitter_distributed(
+    server: &mut dyn DynHhProtocol,
+    data: &[u64],
+    seed: u64,
+    plan: &DistPlan,
+) -> DistributedRun {
+    plan.validate();
+    let (merged, stats) = one_shot_fleet(DynHhStream(&*server), data, seed, plan);
+
+    let t2 = Instant::now();
+    server.finish_shard(merged);
+    let server_merge = stats.merge_total + t2.elapsed();
+
+    let t3 = Instant::now();
+    let estimates = server.finish();
+    let server_finish = t3.elapsed();
+
+    DistributedRun {
+        estimates,
+        n: data.len(),
+        collectors: plan.collectors,
+        wire_bytes: stats.wire_bytes,
+        client_total: stats.client_total,
+        server_ingest: stats.ingest_total,
+        server_merge,
+        server_finish,
+        threads: stats.threads,
+        report_bits: server.report_bits(),
+        memory_bytes: server.memory_bytes(),
+        detection_threshold: server.detection_threshold(),
+    }
+}
+
+/// Run a type-erased frequency oracle serially — the dyn twin of
+/// [`run_oracle`].
+pub fn run_dyn_oracle(
+    oracle: &mut dyn DynOracle,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+) -> OracleRun {
+    let client_seed = derive_seed(seed, ORACLE_CLIENT_LABEL);
+    let mut client_total = Duration::ZERO;
+    let mut server_build = Duration::ZERO;
+    let mut shard = oracle.new_shard();
+    let mut buf: Vec<u8> = Vec::new();
+    for (i, &x) in data.iter().enumerate() {
+        let t0 = Instant::now();
+        buf.clear();
+        let lens =
+            oracle.respond_encode_batch(i as u64, std::slice::from_ref(&x), client_seed, &mut buf);
+        client_total += t0.elapsed();
+        let t1 = Instant::now();
+        let frames = WireFrames::new(&buf, &lens)
+            .unwrap_or_else(|e| panic!("user {i}: misframed report: {e}"));
+        oracle
+            .absorb_wire(&mut shard, i as u64, &frames)
+            .unwrap_or_else(|e| panic!("user {i}: {e}"));
+        server_build += t1.elapsed();
+    }
+    let t2 = Instant::now();
+    oracle.finish_shard(shard);
+    oracle.finalize();
+    server_build += t2.elapsed();
+    let t3 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t3.elapsed();
+    OracleRun {
+        answers,
+        n: data.len(),
+        client_total,
+        server_build,
+        query_total,
+        threads: 1,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+/// Run a type-erased frequency oracle through the batched parallel
+/// pipeline — the dyn twin of [`run_oracle_batched`].
+pub fn run_dyn_oracle_batched(
+    oracle: &mut dyn DynOracle,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+    plan: &BatchPlan,
+) -> OracleRun {
+    let out = batched_ingest(&DynOracleStream(&*oracle), data, seed, plan);
+    let t1 = Instant::now();
+    if let Some(shard) = out.shard {
+        oracle.finish_shard(shard);
+    }
+    oracle.finalize();
+    let server_build = out.ingest_total + t1.elapsed();
+    let t3 = Instant::now();
+    let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
+    let query_total = t3.elapsed();
+    OracleRun {
+        answers,
+        n: data.len(),
+        client_total: out.client_total,
+        server_build,
+        query_total,
+        threads: out.threads,
+        report_bits: oracle.report_bits(),
+        memory_bytes: oracle.memory_bytes(),
+    }
+}
+
+/// Run a type-erased frequency oracle across a simulated collector
+/// fleet — the dyn twin of [`run_oracle_distributed`].
+pub fn run_dyn_oracle_distributed(
+    oracle: &mut dyn DynOracle,
+    data: &[u64],
+    queries: &[u64],
+    seed: u64,
+    plan: &DistPlan,
+) -> DistributedOracleRun {
+    plan.validate();
+    let (merged, stats) = one_shot_fleet(DynOracleStream(&*oracle), data, seed, plan);
 
     let t1 = Instant::now();
     oracle.finish_shard(merged);

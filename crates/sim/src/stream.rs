@@ -41,12 +41,20 @@
 //! proptests in `tests/shard_wire_conformance.rs`). The distributed
 //! drivers in [`crate::run`] are thin wrappers over this engine — one
 //! ingestion path, not three.
+//!
+//! This engine is *lock-step*: each epoch runs parallel respond →
+//! barrier → parallel absorb → barrier → checkpoint, which makes it the
+//! simple, obviously-correct reference. The production-shaped runtime —
+//! long-lived collector actors behind bounded queues, with ingest,
+//! absorption and checkpointing overlapped under backpressure — lives
+//! in [`crate::pipeline`] and is pinned bit-for-bit against this
+//! engine.
 
 use crate::run::{DistPlan, MergeOrder};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
-use hh_freq::wire::{FrameError, WireFrames, WireReport, WireShard};
-use hh_math::par::{merge_tree, par_chunk_zip_map, par_map_owned, planned_threads};
+use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
+use hh_math::par::{merge_tree, par_chunk_zip_map, par_map_owned, planned_threads, BufferPool};
 use hh_math::rng::derive_seed;
 use std::time::{Duration, Instant};
 
@@ -101,24 +109,29 @@ impl StreamPlan {
     }
 }
 
-/// The protocol surface the streaming engine ingests through: produce a
-/// user range's reports, build/absorb/merge shards. Implemented by the
-/// [`HhStream`] and [`OracleStream`] adapters so one engine serves both
-/// protocol families.
+/// The protocol surface the streaming engines ingest through: produce a
+/// user range's wire frames, build/absorb/merge shards, and run the
+/// shard snapshot codec. Implemented by the [`HhStream`] and
+/// [`OracleStream`] adapters (and their type-erased counterparts in
+/// [`crate::erased`]) so one engine serves both protocol families.
+///
+/// The surface is deliberately *wire-native and object-friendly*:
+/// reports only ever appear as encoded frames, and the shard codec runs
+/// through `&self` (not an associated-type bound), so a `dyn`-boxed
+/// protocol behind [`crate::erased::DynHhProtocol`] can drive the same
+/// engines as a monomorphized one. Code that needs typed `Report`
+/// values (e.g. the legacy materializing ingest path benchmarks compare
+/// against) bounds on [`MaterializingIngest`] instead.
 pub trait StreamIngest {
-    /// The client message type crossing the wire.
-    type Report: WireReport + Send + Sync;
     /// The mergeable, durable partial aggregate.
-    type Shard: Send + WireShard;
+    type Shard: Send;
     /// Seed-derivation label for this family's client coins — must match
     /// the serial reference driver so streams reproduce one-shot runs.
     const CLIENT_LABEL: u64;
 
-    /// Reports of the contiguous user range starting at `start_index`.
-    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report>;
-    /// Fused respond + encode: append the user range's wire frames to
-    /// `out`, returning each frame's length — byte-identical to
-    /// [`StreamIngest::respond_batch`] plus per-report encoding.
+    /// Fused respond + encode: append the wire frames of the contiguous
+    /// user range `start_index .. start_index + xs.len()` to `out`,
+    /// returning each frame's length.
     fn respond_encode_batch(
         &self,
         start_index: u64,
@@ -128,10 +141,9 @@ pub trait StreamIngest {
     ) -> Vec<u32>;
     /// An empty partial aggregate.
     fn new_shard(&self) -> Self::Shard;
-    /// Fold a contiguous user range of reports into `shard`.
-    fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
     /// Zero-copy: fold a chunk of borrowed wire frames into `shard` —
-    /// bit-for-bit equal to decode + [`StreamIngest::absorb`].
+    /// bit-for-bit equal to decoding every frame and absorbing the
+    /// reports.
     fn absorb_wire(
         &self,
         shard: &mut Self::Shard,
@@ -140,6 +152,34 @@ pub trait StreamIngest {
     ) -> Result<(), FrameError>;
     /// Combine two partial aggregates.
     fn merge(&self, a: Self::Shard, b: Self::Shard) -> Self::Shard;
+    /// Exact byte length of `shard`'s snapshot encoding.
+    fn shard_encoded_len(&self, shard: &Self::Shard) -> usize;
+    /// Append `shard`'s snapshot encoding to `out` (the durable artifact
+    /// a collector checkpoints).
+    fn encode_shard_into(&self, shard: &Self::Shard, out: &mut Vec<u8>);
+    /// Decode a snapshot produced by [`StreamIngest::encode_shard_into`].
+    fn decode_shard(&self, bytes: &[u8]) -> Result<Self::Shard, WireError>;
+    /// Encode a shard snapshot into a fresh buffer.
+    fn encode_shard(&self, shard: &Self::Shard) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.shard_encoded_len(shard));
+        self.encode_shard_into(shard, &mut out);
+        out
+    }
+}
+
+/// The typed, report-materializing extension of [`StreamIngest`]: the
+/// pre-zero-copy pipeline (respond to a report vec, absorb decoded
+/// reports). The streaming engines never call these — they exist for
+/// conformance tests and the fused-vs-legacy ingest benchmarks, and are
+/// not object-safe (a type-erased protocol has no `Report` type).
+pub trait MaterializingIngest: StreamIngest {
+    /// The client message type crossing the wire.
+    type Report: WireReport + Send + Sync;
+
+    /// Reports of the contiguous user range starting at `start_index`.
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<Self::Report>;
+    /// Fold a contiguous user range of reports into `shard`.
+    fn absorb(&self, shard: &mut Self::Shard, start_index: u64, reports: &[Self::Report]);
 }
 
 /// [`StreamIngest`] over a borrowed heavy-hitter protocol.
@@ -151,13 +191,8 @@ where
     P: HeavyHitterProtocol + Sync,
     P::Report: Send + Sync,
 {
-    type Report = P::Report;
     type Shard = P::Shard;
     const CLIENT_LABEL: u64 = HH_CLIENT_LABEL;
-
-    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<P::Report> {
-        self.0.respond_batch(start_index, xs, client_seed)
-    }
 
     fn respond_encode_batch(
         &self,
@@ -174,10 +209,6 @@ where
         self.0.new_shard()
     }
 
-    fn absorb(&self, shard: &mut P::Shard, start_index: u64, reports: &[P::Report]) {
-        self.0.absorb(shard, start_index, reports);
-    }
-
     fn absorb_wire(
         &self,
         shard: &mut P::Shard,
@@ -190,6 +221,34 @@ where
     fn merge(&self, a: P::Shard, b: P::Shard) -> P::Shard {
         self.0.merge(a, b)
     }
+
+    fn shard_encoded_len(&self, shard: &P::Shard) -> usize {
+        shard.shard_encoded_len()
+    }
+
+    fn encode_shard_into(&self, shard: &P::Shard, out: &mut Vec<u8>) {
+        shard.encode_shard_into(out);
+    }
+
+    fn decode_shard(&self, bytes: &[u8]) -> Result<P::Shard, WireError> {
+        P::Shard::decode_shard(bytes)
+    }
+}
+
+impl<'a, P> MaterializingIngest for HhStream<'a, P>
+where
+    P: HeavyHitterProtocol + Sync,
+    P::Report: Send + Sync,
+{
+    type Report = P::Report;
+
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<P::Report> {
+        self.0.respond_batch(start_index, xs, client_seed)
+    }
+
+    fn absorb(&self, shard: &mut P::Shard, start_index: u64, reports: &[P::Report]) {
+        self.0.absorb(shard, start_index, reports);
+    }
 }
 
 /// [`StreamIngest`] over a borrowed frequency oracle.
@@ -201,13 +260,8 @@ where
     O: FrequencyOracle + Sync,
     O::Report: Send + Sync,
 {
-    type Report = O::Report;
     type Shard = O::Shard;
     const CLIENT_LABEL: u64 = ORACLE_CLIENT_LABEL;
-
-    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<O::Report> {
-        self.0.respond_batch(start_index, xs, client_seed)
-    }
 
     fn respond_encode_batch(
         &self,
@@ -224,10 +278,6 @@ where
         self.0.new_shard()
     }
 
-    fn absorb(&self, shard: &mut O::Shard, start_index: u64, reports: &[O::Report]) {
-        self.0.absorb(shard, start_index, reports);
-    }
-
     fn absorb_wire(
         &self,
         shard: &mut O::Shard,
@@ -239,6 +289,34 @@ where
 
     fn merge(&self, a: O::Shard, b: O::Shard) -> O::Shard {
         self.0.merge(a, b)
+    }
+
+    fn shard_encoded_len(&self, shard: &O::Shard) -> usize {
+        shard.shard_encoded_len()
+    }
+
+    fn encode_shard_into(&self, shard: &O::Shard, out: &mut Vec<u8>) {
+        shard.encode_shard_into(out);
+    }
+
+    fn decode_shard(&self, bytes: &[u8]) -> Result<O::Shard, WireError> {
+        O::Shard::decode_shard(bytes)
+    }
+}
+
+impl<'a, O> MaterializingIngest for OracleStream<'a, O>
+where
+    O: FrequencyOracle + Sync,
+    O::Report: Send + Sync,
+{
+    type Report = O::Report;
+
+    fn respond_batch(&self, start_index: u64, xs: &[u64], client_seed: u64) -> Vec<O::Report> {
+        self.0.respond_batch(start_index, xs, client_seed)
+    }
+
+    fn absorb(&self, shard: &mut O::Shard, start_index: u64, reports: &[O::Report]) {
+        self.0.absorb(shard, start_index, reports);
     }
 }
 
@@ -264,7 +342,7 @@ impl WireChunk {
 
     /// Reclaim the chunk's byte buffer for the pool (cleared, capacity
     /// kept).
-    fn into_buffer(mut self) -> Vec<u8> {
+    pub(crate) fn into_buffer(mut self) -> Vec<u8> {
         self.bytes.clear();
         self.bytes
     }
@@ -275,7 +353,7 @@ impl WireChunk {
 /// is a bug, not an operational event — but when it happens, the panic
 /// names the collector, the chunk's start user, and (via [`FrameError`])
 /// the frame index and byte offset, so a corrupt spool is diagnosable.
-fn absorb_chunk<I: StreamIngest>(
+pub(crate) fn absorb_chunk<I: StreamIngest>(
     ingest: &I,
     shard: &mut I::Shard,
     collector: usize,
@@ -318,12 +396,69 @@ pub(crate) fn combine_shards<S>(
     }
 }
 
-/// A durable checkpoint of one collector's shard.
-struct Snapshot {
+/// A durable checkpoint of one collector's shard (shared with the
+/// pipelined runtime's collector actors).
+pub(crate) struct Snapshot {
     /// The `WireShard` encoding — what a real node would fsync.
-    bytes: Vec<u8>,
+    pub(crate) bytes: Vec<u8>,
     /// The epoch the snapshot was taken at.
+    pub(crate) epoch: u64,
+}
+
+/// Encode `shard`'s durable snapshot, reusing the previous snapshot's
+/// byte buffer (a checkpoint *replaces* the durable artifact, so
+/// steady-state checkpointing allocates nothing once the buffer has
+/// grown to the shard's encoded size). The one snapshot-encoding
+/// sequence both the lock-step engine and the pipelined collector
+/// actors run — their bit-for-bit equivalence depends on sharing it.
+pub(crate) fn encode_snapshot<I: StreamIngest>(
+    ingest: &I,
+    shard: &I::Shard,
+    previous: Option<Snapshot>,
     epoch: u64,
+) -> Snapshot {
+    let mut bytes = match previous {
+        Some(old) => {
+            let mut b = old.bytes;
+            b.clear();
+            b
+        }
+        None => Vec::with_capacity(ingest.shard_encoded_len(shard)),
+    };
+    ingest.encode_shard_into(shard, &mut bytes);
+    Snapshot { bytes, epoch }
+}
+
+/// Rebuild a crashed collector's live shard: decode its last snapshot
+/// (or start empty if it never checkpointed) and replay the spooled
+/// chunks since. Returns the rebuilt shard, the snapshot's epoch, and
+/// the number of replayed reports. Shared by [`StreamEngine`] and the
+/// pipelined collector actors.
+pub(crate) fn rebuild_shard<I: StreamIngest>(
+    ingest: &I,
+    collector: usize,
+    snapshot: Option<&Snapshot>,
+    log: &[WireChunk],
+) -> (I::Shard, Option<u64>, u64) {
+    let (mut shard, from_epoch) = match snapshot {
+        Some(snap) => (
+            ingest.decode_shard(&snap.bytes).unwrap_or_else(|e| {
+                panic!(
+                    "collector {collector}: snapshot from epoch {} ({} bytes) failed to decode: {e}",
+                    snap.epoch,
+                    snap.bytes.len()
+                )
+            }),
+            Some(snap.epoch),
+        ),
+        None => (ingest.new_shard(), None),
+    };
+    let mut replayed_reports = 0u64;
+    for chunk in log {
+        replayed_reports += chunk.frame_lens.len() as u64;
+        absorb_chunk(ingest, &mut shard, collector, chunk);
+    }
+    (shard, from_epoch, replayed_reports)
 }
 
 /// One simulated collector node.
@@ -363,8 +498,17 @@ pub struct StreamStats {
     pub replayed_reports: u64,
     /// Time to combine the collector shards at the end of the stream.
     pub merge_total: Duration,
-    /// Peak worker threads used by the parallel phases.
+    /// Peak worker threads used by the parallel phases (for the
+    /// pipelined runtime: encoder workers plus collector actors).
     pub threads: usize,
+    /// Backpressure high-water mark of the pipelined runtime: the most
+    /// wire chunks ever waiting in one collector's bounded queue.
+    /// Always 0 for the lock-step [`StreamEngine`] (no queues).
+    pub max_queue_occupancy: usize,
+    /// Total time the pipelined runtime's producers spent blocked on
+    /// full collector queues (the backpressure cost). Always zero for
+    /// the lock-step [`StreamEngine`].
+    pub producer_stall: Duration,
 }
 
 /// Outcome of one [`StreamEngine::checkpoint`].
@@ -406,11 +550,11 @@ pub struct StreamEngine<I: StreamIngest> {
     /// Global chunk counter — routing is `chunk % collectors` across the
     /// whole stream, exactly as in the one-shot distributed run.
     next_chunk: usize,
-    /// Recycled wire-chunk byte buffers: the respond phase pops them,
+    /// Recycled wire-chunk byte buffers: the respond phase takes them,
     /// the spool holds them until its checkpoint truncation returns
     /// them. After the first checkpointed epoch, steady-state ingest
     /// reuses this capacity instead of allocating per chunk.
-    pool: Vec<Vec<u8>>,
+    pool: BufferPool,
     stats: StreamStats,
 }
 
@@ -435,7 +579,7 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             epoch: 0,
             users: 0,
             next_chunk: 0,
-            pool: Vec::new(),
+            pool: BufferPool::new(),
             stats: StreamStats::default(),
         }
     }
@@ -503,9 +647,7 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         // leave the devices), written into pooled buffers.
         let t0 = Instant::now();
         let num_chunks = xs.len().div_ceil(chunk_size);
-        let buffers: Vec<Vec<u8>> = (0..num_chunks)
-            .map(|_| self.pool.pop().unwrap_or_default())
-            .collect();
+        let buffers: Vec<Vec<u8>> = (0..num_chunks).map(|_| self.pool.take()).collect();
         let wire: Vec<WireChunk> = {
             let ingest = &self.ingest;
             let client_seed = self.client_seed;
@@ -582,6 +724,11 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
     /// artifact) and truncate its spool. Crashed collectors are skipped:
     /// their last snapshot stays valid and their spool keeps growing
     /// until recovery.
+    ///
+    /// The previous snapshot's byte buffer is reused for the new
+    /// encoding (a checkpoint *replaces* the durable artifact), so
+    /// steady-state checkpointing allocates nothing once buffers have
+    /// grown to the shard's encoded size.
     pub fn checkpoint(&mut self) -> CheckpointReport {
         let t = Instant::now();
         let mut snapshot_bytes = 0u64;
@@ -589,16 +736,13 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         let pool = &mut self.pool;
         for node in &mut self.collectors {
             if let Some(shard) = &node.live {
-                let bytes = shard.encode_shard();
-                snapshot_bytes += bytes.len() as u64;
-                node.snapshot = Some(Snapshot {
-                    bytes,
-                    epoch: self.epoch,
-                });
+                let snap = encode_snapshot(&self.ingest, shard, node.snapshot.take(), self.epoch);
+                snapshot_bytes += snap.bytes.len() as u64;
+                node.snapshot = Some(snap);
                 // Truncate the spool: its chunks are no longer needed
                 // for replay, so their buffers go back to the pool for
                 // the next epoch's respond phase.
-                pool.extend(node.log.drain(..).map(WireChunk::into_buffer));
+                pool.put_all(node.log.drain(..).map(WireChunk::into_buffer));
                 snapshotted += 1;
             }
         }
@@ -638,24 +782,8 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             "collector {node} is alive — nothing to recover"
         );
         let t = Instant::now();
-        let (mut shard, from_epoch) = match &state.snapshot {
-            Some(snap) => (
-                I::Shard::decode_shard(&snap.bytes).unwrap_or_else(|e| {
-                    panic!(
-                        "collector {node}: snapshot from epoch {} ({} bytes) failed to decode: {e}",
-                        snap.epoch,
-                        snap.bytes.len()
-                    )
-                }),
-                Some(snap.epoch),
-            ),
-            None => (self.ingest.new_shard(), None),
-        };
-        let mut replayed_reports = 0u64;
-        for chunk in &state.log {
-            replayed_reports += chunk.frame_lens.len() as u64;
-            absorb_chunk(&self.ingest, &mut shard, node, chunk);
-        }
+        let (shard, from_epoch, replayed_reports) =
+            rebuild_shard(&self.ingest, node, state.snapshot.as_ref(), &state.log);
         self.collectors[node].live = Some(shard);
         let elapsed = t.elapsed();
         self.stats.recoveries += 1;
@@ -686,7 +814,7 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             .enumerate()
             .filter_map(|(id, n)| n.snapshot.as_ref().map(|s| (id, s)))
             .map(|(id, s)| {
-                I::Shard::decode_shard(&s.bytes).unwrap_or_else(|e| {
+                self.ingest.decode_shard(&s.bytes).unwrap_or_else(|e| {
                     panic!(
                         "collector {id}: snapshot from epoch {} ({} bytes) failed to decode: {e}",
                         s.epoch,

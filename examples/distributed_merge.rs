@@ -15,6 +15,8 @@
 
 use ldp_heavy_hitters::core::verify;
 use ldp_heavy_hitters::prelude::*;
+use ldp_heavy_hitters::sim::registry::{build_hh, ProtocolSpec};
+use ldp_heavy_hitters::sim::{run_dyn_heavy_hitter, run_dyn_heavy_hitter_distributed};
 
 fn main() {
     let n: usize = 1 << 17;
@@ -23,8 +25,17 @@ fn main() {
     let beta = 0.1;
     let collectors = 8;
 
-    let params = SketchParams::optimal(n as u64, domain_bits, eps, beta);
-    let delta = params.detection_threshold();
+    // The protocol comes from the registry by name — swap the string to
+    // fan any other registered protocol across the same fleet.
+    let spec = ProtocolSpec {
+        n: n as u64,
+        domain: 1u64 << domain_bits,
+        eps,
+        beta,
+        seed: 99,
+    };
+    let single = build_hh("expander_sketch", &spec).expect("registered protocol");
+    let delta = single.detection_threshold();
 
     // Telemetry-shaped traffic: heavily-visited homepages above the
     // detection threshold plus a giant uniform long tail.
@@ -40,8 +51,8 @@ fn main() {
     println!("  n = {n} browsers, |X| = 2^{domain_bits} URLs, {collectors} collector nodes");
 
     // Single server: the reference answer.
-    let mut single = ExpanderSketch::new(params.clone(), 99);
-    let reference = run_heavy_hitter(&mut single, &data, 100);
+    let mut single = single;
+    let reference = run_dyn_heavy_hitter(single.as_mut(), &data, 100);
 
     // The fleet: wire round-trip, 8 shards, tree merge. Same seed, so
     // the clients send byte-identical reports.
@@ -49,8 +60,8 @@ fn main() {
         collectors,
         ..DistPlan::default()
     };
-    let mut fleet = ExpanderSketch::new(params, 99);
-    let distributed = run_heavy_hitter_distributed(&mut fleet, &data, 100, &plan);
+    let mut fleet = build_hh("expander_sketch", &spec).expect("registered protocol");
+    let distributed = run_dyn_heavy_hitter_distributed(fleet.as_mut(), &data, 100, &plan);
 
     assert_eq!(
         distributed.estimates, reference.estimates,

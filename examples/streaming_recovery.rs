@@ -1,17 +1,21 @@
-//! Streaming collection with durable checkpoints: a URL-telemetry
-//! stream over 6 epochs on a 4-collector fleet, surviving a collector
-//! crash and answering a top-k query mid-stream.
+//! Streaming collection with durable checkpoints on the **pipelined
+//! collector runtime**: a URL-telemetry stream over 6 epochs on a
+//! 4-collector actor fleet, surviving a collector crash and answering a
+//! top-k query mid-stream — with the protocol chosen from the registry
+//! by name.
 //!
 //! Each epoch, a jittered batch of browsers reports; every report is
-//! wire-encoded, routed to a collector, and absorbed into that node's
-//! shard. At every epoch boundary each collector *checkpoints*: its
-//! shard is serialized through the `WireShard` codec — the bytes a real
-//! node would write to stable storage. When a collector crashes, its
-//! live aggregate is gone; recovery decodes the last snapshot and
-//! replays only the spooled reports since. Because shards are exact
+//! wire-encoded and sent down its collector's **bounded queue** the
+//! moment it is encoded, so the collector actors absorb — and encode
+//! their `WireShard` checkpoints — concurrently with the client-side
+//! encoding of what follows (backpressure instead of epoch barriers).
+//! When a collector crashes, its live aggregate is gone; recovery
+//! decodes the last snapshot and replays only the spooled reports
+//! since. Because chunks carry sequence numbers, shards are exact
 //! integer state and the codec round-trips bit-for-bit, the stream's
 //! final answer is identical to a single serial pass over the whole
-//! population — crash and all — which this example verifies.
+//! population — crash, concurrency and all — which this example
+//! verifies.
 //!
 //! ```sh
 //! cargo run --release --example streaming_recovery
@@ -19,20 +23,30 @@
 
 use ldp_heavy_hitters::core::verify;
 use ldp_heavy_hitters::prelude::*;
-use ldp_heavy_hitters::sim::{HhStream, StreamEngine, StreamPlan, StreamWorkload};
+use ldp_heavy_hitters::sim::registry::{build_hh, ProtocolSpec};
+use ldp_heavy_hitters::sim::{
+    run_dyn_heavy_hitter, run_pipelined, DynHhStream, PipelineConfig, StreamPlan, StreamWorkload,
+};
 
 fn main() {
     let epochs = 6u64;
     let epoch_base: usize = 1 << 14;
     let n_expected = epochs as usize * epoch_base;
     let domain_bits = 40; // "every URL on the web"
-    let eps = 4.0;
-    let beta = 0.1;
     let collectors = 4;
     let seed = 400;
 
-    let params = SketchParams::optimal(n_expected as u64, domain_bits, eps, beta);
-    let delta = params.detection_threshold();
+    // The protocol is a *runtime string*: swap "expander_sketch" for any
+    // other registered name and the rest of this file is unchanged.
+    let spec = ProtocolSpec {
+        n: n_expected as u64,
+        domain: 1u64 << domain_bits,
+        eps: 4.0,
+        beta: 0.1,
+        seed: 99,
+    };
+    let server = build_hh("expander_sketch", &spec).expect("registered protocol");
+    let delta = server.detection_threshold();
 
     // Telemetry-shaped traffic: heavily-visited homepages above the
     // detection threshold plus a giant uniform long tail, with ±20%
@@ -41,19 +55,18 @@ fn main() {
     let frac = (1.3 * delta / n_expected as f64).min(0.45);
     let stream_workload = StreamWorkload::stationary(
         Workload::planted(
-            1u64 << domain_bits,
+            spec.domain,
             homepage_ids.iter().map(|&id| (id, frac)).collect(),
         ),
         0.2,
     );
 
-    println!("URL telemetry as a live stream");
+    println!("URL telemetry as a live stream (pipelined collector runtime)");
     println!(
         "  {epochs} epochs x ~{epoch_base} browsers, |X| = 2^{domain_bits} URLs, \
-         {collectors} collector nodes, checkpoint every epoch"
+         {collectors} collector actors, checkpoint every epoch, queue depth 4"
     );
 
-    let server = ExpanderSketch::new(params.clone(), 99);
     let plan = StreamPlan {
         epoch_size: epoch_base,
         checkpoint_every: 1,
@@ -65,58 +78,75 @@ fn main() {
             ..DistPlan::default()
         },
     };
-    let mut engine = StreamEngine::new(HhStream(&server), plan, seed);
+    let config = PipelineConfig {
+        queue_depth: 4,
+        workers: 1,
+    };
+
     let mut all_data: Vec<u64> = Vec::new();
+    let (shard, stats, snapshot_bytes) = {
+        let ingest = DynHhStream(server.as_ref());
+        let all_data = &mut all_data;
+        let (shard, stats, ()) = run_pipelined(&ingest, &plan, &config, seed, |session| {
+            for epoch in 0..epochs {
+                let batch = stream_workload.generate_epoch(epoch, epoch_base, 3);
+                println!("\n  epoch {epoch}: {} arrivals", batch.len());
+                session.ingest_epoch(&batch);
+                all_data.extend_from_slice(&batch);
 
-    for epoch in 0..epochs {
-        let batch = stream_workload.generate_epoch(epoch, epoch_base, 3);
-        println!("\n  epoch {epoch}: {} arrivals", batch.len());
-        engine.ingest_epoch(&batch);
-        all_data.extend_from_slice(&batch);
+                if epoch == 2 {
+                    // Mid-stream top-k, answered from the merged
+                    // decoded snapshots (fetched into pooled buffers)
+                    // — the live shards keep streaming untouched.
+                    let snap = session.snapshot_shard().expect("checkpointed every epoch");
+                    let mut fresh =
+                        build_hh("expander_sketch", &spec).expect("registered protocol");
+                    fresh.finish_shard(snap);
+                    let mid = fresh.finish();
+                    println!(
+                        "    mid-stream top-k from snapshots ({} users so far): \
+                             {} URLs above threshold",
+                        session.users(),
+                        mid.len()
+                    );
+                    for &(x, est) in mid.iter().take(3) {
+                        println!("      {x:#14x}  est {est:>9.0}");
+                    }
+                }
 
-        if epoch == 2 {
-            // Mid-stream top-k, answered from the merged decoded
-            // snapshots — the live shards keep streaming untouched.
-            let mid = engine.finish_at_epoch(&mut ExpanderSketch::new(params.clone(), 99));
-            println!(
-                "    mid-stream top-k from snapshots ({} users so far): {} URLs above threshold",
-                engine.users(),
-                mid.len()
-            );
-            for &(x, est) in mid.iter().take(3) {
-                println!("      {x:#14x}  est {est:>9.0}");
+                if epoch == 3 {
+                    // A collector actor dies right after the epoch-3
+                    // checkpoint…
+                    session.kill_collector(2);
+                    println!("    collector 2 crashed (live shard lost; spool keeps receiving)");
+                }
+                if epoch == 4 {
+                    // …and comes back one epoch later: decode the
+                    // snapshot, replay only the spooled epoch —
+                    // inside the actor, while ingest continues.
+                    let recovery = session.recover_collector(2);
+                    println!(
+                        "    collector 2 recovered from its checkpoint at {} epochs, \
+                             replayed {} spooled reports in {:?}",
+                        recovery.from_epoch.expect("had checkpointed"),
+                        recovery.replayed_reports,
+                        recovery.elapsed,
+                    );
+                }
             }
-        }
+        });
+        let snapshot_bytes = stats.snapshot_bytes_last as usize;
+        (shard, stats, snapshot_bytes)
+    };
 
-        if epoch == 3 {
-            // A collector node dies right after the epoch-3 checkpoint…
-            engine.kill_collector(2);
-            println!("    collector 2 crashed (live shard lost; spool keeps receiving)");
-        }
-        if epoch == 4 {
-            // …and comes back one epoch later: decode the snapshot,
-            // replay only the spooled epoch.
-            let recovery = engine.recover_collector(2);
-            println!(
-                "    collector 2 recovered from its checkpoint at {} epochs, \
-                 replayed {} spooled reports in {:?}",
-                recovery.from_epoch.expect("had checkpointed"),
-                recovery.replayed_reports,
-                recovery.elapsed,
-            );
-        }
-    }
-
-    let snapshot_bytes: usize = engine.snapshot_sizes().iter().flatten().sum();
-    let stats_users = engine.users();
-    let (shard, stats) = engine.into_live_shard();
     let mut fleet = server;
     fleet.finish_shard(shard);
     let estimates = fleet.finish();
 
-    // The reference: one serial pass over the identical population.
-    let mut single = ExpanderSketch::new(params, 99);
-    let reference = run_heavy_hitter(&mut single, &all_data, seed);
+    // The reference: one serial pass over the identical population,
+    // through the same registry-built protocol.
+    let mut single = build_hh("expander_sketch", &spec).expect("registered protocol");
+    let reference = run_dyn_heavy_hitter(single.as_mut(), &all_data, seed);
     assert_eq!(
         estimates, reference.estimates,
         "streamed answer diverged from the serial single-server answer"
@@ -124,7 +154,11 @@ fn main() {
 
     println!(
         "\n  stream totals: {} users, {} wire bytes, {} checkpoints ({} snapshot B across {} nodes)",
-        stats_users, stats.wire_bytes, stats.checkpoints, snapshot_bytes, collectors,
+        stats.users, stats.wire_bytes, stats.checkpoints, snapshot_bytes, collectors,
+    );
+    println!(
+        "  runtime: peak queue occupancy {} chunk(s), producer stalled {:?} total",
+        stats.max_queue_occupancy, stats.producer_stall,
     );
     println!(
         "  recovery: {} crash(es) recovered, {} reports replayed, {:?} total",
@@ -132,7 +166,10 @@ fn main() {
     );
 
     let hist = verify::histogram(&all_data);
-    println!("\n  final top URLs under eps = {eps} local DP (stream == serial, crash and all):");
+    println!(
+        "\n  final top URLs under eps = {} local DP (stream == serial, crash and all):",
+        spec.eps
+    );
     for &(x, est) in &estimates {
         let truth = *hist.get(&x).unwrap_or(&0);
         let marker = if homepage_ids.contains(&x) {

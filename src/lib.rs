@@ -44,9 +44,12 @@ pub mod prelude {
     pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
     pub use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
     pub use hh_math::{client_rng, derive_seed, seeded_rng};
+    pub use hh_sim::registry::ProtocolSpec;
     pub use hh_sim::{
-        run_heavy_hitter, run_heavy_hitter_batched, run_heavy_hitter_distributed, run_oracle,
-        run_oracle_batched, run_oracle_distributed, BatchPlan, DistPlan, MergeOrder, Workload,
+        build_hh, build_oracle, run_heavy_hitter, run_heavy_hitter_batched,
+        run_heavy_hitter_distributed, run_oracle, run_oracle_batched, run_oracle_distributed,
+        run_pipelined, BatchPlan, DistPlan, DynHhProtocol, DynOracle, MergeOrder, PipelineConfig,
+        Workload,
     };
     pub use hh_structure::{ApproxComposedRr, ComposedRr, GenProt};
 }

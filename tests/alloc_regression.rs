@@ -1,0 +1,146 @@
+//! Allocation regressions in the steady-state streaming paths, pinned
+//! with a counting global allocator: repeated checkpoints reuse their
+//! snapshot buffers, and repeated mid-stream queries (`finish_at_epoch`
+//! / `snapshot_shard`) reuse their pooled decode buffers — per-call
+//! allocation counts must stay flat, never grow with call count.
+//!
+//! This file holds exactly one `#[test]`: the harness runs a binary's
+//! tests on concurrent threads, and a second test's allocations would
+//! race the counters.
+
+use ldp_heavy_hitters::prelude::*;
+use ldp_heavy_hitters::sim::{run_pipelined, HhStream, PipelineConfig, StreamEngine, StreamPlan};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with every allocation event counted.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn events() -> u64 {
+    ALLOC_EVENTS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_checkpoints_and_queries_do_not_grow_allocations() {
+    let n = 4_000usize;
+    let input = Workload::planted(256, vec![(9, 0.4)]).generate(n, 641);
+    let params = ScanParams::new(n as u64, 256, 4.0, 0.1);
+    let make = || ScanHeavyHitters::new(params.clone(), 642);
+    let seed = 643;
+    // Single-threaded plan: the engine under test must be the only
+    // allocator client while we count.
+    let plan = StreamPlan {
+        epoch_size: n / 4,
+        checkpoint_every: 1,
+        dist: DistPlan {
+            collectors: 2,
+            chunk_size: 500,
+            threads: 1,
+            merge: MergeOrder::Tree,
+        },
+    };
+
+    // ——— Lock-step engine ———
+    let server = make();
+    let mut engine = StreamEngine::new(HhStream(&server), plan.clone(), seed);
+    engine.ingest_all(&input);
+
+    // Steady-state checkpoints with an unchanged stream: the snapshot
+    // buffers were sized by the cadence checkpoints above and the spool
+    // is empty, so re-encoding must allocate NOTHING.
+    let _ = engine.checkpoint(); // warm any lazily-sized buffer
+    for round in 0..3 {
+        let before = events();
+        let _ = engine.checkpoint();
+        assert_eq!(
+            events() - before,
+            0,
+            "steady-state checkpoint {round} allocated"
+        );
+    }
+
+    // Repeated mid-stream queries: per-query allocations (decoded
+    // shards, merge, the fresh server's finish) are inherent, but the
+    // count must be *flat* across calls — growth would mean the decode
+    // path re-allocates per snapshot instead of reusing pooled state.
+    let mut fresh = make();
+    let _ = engine.finish_at_epoch(&mut fresh); // warm-up query
+    let mut per_query = Vec::new();
+    for _ in 0..4 {
+        let mut fresh = make();
+        let before = events();
+        let estimates = engine.finish_at_epoch(&mut fresh);
+        per_query.push(events() - before);
+        assert!(!estimates.is_empty(), "vacuous query");
+    }
+    assert!(
+        per_query.windows(2).all(|w| w[1] <= w[0]),
+        "lock-step finish_at_epoch allocations grew across queries: {per_query:?}"
+    );
+
+    // ——— Pipelined session ———
+    // Collector actors allocate deterministically too (threads are
+    // quiescent between session calls — every command round-trip below
+    // is synchronous), so per-query counts must be flat here as well:
+    // snapshot replies land in pooled buffers after the first query.
+    let server = make();
+    let config = PipelineConfig {
+        queue_depth: 2,
+        workers: 1,
+    };
+    let (shard, _, per_query) =
+        run_pipelined(&HhStream(&server), &plan, &config, seed, |session| {
+            session.ingest_all(&input);
+            let mut fresh = make();
+            let _ = session.finish_at_epoch(&mut fresh); // warm-up: sizes the buffer pool
+            let _ = session.finish_at_epoch(&mut make());
+            let mut per_query = Vec::new();
+            for _ in 0..4 {
+                let mut fresh = make();
+                let before = events();
+                let estimates = session.finish_at_epoch(&mut fresh);
+                per_query.push(events() - before);
+                assert!(!estimates.is_empty(), "vacuous query");
+            }
+            per_query
+        });
+    assert!(
+        per_query.windows(2).all(|w| w[1] <= w[0]),
+        "pipelined finish_at_epoch allocations grew across queries: {per_query:?}"
+    );
+
+    // The counted runs must still answer correctly.
+    let mut server = server;
+    server.finish_shard(shard);
+    let serial = {
+        let mut s = make();
+        run_heavy_hitter(&mut s, &input, seed).estimates
+    };
+    assert_eq!(server.finish(), serial);
+}

@@ -529,3 +529,355 @@ fn zero_epoch_size_is_rejected_up_front() {
     };
     let _ = StreamEngine::new(HhStream(&server), plan, 2);
 }
+
+/// The pipelined collector runtime must be bit-for-bit the lock-step
+/// engine under every schedule: same chunks, same per-collector order
+/// (sequence numbers), same checkpoint boundaries, same crashes.
+mod pipelined {
+    use super::*;
+    use ldp_heavy_hitters::sim::registry::{
+        build_hh, build_oracle, hh_names, oracle_names, ProtocolSpec,
+    };
+    use ldp_heavy_hitters::sim::{
+        run_pipelined, DynHhStream, DynOracleStream, PipelineConfig, StreamIngest,
+    };
+    use proptest::prelude::*;
+
+    /// Drive the lock-step engine through `input` with the crash
+    /// schedule, returning the final merged shard and stats.
+    fn run_lockstep<I: StreamIngest + Sync>(
+        ingest: I,
+        plan: &StreamPlan,
+        seed: u64,
+        input: &[u64],
+        crashes: &[Crash],
+    ) -> (I::Shard, ldp_heavy_hitters::sim::StreamStats) {
+        let mut engine = StreamEngine::new(ingest, plan.clone(), seed);
+        drive(&mut engine, input, plan.epoch_size, crashes);
+        engine.into_live_shard()
+    }
+
+    /// Drive the pipelined runtime through the *same* schedule.
+    fn run_pipe<I: StreamIngest + Sync>(
+        ingest: &I,
+        plan: &StreamPlan,
+        config: &PipelineConfig,
+        seed: u64,
+        input: &[u64],
+        crashes: &[Crash],
+    ) -> (I::Shard, ldp_heavy_hitters::sim::StreamStats) {
+        let (shard, stats, ()) = run_pipelined(ingest, plan, config, seed, |session| {
+            let mut off = 0;
+            while off < input.len() {
+                let hi = off.saturating_add(plan.epoch_size).min(input.len());
+                session.ingest_epoch(&input[off..hi]);
+                off = hi;
+                let epoch = session.epoch();
+                for crash in crashes {
+                    if crash.kill_after == epoch && session.is_alive(crash.node) {
+                        session.kill_collector(crash.node);
+                    }
+                    if crash.recover_after == Some(epoch) && !session.is_alive(crash.node) {
+                        session.recover_collector(crash.node);
+                    }
+                }
+            }
+        });
+        (shard, stats)
+    }
+
+    /// The crash schedule of one property case, clamped to the fleet.
+    fn crash_schedule(case: u64, collectors: usize) -> Vec<Crash> {
+        let node = |n: usize| n.min(collectors - 1);
+        match case {
+            0 => vec![],
+            1 => vec![Crash {
+                node: node(0),
+                kill_after: 1,
+                recover_after: Some(2),
+            }],
+            2 => vec![Crash {
+                node: node(1),
+                kill_after: 1,
+                recover_after: None,
+            }],
+            _ => vec![
+                Crash {
+                    node: node(0),
+                    kill_after: 1,
+                    recover_after: Some(3),
+                },
+                Crash {
+                    node: node(0),
+                    kill_after: 4,
+                    recover_after: Some(5),
+                },
+                Crash {
+                    node: node(2),
+                    kill_after: 2,
+                    recover_after: None,
+                },
+            ],
+        }
+    }
+
+    // Random registry protocol x collector count x queue depth x
+    // encoder workers x epoch shape x checkpoint cadence x kill/recover
+    // schedule: the pipelined runtime's final shard must encode to the
+    // very bytes the lock-step engine's does, its durable snapshots
+    // must be byte-equal, and the finished output must match.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn pipelined_runtime_matches_lockstep_bit_for_bit(
+            proto in 0usize..8,
+            collectors in 1usize..5,
+            queue_depth in 1usize..5,
+            workers in 1usize..4,
+            epoch_div in 1usize..7,
+            cadence in 0usize..3,
+            crash_case in 0u64..4,
+            data_seed in 0u64..1_000,
+        ) {
+            let n = 1_400usize;
+            let spec = ProtocolSpec {
+                n: n as u64,
+                domain: 256,
+                eps: 4.0,
+                beta: 0.2,
+                seed: 900 + proto as u64,
+            };
+            let input = Workload::planted(spec.domain, vec![(17, 0.4)])
+                .generate(n, 901 ^ data_seed);
+            let plan = StreamPlan {
+                epoch_size: n / epoch_div + 1,
+                checkpoint_every: cadence,
+                dist: DistPlan {
+                    collectors,
+                    chunk_size: n / 11 + 1,
+                    threads: 2,
+                    merge: MergeOrder::Tree,
+                },
+            };
+            let config = PipelineConfig {
+                queue_depth,
+                workers,
+            };
+            let crashes = crash_schedule(crash_case, collectors);
+            let seed = 902;
+
+            let hh = hh_names();
+            let oracles = oracle_names();
+            if proto < hh.len() {
+                let name = hh[proto];
+                let lock_server = build_hh(name, &spec).expect("registered");
+                let (lock_shard, lock_stats) = run_lockstep(
+                    DynHhStream(lock_server.as_ref()), &plan, seed, &input, &crashes,
+                );
+                let pipe_server = build_hh(name, &spec).expect("registered");
+                let (pipe_shard, pipe_stats) = run_pipe(
+                    &DynHhStream(pipe_server.as_ref()), &plan, &config, seed, &input, &crashes,
+                );
+                prop_assert_eq!(
+                    DynHhStream(lock_server.as_ref()).encode_shard(&lock_shard),
+                    DynHhStream(pipe_server.as_ref()).encode_shard(&pipe_shard),
+                    "{}: final shard bytes diverged", name
+                );
+                prop_assert_eq!(
+                    lock_stats.snapshot_bytes_last, pipe_stats.snapshot_bytes_last,
+                    "{}: durable snapshot sizes diverged", name
+                );
+                prop_assert_eq!(lock_stats.users, pipe_stats.users);
+                prop_assert_eq!(lock_stats.epochs, pipe_stats.epochs);
+                let mut lock_server = lock_server;
+                lock_server.finish_shard(lock_shard);
+                let mut pipe_server = pipe_server;
+                pipe_server.finish_shard(pipe_shard);
+                prop_assert_eq!(
+                    lock_server.finish(), pipe_server.finish(),
+                    "{}: estimates diverged", name
+                );
+            } else {
+                let name = oracles[proto - hh.len()];
+                let lock_oracle = build_oracle(name, &spec).expect("registered");
+                let (lock_shard, lock_stats) = run_lockstep(
+                    DynOracleStream(lock_oracle.as_ref()), &plan, seed, &input, &crashes,
+                );
+                let pipe_oracle = build_oracle(name, &spec).expect("registered");
+                let (pipe_shard, pipe_stats) = run_pipe(
+                    &DynOracleStream(pipe_oracle.as_ref()), &plan, &config, seed, &input, &crashes,
+                );
+                prop_assert_eq!(
+                    DynOracleStream(lock_oracle.as_ref()).encode_shard(&lock_shard),
+                    DynOracleStream(pipe_oracle.as_ref()).encode_shard(&pipe_shard),
+                    "{}: final shard bytes diverged", name
+                );
+                prop_assert_eq!(
+                    lock_stats.snapshot_bytes_last, pipe_stats.snapshot_bytes_last,
+                    "{}: durable snapshot sizes diverged", name
+                );
+                let mut lock_oracle = lock_oracle;
+                lock_oracle.finish_shard(lock_shard);
+                lock_oracle.finalize();
+                let mut pipe_oracle = pipe_oracle;
+                pipe_oracle.finish_shard(pipe_shard);
+                pipe_oracle.finalize();
+                for q in [17u64, 3, 250] {
+                    prop_assert_eq!(
+                        lock_oracle.estimate(q), pipe_oracle.estimate(q),
+                        "{}: estimate({}) diverged", name, q
+                    );
+                }
+            }
+        }
+    }
+
+    /// The typed pipelined session under the fused crash grid: the same
+    /// schedule as `fused_ingest_crash_grid_matches_serial`, driven
+    /// through collector actors, must still match the serial one-shot
+    /// run — and its backpressure stats must be populated.
+    #[test]
+    fn pipelined_crash_grid_matches_serial() {
+        let n = 1usize << 14;
+        let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 103);
+        let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+        let make = || ScanHeavyHitters::new(params.clone(), 323);
+        let seed = 324;
+        let serial = {
+            let mut s = make();
+            run_heavy_hitter(&mut s, &input, seed).estimates
+        };
+        assert!(!serial.is_empty(), "serial run found nothing — vacuous");
+
+        let plan = StreamPlan {
+            epoch_size: n / 7 + 1,
+            checkpoint_every: 3,
+            dist: DistPlan {
+                collectors: 5,
+                chunk_size: n / 40 + 1,
+                threads: 2,
+                merge: MergeOrder::Sequential,
+            },
+        };
+        let config = PipelineConfig {
+            queue_depth: 2,
+            workers: 2,
+        };
+        let crashes = vec![
+            Crash {
+                node: 2,
+                kill_after: 2,
+                recover_after: Some(4),
+            },
+            Crash {
+                node: 2,
+                kill_after: 5,
+                recover_after: Some(6),
+            },
+            Crash {
+                node: 4,
+                kill_after: 3,
+                recover_after: None,
+            },
+        ];
+        let server = make();
+        let (shard, stats) = run_pipe(&HhStream(&server), &plan, &config, seed, &input, &crashes);
+        let mut server = server;
+        server.finish_shard(shard);
+        assert_eq!(server.finish(), serial, "pipelined crash grid diverged");
+        assert_eq!(stats.users as usize, n);
+        assert!(
+            stats.recoveries >= 3,
+            "expected all three crashes recovered"
+        );
+        assert!(stats.replayed_reports > 0, "recovery replayed nothing");
+        assert!(
+            stats.max_queue_occupancy >= 1,
+            "chunks crossed queues — occupancy high-water mark must show it"
+        );
+        assert_eq!(stats.threads, config.workers + plan.dist.collectors);
+    }
+
+    /// Mid-stream `finish_at_epoch` on the pipelined session: right
+    /// after each checkpoint it must equal the serial run over exactly
+    /// the ingested prefix (queries are answered from pooled snapshot
+    /// buffers and must not perturb the live stream).
+    #[test]
+    fn pipelined_mid_stream_queries_match_prefix_runs() {
+        let n = 1usize << 13;
+        let epoch_size = n / 4;
+        let input = Workload::planted(512, vec![(9, 0.3), (100, 0.2)]).generate(n, 99);
+        let params = ScanParams::new(n as u64, 512, 4.0, 0.1);
+        let make = || ScanHeavyHitters::new(params.clone(), 315);
+        let seed = 316;
+
+        let server = make();
+        let plan = StreamPlan {
+            epoch_size,
+            checkpoint_every: 1,
+            dist: DistPlan {
+                collectors: 3,
+                chunk_size: 700,
+                threads: 2,
+                merge: MergeOrder::Tree,
+            },
+        };
+        let config = PipelineConfig {
+            queue_depth: 2,
+            workers: 1,
+        };
+        let (shard, _, ()) = run_pipelined(&HhStream(&server), &plan, &config, seed, |session| {
+            for e in 0..4usize {
+                session.ingest_epoch(&input[e * epoch_size..(e + 1) * epoch_size]);
+                let mid = session.finish_at_epoch(&mut make());
+                let prefix = {
+                    let mut s = make();
+                    run_heavy_hitter(&mut s, &input[..(e + 1) * epoch_size], seed).estimates
+                };
+                assert_eq!(mid, prefix, "mid-stream query diverged after epoch {e}");
+            }
+        });
+        let mut server = server;
+        server.finish_shard(shard);
+        let serial = {
+            let mut s = make();
+            run_heavy_hitter(&mut s, &input, seed).estimates
+        };
+        assert_eq!(server.finish(), serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "PipelineConfig.queue_depth must be >= 1")]
+    fn zero_queue_depth_is_rejected_up_front() {
+        let server = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+        let config = PipelineConfig {
+            queue_depth: 0,
+            workers: 1,
+        };
+        run_pipelined(
+            &HhStream(&server),
+            &StreamPlan::default(),
+            &config,
+            2,
+            |_| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "PipelineConfig.workers must be >= 1")]
+    fn zero_workers_is_rejected_up_front() {
+        let server = ScanHeavyHitters::new(ScanParams::new(100, 64, 2.0, 0.1), 1);
+        let config = PipelineConfig {
+            queue_depth: 4,
+            workers: 0,
+        };
+        run_pipelined(
+            &HhStream(&server),
+            &StreamPlan::default(),
+            &config,
+            2,
+            |_| {},
+        );
+    }
+}
