@@ -11,10 +11,17 @@
 //! crate unchanged.
 
 /// Number of hardware threads available (rayon's default pool size).
+///
+/// Cached after the first call: real rayon reads the pool's fixed size,
+/// whereas `available_parallelism` is a syscall — hot decode loops that
+/// resolve `threads == 0` per work item must not pay it every time.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// A scope in which borrowed-data tasks can be spawned (rayon's `Scope`).

@@ -10,10 +10,11 @@
 //! capped accordingly; the `exp_table1_resources` bench extrapolates the
 //! full-domain cost.
 
-use crate::traits::{FrameError, HeavyHitterProtocol, WireFrames};
+use crate::traits::{FinishScratch, FrameError, HeavyHitterProtocol, WireFrames};
 use hh_freq::bassily_smith::{BassilySmithOracle, BsReport, BsShard};
 use hh_freq::calibrate;
 use hh_freq::traits::FrequencyOracle;
+use hh_math::par::{par_map_indexed, planned_threads};
 use rand::Rng;
 
 /// Configuration of [`BassilySmithHeavyHitters`].
@@ -137,18 +138,41 @@ impl HeavyHitterProtocol for BassilySmithHeavyHitters {
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
+        self.finish_with(&mut FinishScratch::default())
+    }
+
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
         assert!(!self.finished, "double finish");
         self.finished = true;
-        self.oracle.finalize();
+        let threads = scratch.threads;
+        self.oracle.finalize_with(scratch);
         let keep = self.params.detection_threshold() / 2.0;
-        // The Θ(n·|X|) scan — the cost Table 1 indicts.
-        let mut est: Vec<(u64, f64)> = (0..self.params.domain)
-            .filter_map(|x| {
-                let f = self.oracle.estimate(x);
-                (f >= keep).then_some((x, f))
-            })
-            .collect();
-        est.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        let domain = self.params.domain;
+        // The Θ(n·|X|) scan — the cost Table 1 indicts. Parallelism
+        // spreads it over one contiguous span per worker (each query is an
+        // allocation-free serial dot product, so the results are exactly
+        // the serial scan's, reassembled in domain order).
+        let workers = planned_threads(threads, domain as usize, 1);
+        let span = (domain as usize).div_ceil(workers).max(1) as u64;
+        let oracle = &self.oracle;
+        let parts = par_map_indexed(workers, threads, |w| {
+            let start = w as u64 * span;
+            (start..(start + span).min(domain))
+                .filter_map(|x| {
+                    let f = oracle.estimate(x);
+                    (f >= keep).then_some((x, f))
+                })
+                .collect::<Vec<(u64, f64)>>()
+        });
+        let mut est = Vec::new();
+        for part in parts {
+            est.extend_from_slice(&part);
+        }
+        est.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite estimates")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         est
     }
 

@@ -17,7 +17,7 @@
 //! `exp_error_vs_beta` bench measures the two side by side.
 
 use crate::traits::{
-    FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
+    FinishScratch, FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
 };
 use hh_freq::calibrate;
 use hh_freq::hashtogram::{
@@ -29,6 +29,7 @@ use hh_freq::wire;
 use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash};
+use hh_math::par::{par_chunk_zip_map, par_map_indexed, planned_threads};
 use hh_math::rng::{client_rng, derive_seed};
 use rand::Rng;
 
@@ -411,26 +412,38 @@ impl HeavyHitterProtocol for Bitstogram {
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
+        self.finish_with(&mut FinishScratch::default())
+    }
+
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
         assert!(!self.finished, "double finish");
         self.finished = true;
+        let threads = scratch.threads;
         let p = self.params.clone();
         let m_bits = p.domain_bits as usize;
         let tau = 1.25 * p.cell_noise();
-        // Reconstruct candidates repetition by repetition.
+        // Inner decode: every (repetition, bit) group is an independent
+        // oracle — materialize, finalize and sweep all of them on
+        // parallel workers (results in group order, bit-for-bit the
+        // serial loop's tables).
+        let estimates = par_map_indexed(p.repetitions * m_bits, threads, |group| {
+            let mut oracle = self.inner_proto.clone();
+            for &(user, rep) in &self.inner_reports[group] {
+                oracle.collect(user, rep);
+            }
+            oracle.finalize();
+            let mut buf = Vec::new();
+            (0..p.inner_cells())
+                .map(|c| oracle.estimate_into(c, &mut buf))
+                .collect::<Vec<f64>>()
+        });
+        // Reconstruct candidates repetition by repetition — the bit-wise
+        // vote over the estimate tables is cheap and order-sensitive
+        // (candidate order feeds the output), so it stays serial.
         let mut candidates: Vec<u64> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for t in 0..p.repetitions {
-            // Materialize this repetition's M' coordinate oracles.
-            let mut estimates: Vec<Vec<f64>> = Vec::with_capacity(m_bits);
-            for m in 0..m_bits {
-                let group = t * m_bits + m;
-                let mut oracle = self.inner_proto.clone();
-                for &(user, rep) in &self.inner_reports[group] {
-                    oracle.collect(user, rep);
-                }
-                oracle.finalize();
-                estimates.push((0..p.inner_cells()).map(|c| oracle.estimate(c)).collect());
-            }
+            let estimates = &estimates[t * m_bits..(t + 1) * m_bits];
             for y in 0..p.hash_range {
                 let mut x = 0u64;
                 let mut support = 0usize;
@@ -451,14 +464,34 @@ impl HeavyHitterProtocol for Bitstogram {
                 }
             }
         }
-        self.outer.finalize();
+        // Final estimates from the outer oracle, swept over candidate
+        // chunks in parallel with pooled median workspaces.
+        self.outer.finalize_with(scratch);
         let keep = p.detection_threshold() / 2.0;
-        let mut est: Vec<(u64, f64)> = candidates
-            .into_iter()
-            .map(|x| (x, self.outer.estimate(x)))
-            .filter(|&(_, f)| f >= keep)
-            .collect();
-        est.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        let mut est: Vec<(u64, f64)> = Vec::with_capacity(candidates.len());
+        if !candidates.is_empty() {
+            let workers = planned_threads(threads, candidates.len(), 1);
+            let chunk = candidates.len().div_ceil(workers).max(1);
+            let num_chunks = candidates.len().div_ceil(chunk);
+            let bufs: Vec<Vec<f64>> = (0..num_chunks).map(|_| scratch.take_f64()).collect();
+            let parts = par_chunk_zip_map(&candidates, chunk, threads, bufs, |_, xs, mut buf| {
+                let part: Vec<(u64, f64)> = xs
+                    .iter()
+                    .map(|&x| (x, self.outer.estimate_into(x, &mut buf)))
+                    .filter(|&(_, f)| f >= keep)
+                    .collect();
+                (part, buf)
+            });
+            for (part, buf) in parts {
+                est.extend_from_slice(&part);
+                scratch.put_f64(buf);
+            }
+        }
+        est.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite estimates")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         est
     }
 

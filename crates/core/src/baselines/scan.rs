@@ -8,9 +8,10 @@
 //! `n > |X|` (the complementary regime noted under Theorem 3.13), and the
 //! small-domain reference the benches use for ground truth.
 
-use crate::traits::{FrameError, HeavyHitterProtocol, WireFrames};
+use crate::traits::{FinishScratch, FrameError, HeavyHitterProtocol, WireFrames};
 use hh_freq::hashtogram::{Hashtogram, HashtogramParams, HashtogramReport, HashtogramShard};
 use hh_freq::traits::FrequencyOracle;
+use hh_math::par::{par_map_owned, planned_threads};
 use rand::Rng;
 
 /// Configuration of [`ScanHeavyHitters`].
@@ -138,17 +139,44 @@ impl HeavyHitterProtocol for ScanHeavyHitters {
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
+        self.finish_with(&mut FinishScratch::default())
+    }
+
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
         assert!(!self.finished, "double finish");
         self.finished = true;
-        self.oracle.finalize();
+        let threads = scratch.threads;
+        self.oracle.finalize_with(scratch);
         let keep = self.params.detection_threshold() / 2.0;
-        let mut est: Vec<(u64, f64)> = (0..self.params.domain)
-            .filter_map(|x| {
-                let f = self.oracle.estimate(x);
-                (f >= keep).then_some((x, f))
-            })
+        let domain = self.params.domain;
+        // Split the exhaustive domain scan into one contiguous span per
+        // worker; spans are reassembled in domain order, so the output is
+        // identical to the serial scan.
+        let workers = planned_threads(threads, domain as usize, 1);
+        let span = (domain as usize).div_ceil(workers).max(1) as u64;
+        let spans: Vec<(u64, Vec<f64>)> = (0..workers as u64)
+            .map(|w| (w * span, scratch.take_f64()))
             .collect();
-        est.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        let oracle = &self.oracle;
+        let parts = par_map_owned(spans, threads, |_, (start, mut buf)| {
+            let part: Vec<(u64, f64)> = (start..(start + span).min(domain))
+                .filter_map(|x| {
+                    let f = oracle.estimate_into(x, &mut buf);
+                    (f >= keep).then_some((x, f))
+                })
+                .collect();
+            (part, buf)
+        });
+        let mut est = Vec::new();
+        for (part, buf) in parts {
+            est.extend_from_slice(&part);
+            scratch.put_f64(buf);
+        }
+        est.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite estimates")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         est
     }
 

@@ -24,7 +24,7 @@
 
 use crate::params::SketchParams;
 use crate::traits::{
-    FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
+    FinishScratch, FrameError, HeavyHitterProtocol, WireError, WireFrames, WireReport, WireShard,
 };
 use hh_codes::ulrc::UniqueListCode;
 use hh_freq::hashtogram::{
@@ -36,6 +36,7 @@ use hh_freq::wire;
 use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
+use hh_math::par::{par_chunk_zip_map, par_map_indexed, planned_threads};
 use hh_math::rng::{client_rng, derive_seed};
 use rand::Rng;
 
@@ -239,38 +240,53 @@ impl ExpanderSketch {
 
     /// The stand-out lists (step 3), exposed for inspection/ablation:
     /// `lists[b][m]` = the `(y, z)` pairs whose estimate cleared τ.
-    fn build_standout_lists(&mut self) -> Vec<Vec<Vec<(u64, u64)>>> {
+    ///
+    /// Coordinates are independent — each materializes, finalizes and
+    /// scans its own inner oracle — so they decode on `threads` workers
+    /// (`0` = hardware, `1` = serial), with the per-coordinate results
+    /// reassembled in coordinate order: the lists are identical for
+    /// every thread count.
+    fn build_standout_lists(&self, threads: usize) -> Vec<Vec<Vec<(u64, u64)>>> {
         let p = &self.params;
         let tau = p.standout_threshold();
         let z_card = p.z_cardinality();
-        let mut lists = vec![vec![Vec::new(); p.num_coords]; p.num_buckets as usize];
-        for (m, reports_m) in self.inner_reports.iter().enumerate() {
+        let per_coord = par_map_indexed(p.num_coords, threads, |m| {
             // Materialize coordinate m's oracle, ingest its reports, scan.
+            let reports_m = &self.inner_reports[m];
+            let mut out = vec![Vec::new(); p.num_buckets as usize];
+            if reports_m.is_empty() {
+                return out;
+            }
             let mut oracle = self.inner_proto.clone();
             for &(user, rep) in reports_m {
                 oracle.collect(user, rep);
             }
-            let n_m = reports_m.len() as f64;
-            if n_m == 0.0 {
-                continue;
-            }
             oracle.finalize();
-            for b in 0..p.num_buckets {
+            let mut buf = Vec::new();
+            for (b, list) in out.iter_mut().enumerate() {
                 for y in 0..p.y_range {
-                    let base = p.cell_id(b, y, 0);
+                    let base = p.cell_id(b as u64, y, 0);
                     let mut best_z = 0u64;
                     let mut best_v = f64::NEG_INFINITY;
                     for z in 0..z_card {
-                        let v = oracle.estimate(base + z);
+                        let v = oracle.estimate_into(base + z, &mut buf);
                         if v > best_v {
                             best_v = v;
                             best_z = z;
                         }
                     }
-                    if best_v >= tau && lists[b as usize][m].len() < p.list_cap {
-                        lists[b as usize][m].push((y, best_z));
+                    if best_v >= tau && list.len() < p.list_cap {
+                        list.push((y, best_z));
                     }
                 }
+            }
+            out
+        });
+        // Transpose coordinate-major results into `lists[b][m]`.
+        let mut lists = vec![vec![Vec::new(); p.num_coords]; p.num_buckets as usize];
+        for (m, per_b) in per_coord.into_iter().enumerate() {
+            for (b, list) in per_b.into_iter().enumerate() {
+                lists[b][m] = list;
             }
         }
         lists
@@ -400,30 +416,66 @@ impl HeavyHitterProtocol for ExpanderSketch {
     }
 
     fn finish(&mut self) -> Vec<(u64, f64)> {
+        self.finish_with(&mut FinishScratch::default())
+    }
+
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
         assert!(!self.finished, "double finish");
         self.finished = true;
-        // Steps 2–3: stand-out lists per (bucket, coordinate).
-        let lists = self.build_standout_lists();
+        let threads = scratch.threads;
+        // Steps 2–3: stand-out lists per (bucket, coordinate) —
+        // coordinates decode on parallel workers.
+        let lists = self.build_standout_lists(threads);
         // Step 4: decode each bucket; keep candidates that land in their
-        // own bucket under g.
+        // own bucket under g. Buckets decode independently (results in
+        // bucket order); the cross-bucket dedup stays serial so the
+        // candidate order — bucket-ascending, decode order within — is
+        // the serial loop's exactly.
+        let decoded = par_map_indexed(lists.len(), threads, |b| {
+            self.ulrc
+                .decode(&lists[b])
+                .into_iter()
+                .filter(|&x| self.bucket_of(x) == b as u64)
+                .collect::<Vec<u64>>()
+        });
         let mut candidates: Vec<u64> = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for (b, bucket_lists) in lists.iter().enumerate() {
-            for x in self.ulrc.decode(bucket_lists) {
-                if self.bucket_of(x) == b as u64 && seen.insert(x) {
+        for bucket_candidates in decoded {
+            for x in bucket_candidates {
+                if seen.insert(x) {
                     candidates.push(x);
                 }
             }
         }
-        // Steps 5–6: final estimates from the outer oracle.
-        self.outer.finalize();
+        // Steps 5–6: final estimates from the outer oracle, swept over
+        // candidate chunks in parallel (chunk order preserved; each
+        // chunk's median workspace is a pooled scratch buffer).
+        self.outer.finalize_with(scratch);
         let keep = self.params.keep_threshold();
-        let mut est: Vec<(u64, f64)> = candidates
-            .into_iter()
-            .map(|x| (x, self.outer.estimate(x)))
-            .filter(|&(_, f)| f >= keep)
-            .collect();
-        est.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        let mut est: Vec<(u64, f64)> = Vec::with_capacity(candidates.len());
+        if !candidates.is_empty() {
+            let workers = planned_threads(threads, candidates.len(), 1);
+            let chunk = candidates.len().div_ceil(workers).max(1);
+            let num_chunks = candidates.len().div_ceil(chunk);
+            let bufs: Vec<Vec<f64>> = (0..num_chunks).map(|_| scratch.take_f64()).collect();
+            let parts = par_chunk_zip_map(&candidates, chunk, threads, bufs, |_, xs, mut buf| {
+                let part: Vec<(u64, f64)> = xs
+                    .iter()
+                    .map(|&x| (x, self.outer.estimate_into(x, &mut buf)))
+                    .filter(|&(_, f)| f >= keep)
+                    .collect();
+                (part, buf)
+            });
+            for (part, buf) in parts {
+                est.extend_from_slice(&part);
+                scratch.put_f64(buf);
+            }
+        }
+        est.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite estimates")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         est
     }
 
@@ -434,8 +486,9 @@ impl HeavyHitterProtocol for ExpanderSketch {
     }
 
     fn memory_bytes(&self) -> usize {
-        // One materialized coordinate accumulator (they are processed
-        // sequentially) + the outer oracle sketch + stand-out lists.
+        // One materialized coordinate accumulator (a parallel finish
+        // holds one per worker; this is the serial floor) + the outer
+        // oracle sketch + stand-out lists.
         self.inner_proto.memory_bytes()
             + self.outer.memory_bytes()
             + self.params.num_buckets as usize

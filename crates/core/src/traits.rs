@@ -48,6 +48,8 @@
 
 pub use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
 
+pub use hh_math::par::FinishScratch;
+
 use hh_freq::wire::encode_reports;
 use hh_math::par::{merge_tree, par_chunk_map, shard_chunk_size};
 use hh_math::rng::client_rng;
@@ -198,8 +200,24 @@ pub trait HeavyHitterProtocol {
 
     /// Server: run the aggregation/decoding pipeline; returns the
     /// estimated heavy-hitter list `Est = {(x, f̂_S(x))}`, sorted by
-    /// decreasing estimate.
+    /// `(estimate desc, value asc)` — the tie-break keeps the order
+    /// stable across runs and thread counts.
     fn finish(&mut self) -> Vec<(u64, f64)>;
+
+    /// Server: [`HeavyHitterProtocol::finish`] with an explicit
+    /// [`FinishScratch`] — the parallel, allocation-recycling entry
+    /// point of the finish path.
+    ///
+    /// The scratch carries the worker-thread knob the decode sweeps run
+    /// under and pooled buffers reused across calls; neither may change
+    /// the result: `finish_with` is **bit-for-bit equal** to
+    /// [`HeavyHitterProtocol::finish`] for every scratch state and
+    /// thread count (the `finish_equivalence` proptests pin every
+    /// override). The default ignores the scratch and runs the plain
+    /// serial `finish`.
+    fn finish_with(&mut self, _scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
+        self.finish()
+    }
 
     /// Communication per user in bits. The wire encoding satisfies
     /// `encoded_len() <= report_bits().div_ceil(8)` — pinned by the

@@ -17,7 +17,7 @@
 //! measure the rest.
 
 use crate::randomizers::BinaryRandomizedResponse;
-use crate::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
+use crate::traits::{FinishScratch, FrequencyOracle, LocalRandomizer, RandomizerInput};
 use crate::wire::{
     pack_row_bit, read_tally_run, read_uint, tally_run_len, uint_len, unpack_row_bit, varint_len,
     write_tally_run, write_uint, write_varint, FrameError, ShardReader, WireError, WireFrames,
@@ -25,6 +25,7 @@ use crate::wire::{
 };
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
+use hh_math::par::{par_chunk_map, planned_threads};
 use hh_math::rng::client_rng;
 use rand::Rng;
 
@@ -245,6 +246,27 @@ impl FrequencyOracle for BassilySmithOracle {
         let c = self.rr.debias_factor();
         self.acc = self.tallies.iter().map(|&t| c * t as f64).collect();
         self.tallies = Vec::new();
+        self.finalized = true;
+    }
+
+    fn finalize_with(&mut self, scratch: &mut FinishScratch) {
+        assert!(!self.finalized, "double finalize");
+        let c = self.rr.debias_factor();
+        let tallies = std::mem::take(&mut self.tallies);
+        // Element-wise debias: chunks are independent and come back in
+        // chunk order, so the concatenation is bit-for-bit `finalize()`'s
+        // (the per-query dot product in `estimate` stays serial — its FP
+        // accumulation order is part of the result).
+        let workers = planned_threads(scratch.threads, tallies.len(), 1);
+        let chunk = tallies.len().div_ceil(workers).max(1);
+        let parts = par_chunk_map(&tallies, chunk, scratch.threads, |_, ts| {
+            ts.iter().map(|&t| c * t as f64).collect::<Vec<f64>>()
+        });
+        let mut acc = Vec::with_capacity(tallies.len());
+        for part in parts {
+            acc.extend_from_slice(&part);
+        }
+        self.acc = acc;
         self.finalized = true;
     }
 

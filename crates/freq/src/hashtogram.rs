@@ -35,9 +35,10 @@ use crate::wire::{
 };
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
+use hh_math::par::{par_map_owned, FinishScratch};
 use hh_math::rng::{client_rng, derive_seed};
-use hh_math::stats::median;
-use hh_math::wht::{fwht, hadamard_entry};
+use hh_math::stats::median_in_place;
+use hh_math::wht::{fwht, fwht_threaded, hadamard_entry};
 use rand::Rng;
 
 /// Configuration of a [`Hashtogram`] oracle.
@@ -388,6 +389,26 @@ impl Hashtogram {
             buckets: self.params.buckets as usize,
         }
     }
+
+    /// [`FrequencyOracle::estimate`] writing the per-group estimates
+    /// into a caller-owned buffer — bit-for-bit the same answer, no
+    /// per-query allocation. The sweep entry point the scan-style
+    /// protocols drive with a pooled [`FinishScratch`] buffer.
+    pub fn estimate_into(&self, x: u64, buf: &mut Vec<f64>) -> f64 {
+        assert!(self.finalized, "estimate before finalize");
+        assert!(x < self.params.domain);
+        let n = self.total_users as f64;
+        buf.clear();
+        buf.extend((0..self.params.groups).map(|r| {
+            let b = self.bucket(r as u32, x);
+            let s = self.sign(r as u32, x) as f64;
+            let raw = self.acc[r][b as usize] * s;
+            // Rescale the group subsample to the full population.
+            let m = self.group_counts[r].max(1) as f64;
+            raw * (n / m)
+        }));
+        median_in_place(buf)
+    }
 }
 
 /// Hoisted per-report shard ingester for [`Hashtogram`] reports (see
@@ -584,21 +605,37 @@ impl FrequencyOracle for Hashtogram {
         self.finalized = true;
     }
 
-    fn estimate(&self, x: u64) -> f64 {
-        assert!(self.finalized, "estimate before finalize");
-        assert!(x < self.params.domain);
-        let n = self.total_users as f64;
-        let estimates: Vec<f64> = (0..self.params.groups)
-            .map(|r| {
-                let b = self.bucket(r as u32, x);
-                let s = self.sign(r as u32, x) as f64;
-                let raw = self.acc[r][b as usize] * s;
-                // Rescale the group subsample to the full population.
-                let m = self.group_counts[r].max(1) as f64;
-                raw * (n / m)
+    fn finalize_with(&mut self, scratch: &mut FinishScratch) {
+        assert!(!self.finalized, "double finalize");
+        let c = self.rr.debias_factor();
+        let threads = scratch.threads;
+        let rows = std::mem::take(&mut self.tallies);
+        self.acc = if rows.len() <= 1 {
+            // One row: the only parallelism available is inside the
+            // transform itself — the blocked WHT kernel.
+            rows.into_iter()
+                .map(|row| {
+                    let mut out: Vec<f64> = row.iter().map(|&t| c * t as f64).collect();
+                    fwht_threaded(&mut out, threads);
+                    out
+                })
+                .collect()
+        } else {
+            // One row per group; rows are independent, results come back
+            // in row order — the debias + WHT per row is the serial
+            // kernel, so the output is bit-for-bit `finalize()`'s.
+            par_map_owned(rows, threads, |_, row| {
+                let mut out: Vec<f64> = row.iter().map(|&t| c * t as f64).collect();
+                fwht(&mut out);
+                out
             })
-            .collect();
-        median(&estimates)
+        };
+        self.finalized = true;
+    }
+
+    fn estimate(&self, x: u64) -> f64 {
+        let mut buf = Vec::with_capacity(self.params.groups);
+        self.estimate_into(x, &mut buf)
     }
 
     fn report_bits(&self) -> usize {

@@ -51,7 +51,7 @@ use rand::Rng;
 // The shared sharding helpers live in `hh_math::par` — one definition
 // for this trait, `hh_core::traits`, and the sim drivers, so the
 // defaults cannot drift apart. Re-exported here for compatibility.
-pub use hh_math::par::{merge_tree, shard_chunk_size, MIN_SHARD_CHUNK};
+pub use hh_math::par::{merge_tree, shard_chunk_size, FinishScratch, MIN_SHARD_CHUNK};
 
 /// Input to a local randomizer: a real domain element or the null symbol
 /// `⊥` used by GenProt's public sampling (Algorithm GenProt, step 1).
@@ -260,6 +260,22 @@ pub trait FrequencyOracle {
     /// Server-side: finish ingestion (e.g. apply the inverse transform).
     /// Must be called before [`FrequencyOracle::estimate`].
     fn finalize(&mut self);
+
+    /// Server-side: [`FrequencyOracle::finalize`] with an explicit
+    /// [`FinishScratch`] — the parallel, allocation-recycling entry
+    /// point of the finish path.
+    ///
+    /// The scratch carries the worker-thread knob the debias/transform
+    /// sweeps run under and pooled buffers reused across calls; neither
+    /// may change the result: after `finalize_with`, every
+    /// [`FrequencyOracle::estimate`] answer is **bit-for-bit equal** to
+    /// the plain [`FrequencyOracle::finalize`] path for every scratch
+    /// state and thread count (the `finish_equivalence` proptests pin
+    /// every override). The default ignores the scratch and runs the
+    /// plain serial `finalize`.
+    fn finalize_with(&mut self, _scratch: &mut FinishScratch) {
+        self.finalize();
+    }
 
     /// Estimate `f_S(x)`.
     fn estimate(&self, x: u64) -> f64;

@@ -38,5 +38,5 @@ pub mod special;
 pub mod stats;
 pub mod wht;
 
-pub use par::par_chunk_map;
+pub use par::{par_chunk_map, par_map_indexed, FinishScratch};
 pub use rng::{client_rng, derive_seed, seeded_rng};

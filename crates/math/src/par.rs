@@ -86,6 +86,103 @@ impl BufferPool {
     }
 }
 
+/// Reusable workspace for the server-side finish/decode phase: pooled
+/// numeric buffers plus the worker-thread knob the parallel finish
+/// sweeps run under.
+///
+/// The finish path (`HeavyHitterProtocol::finish_with`,
+/// `FrequencyOracle::finalize_with`, the engines' `finish_at_epoch`)
+/// threads one of these through every decode sweep so repeated
+/// mid-stream queries reuse capacity instead of allocating per call.
+/// The scratch **never changes results**: every protocol's
+/// `finish_with` is bit-for-bit equal to `finish()` for any scratch
+/// state and any thread count (pinned by the `finish_equivalence`
+/// proptests) — only the schedule and the allocation profile move.
+#[derive(Debug, Default)]
+pub struct FinishScratch {
+    /// Worker threads for the parallel finish sweeps (`0` = the
+    /// available hardware parallelism, `1` = serial). Does not affect
+    /// output.
+    pub threads: usize,
+    f64_bufs: Vec<Vec<f64>>,
+    est_bufs: Vec<Vec<(u64, f64)>>,
+    /// Buffers handed out that had recycled capacity.
+    reused: u64,
+    /// Buffers handed out freshly allocated (pool was empty).
+    fresh: u64,
+}
+
+impl FinishScratch {
+    /// A fresh scratch running sweeps at the available hardware
+    /// parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch that keeps every finish sweep serial — the reference
+    /// schedule the parallel one is pinned against.
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// A scratch with an explicit worker count (`0` = hardware).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// A cleared `f64` buffer — recycled capacity if available.
+    pub fn take_f64(&mut self) -> Vec<f64> {
+        match self.f64_bufs.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty(), "pooled buffer not cleared");
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return an `f64` buffer (cleared, capacity kept).
+    pub fn put_f64(&mut self, mut buf: Vec<f64>) {
+        buf.clear();
+        self.f64_bufs.push(buf);
+    }
+
+    /// A cleared `(value, estimate)` buffer — recycled capacity if
+    /// available.
+    pub fn take_est(&mut self) -> Vec<(u64, f64)> {
+        match self.est_bufs.pop() {
+            Some(buf) => {
+                debug_assert!(buf.is_empty(), "pooled buffer not cleared");
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a `(value, estimate)` buffer (cleared, capacity kept).
+    pub fn put_est(&mut self, mut buf: Vec<(u64, f64)>) {
+        buf.clear();
+        self.est_bufs.push(buf);
+    }
+
+    /// `(reused, fresh)` counts of buffers handed out so far — the
+    /// scratch-pool hit rate the bench paths surface.
+    pub fn handout_counts(&self) -> (u64, u64) {
+        (self.reused, self.fresh)
+    }
+}
+
 /// Smallest per-shard chunk the shared sharding path will create:
 /// shard setup/merge is O(state size), so tiny chunks would be all
 /// overhead.
@@ -187,6 +284,57 @@ where
         .into_iter()
         .enumerate()
         .map(|(c, s)| s.unwrap_or_else(|| panic!("chunk {c} produced no result")))
+        .collect()
+}
+
+/// Parallel for: map `f` over the indices `0 .. num_items`, returning
+/// one result per index in index order — the finish path's sweep
+/// primitive (domain-scan chunks, per-coordinate oracle decodes,
+/// per-bucket list decodes), where the work units are index ranges
+/// rather than slice chunks.
+///
+/// Indices are claimed dynamically, but each result depends only on its
+/// own index, so the output is identical for every `threads`
+/// (`0` = the available hardware parallelism). Keep the work per index
+/// coarse — one index is one scheduling unit.
+pub fn par_map_indexed<U, F>(num_items: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = planned_threads(threads, num_items, 1);
+    if threads <= 1 {
+        return (0..num_items).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    rayon::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= num_items {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<U>> = (0..num_items).map(|_| None).collect();
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("index {i} produced no result")))
         .collect()
 }
 
@@ -294,6 +442,37 @@ mod tests {
         assert_eq!(pool.handout_counts(), (1, 1));
         pool.put_all([b, Vec::new()]);
         assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn finish_scratch_recycles_buffers() {
+        let mut scratch = FinishScratch::new();
+        assert_eq!(scratch.threads, 0);
+        assert_eq!(FinishScratch::serial().threads, 1);
+        let mut est = scratch.take_est();
+        est.push((7, 1.5));
+        let cap = est.capacity();
+        scratch.put_est(est);
+        let est = scratch.take_est();
+        assert!(est.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(est.capacity(), cap, "recycled buffer must keep capacity");
+        let mut f = scratch.take_f64();
+        f.push(1.0);
+        scratch.put_f64(f);
+        let f = scratch.take_f64();
+        assert!(f.is_empty());
+        // est: fresh then reused; f64: fresh then reused.
+        assert_eq!(scratch.handout_counts(), (2, 2));
+    }
+
+    #[test]
+    fn indexed_map_is_ordered_and_thread_independent() {
+        let expect: Vec<usize> = (0..137).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 5] {
+            let got = par_map_indexed(137, threads, |i| i * i);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        assert!(par_map_indexed(0, 0, |i| i).is_empty());
     }
 
     #[test]

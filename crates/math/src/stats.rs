@@ -6,14 +6,21 @@
 /// Sorts a copy; inputs in this workspace are small (per-group estimates,
 /// trial summaries).
 pub fn median(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "median of empty slice");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
-    let n = v.len();
+    median_in_place(&mut v)
+}
+
+/// [`median`] over a caller-owned buffer, sorting it in place — the
+/// allocation-free twin the finish path's buffered estimate sweeps use
+/// (bit-for-bit the same result).
+pub fn median_in_place(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = xs.len();
     if n % 2 == 1 {
-        v[n / 2]
+        xs[n / 2]
     } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
     }
 }
 

@@ -45,6 +45,81 @@ pub fn fwht(data: &mut [f64]) {
     }
 }
 
+/// In-place fast Walsh–Hadamard transform, blocked across worker
+/// threads — bit-for-bit equal to [`fwht`] for every `threads`
+/// (`0` = the available hardware parallelism).
+///
+/// At butterfly level `h` the transform touches disjoint `2h`-blocks:
+/// `data[0..2h]`, `data[2h..4h]`, … — each block's butterflies read and
+/// write only that block, so whole blocks can run on different workers
+/// with no shared state, and every element sees the *identical*
+/// floating-point operation sequence as the serial loop. Small
+/// transforms (or `threads <= 1`) fall straight through to the serial
+/// kernel — blocking only pays when the per-level work dwarfs a scope
+/// spawn.
+pub fn fwht_threaded(data: &mut [f64], threads: usize) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "WHT length must be a power of two: {n}"
+    );
+    let threads = hh_par_threads(threads, n);
+    if threads <= 1 || n < (1 << 12) {
+        fwht(data);
+        return;
+    }
+    let mut h = 1;
+    while h < n {
+        let num_blocks = n / (h * 2);
+        if num_blocks <= 1 {
+            // One block left (the last levels): butterflies of the block
+            // are themselves independent — split the `j` range.
+            let (lo, hi) = data.split_at_mut(h);
+            let per = h.div_ceil(threads).max(1);
+            rayon::scope(|s| {
+                for (a, b) in lo.chunks_mut(per).zip(hi.chunks_mut(per)) {
+                    s.spawn(move |_| {
+                        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                            let (u, v) = (*x, *y);
+                            *x = u + v;
+                            *y = u - v;
+                        }
+                    });
+                }
+            });
+        } else {
+            // Distribute contiguous runs of 2h-blocks over the workers.
+            let per = num_blocks.div_ceil(threads).max(1) * (h * 2);
+            rayon::scope(|s| {
+                for run in data.chunks_mut(per) {
+                    s.spawn(move |_| {
+                        for block in run.chunks_mut(h * 2) {
+                            let (lo, hi) = block.split_at_mut(h);
+                            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                                let (u, v) = (*x, *y);
+                                *x = u + v;
+                                *y = u - v;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        h *= 2;
+    }
+}
+
+/// The effective worker count (`0` = hardware), local so `wht` does not
+/// depend on `par`'s scheduling helpers.
+fn hh_par_threads(threads: usize, n: usize) -> usize {
+    let hw = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    hw.min(n).max(1)
+}
+
 /// Inverse transform: `fwht` followed by division by `len`.
 pub fn ifwht(data: &mut [f64]) {
     let n = data.len() as f64;
@@ -145,5 +220,35 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut x = vec![0.0; 3];
         fwht(&mut x);
+    }
+
+    #[test]
+    fn threaded_is_bit_identical_to_serial() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Cover both the small fall-through and the blocked path (the
+        // blocked kernel engages at 2^12).
+        for k in [0u32, 3, 8, 13] {
+            let n = 1usize << k;
+            let data: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let mut want = data.clone();
+            fwht(&mut want);
+            for threads in [0, 1, 2, 3, 7] {
+                let mut got = data.clone();
+                fwht_threaded(&mut got, threads);
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k = {k}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn threaded_rejects_non_power_of_two() {
+        let mut x = vec![0.0; 6];
+        fwht_threaded(&mut x, 2);
     }
 }

@@ -31,6 +31,7 @@ use crate::stream::{StreamIngest, HH_CLIENT_LABEL, ORACLE_CLIENT_LABEL};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
 use hh_freq::wire::{FrameError, WireError, WireFrames, WireShard};
+use hh_math::par::FinishScratch;
 use std::any::Any;
 
 /// A type-erased live shard: the concrete `Shard` of whichever protocol
@@ -106,8 +107,15 @@ pub trait DynHhProtocol: Send + Sync {
     /// Fold a partial aggregate into the server state.
     fn finish_shard(&mut self, shard: DynShard);
     /// Run the aggregation/decoding pipeline; the estimated heavy-hitter
-    /// list, sorted by decreasing estimate.
+    /// list, sorted by `(estimate desc, value asc)`.
     fn finish(&mut self) -> Vec<(u64, f64)>;
+    /// [`DynHhProtocol::finish`] with caller-owned scratch (thread plan +
+    /// reusable decode buffers); output is bit-for-bit identical to
+    /// [`DynHhProtocol::finish`].
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
+        let _ = scratch;
+        self.finish()
+    }
     /// Communication per user in bits.
     fn report_bits(&self) -> usize;
     /// Server working-memory estimate in bytes.
@@ -151,6 +159,13 @@ pub trait DynOracle: Send + Sync {
     fn finish_shard(&mut self, shard: DynShard);
     /// Finish ingestion; must be called before [`DynOracle::estimate`].
     fn finalize(&mut self);
+    /// [`DynOracle::finalize`] with caller-owned scratch (thread plan +
+    /// reusable decode buffers); resulting state is bit-for-bit identical
+    /// to [`DynOracle::finalize`].
+    fn finalize_with(&mut self, scratch: &mut FinishScratch) {
+        let _ = scratch;
+        self.finalize();
+    }
     /// Estimate `f_S(x)`.
     fn estimate(&self, x: u64) -> f64;
     /// Communication per user in bits.
@@ -226,6 +241,10 @@ where
         self.0.finish()
     }
 
+    fn finish_with(&mut self, scratch: &mut FinishScratch) -> Vec<(u64, f64)> {
+        self.0.finish_with(scratch)
+    }
+
     fn report_bits(&self) -> usize {
         self.0.report_bits()
     }
@@ -299,6 +318,10 @@ where
 
     fn finalize(&mut self) {
         self.0.finalize();
+    }
+
+    fn finalize_with(&mut self, scratch: &mut FinishScratch) {
+        self.0.finalize_with(scratch);
     }
 
     fn estimate(&self, x: u64) -> f64 {

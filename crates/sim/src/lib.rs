@@ -71,6 +71,7 @@ pub use erased::{
     erase_hh, erase_oracle, DynHhProtocol, DynHhStream, DynOracle, DynOracleStream, DynShard,
     Erased,
 };
+pub use metrics::FinishPhase;
 pub use pipeline::{run_pipelined, run_pipelined_all, PipelineConfig, PipelineSession};
 pub use registry::{build_hh, build_oracle, ProtocolSpec};
 pub use run::{

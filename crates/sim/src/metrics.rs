@@ -1,5 +1,7 @@
-//! Accuracy metrics over repeated trials.
+//! Accuracy metrics over repeated trials, plus the finish-phase
+//! accounting distilled from a streaming run's counters.
 
+use crate::stream::StreamStats;
 use hh_core::verify;
 use hh_math::stats;
 
@@ -66,9 +68,81 @@ pub fn aggregate(summaries: &[TrialSummary]) -> Aggregate {
     }
 }
 
+/// Finish-phase accounting of one streaming run: how much of the
+/// server-side decode work was answered incrementally, distilled from
+/// [`StreamStats`] for the `--stream` / `--pipeline` bench reports.
+#[derive(Debug, Clone, Copy)]
+pub struct FinishPhase {
+    /// Mid-stream `finish_at_epoch` queries answered.
+    pub queries: u64,
+    /// Total wall-clock seconds inside `finish_at_epoch`.
+    pub finish_secs: f64,
+    /// Seconds spent folding the durable view into finish state (paid
+    /// once per checkpoint stamp, not once per query).
+    pub fold_secs: f64,
+    /// Queries answered from incrementally folded state.
+    pub cache_hits: u64,
+    /// Scratch-pool buffer handouts served by reuse.
+    pub scratch_reused: u64,
+    /// Scratch-pool buffer handouts that allocated fresh.
+    pub scratch_fresh: u64,
+}
+
+impl FinishPhase {
+    /// Distill the finish-phase counters out of a run's [`StreamStats`].
+    pub fn from_stats(stats: &StreamStats) -> Self {
+        Self {
+            queries: stats.finish_queries,
+            finish_secs: stats.finish_total.as_secs_f64(),
+            fold_secs: stats.fold_total.as_secs_f64(),
+            cache_hits: stats.finish_cache_hits,
+            scratch_reused: stats.scratch_reused,
+            scratch_fresh: stats.scratch_fresh,
+        }
+    }
+
+    /// Fraction of queries answered from incrementally folded state
+    /// (0 when no queries ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of scratch-buffer handouts served by reuse (0 before
+    /// any handout).
+    pub fn scratch_reuse_rate(&self) -> f64 {
+        let total = self.scratch_reused + self.scratch_fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.scratch_reused as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn finish_phase_rates() {
+        let stats = StreamStats {
+            finish_queries: 4,
+            finish_cache_hits: 3,
+            scratch_reused: 6,
+            scratch_fresh: 2,
+            ..Default::default()
+        };
+        let phase = FinishPhase::from_stats(&stats);
+        assert_eq!(phase.cache_hit_rate(), 0.75);
+        assert_eq!(phase.scratch_reuse_rate(), 0.75);
+        let empty = FinishPhase::from_stats(&StreamStats::default());
+        assert_eq!(empty.cache_hit_rate(), 0.0);
+        assert_eq!(empty.scratch_reuse_rate(), 0.0);
+    }
 
     #[test]
     fn summary_of_perfect_output() {

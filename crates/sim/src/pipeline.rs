@@ -47,13 +47,14 @@
 //! `finish_at_epoch`), then shuts the fleet down, merges the collector
 //! shards and returns the final aggregate with its [`StreamStats`].
 
+use crate::erased::{DynHhProtocol, DynHhStream, DynOracle, DynOracleStream};
 use crate::stream::{
     absorb_chunk, combine_shards, encode_snapshot, rebuild_shard, CheckpointReport, HhStream,
     OracleStream, RecoveryReport, Snapshot, StreamIngest, StreamPlan, StreamStats, WireChunk,
 };
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
-use hh_math::par::BufferPool;
+use hh_math::par::{BufferPool, FinishScratch};
 use hh_math::rng::derive_seed;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -374,6 +375,20 @@ pub struct PipelineSession<'a, I: StreamIngest> {
     checkpoints: u64,
     client_total: Duration,
     wire_bytes: u64,
+    /// The merged durable view, incrementally folded once per checkpoint
+    /// stamp (`checkpoints` count — commands apply in send order, so the
+    /// count keys exactly the fleet state a query would observe). Warm
+    /// `finish_at_epoch` calls decode this single artifact instead of
+    /// round-tripping a snapshot query through every collector actor.
+    merged_bytes: Option<(u64, Vec<u8>)>,
+    /// Memoized heavy-hitter answer per stamp (HH family only).
+    cached_answer: Option<(u64, Vec<(u64, f64)>)>,
+    /// Session-owned decode scratch for mid-stream queries.
+    scratch: FinishScratch,
+    finish_queries: u64,
+    finish_total: Duration,
+    fold_total: Duration,
+    finish_cache_hits: u64,
     occupancy: &'a [AtomicUsize],
     max_occupancy: &'a AtomicUsize,
     stall_nanos: &'a AtomicU64,
@@ -603,6 +618,38 @@ impl<'a, I: StreamIngest + Sync> PipelineSession<'a, I> {
         }))
     }
 
+    /// [`PipelineSession::snapshot_shard`] through the incremental fold
+    /// cache (see the lock-step engine's `merged_durable_shard`): the
+    /// first query after a checkpoint pays the fleet-wide snapshot
+    /// query, decode, and merge once and re-encodes the merged
+    /// aggregate; subsequent queries at the same checkpoint count decode
+    /// that single artifact without touching the collector actors.
+    fn merged_durable_shard(&mut self) -> Option<I::Shard> {
+        let warm = matches!(&self.merged_bytes, Some((stamp, _)) if *stamp == self.checkpoints);
+        if warm {
+            self.finish_cache_hits += 1;
+            let (_, bytes) = self.merged_bytes.as_ref().expect("warm cache");
+            return Some(
+                self.ingest
+                    .decode_shard(bytes)
+                    .expect("merged snapshot re-encoding round-trips"),
+            );
+        }
+        let t = Instant::now();
+        let merged = self.snapshot_shard()?;
+        let mut bytes = match self.merged_bytes.take() {
+            Some((_, mut b)) => {
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(self.ingest.shard_encoded_len(&merged)),
+        };
+        self.ingest.encode_shard_into(&merged, &mut bytes);
+        self.merged_bytes = Some((self.checkpoints, bytes));
+        self.fold_total += t.elapsed();
+        Some(merged)
+    }
+
     /// Shut the fleet down: every actor recovers if crashed, hands its
     /// shard back, and exits; the shards merge in the plan's order.
     fn finish(
@@ -615,6 +662,7 @@ impl<'a, I: StreamIngest + Sync> PipelineSession<'a, I> {
         }
         drop(self.txs);
         let mut shard_slots: Vec<Option<I::Shard>> = (0..k).map(|_| None).collect();
+        let (scratch_reused, scratch_fresh) = self.scratch.handout_counts();
         let mut stats = StreamStats {
             epochs: self.epoch,
             users: self.users,
@@ -622,6 +670,12 @@ impl<'a, I: StreamIngest + Sync> PipelineSession<'a, I> {
             client_total: self.client_total,
             checkpoints: self.checkpoints,
             threads: self.config.workers + k,
+            finish_queries: self.finish_queries,
+            finish_total: self.finish_total,
+            fold_total: self.fold_total,
+            finish_cache_hits: self.finish_cache_hits,
+            scratch_reused,
+            scratch_fresh,
             ..StreamStats::default()
         };
         for _ in 0..k {
@@ -657,11 +711,28 @@ where
     /// new instance built with the same parameters and public-randomness
     /// seed as the streamed protocol.
     ///
+    /// Incremental, like the lock-step engine's: the first query after a
+    /// checkpoint folds the durable view and memoizes the answer;
+    /// repeated queries at an unchanged checkpoint count return the
+    /// memoized list, bit-for-bit the from-scratch result.
+    ///
     /// Panics when users have been ingested but no collector has
     /// checkpointed yet — an empty answer there would be
     /// indistinguishable from a genuinely empty stream.
     pub fn finish_at_epoch(&mut self, fresh: &mut P) -> Vec<(u64, f64)> {
-        match self.snapshot_shard() {
+        let t = Instant::now();
+        self.finish_queries += 1;
+        if let Some((stamp, answer)) = &self.cached_answer {
+            if *stamp == self.checkpoints {
+                self.finish_cache_hits += 1;
+                let answer = answer.clone();
+                self.finish_total += t.elapsed();
+                return answer;
+            }
+        }
+        let folded = self.merged_durable_shard();
+        let had_snapshot = folded.is_some();
+        match folded {
             Some(shard) => fresh.finish_shard(shard),
             None => assert!(
                 self.users == 0,
@@ -670,7 +741,12 @@ where
                 self.users
             ),
         }
-        fresh.finish()
+        let answer = fresh.finish_with(&mut self.scratch);
+        if had_snapshot {
+            self.cached_answer = Some((self.checkpoints, answer.clone()));
+        }
+        self.finish_total += t.elapsed();
+        answer
     }
 }
 
@@ -681,9 +757,13 @@ where
 {
     /// Prepare a mid-stream frequency oracle from the merged decoded
     /// snapshots, without consuming the live shards (the oracle analogue
-    /// of the heavy-hitter `finish_at_epoch`).
+    /// of the heavy-hitter `finish_at_epoch`). Incremental: repeated
+    /// queries at an unchanged checkpoint count decode the cached merged
+    /// artifact instead of round-tripping the collector fleet.
     pub fn finish_at_epoch(&mut self, fresh: &mut O) {
-        match self.snapshot_shard() {
+        let t = Instant::now();
+        self.finish_queries += 1;
+        match self.merged_durable_shard() {
             Some(shard) => fresh.finish_shard(shard),
             None => assert!(
                 self.users == 0,
@@ -692,7 +772,66 @@ where
                 self.users
             ),
         }
-        fresh.finalize();
+        fresh.finalize_with(&mut self.scratch);
+        self.finish_total += t.elapsed();
+    }
+}
+
+impl<'a, 'p> PipelineSession<'a, DynHhStream<'p>> {
+    /// Type-erased [`finish_at_epoch`](PipelineSession::finish_at_epoch):
+    /// the same incremental mid-stream query over a registry-dispatched
+    /// protocol. `fresh` must be built from the same
+    /// [`ProtocolSpec`](crate::registry::ProtocolSpec) as the streamed
+    /// protocol.
+    pub fn finish_at_epoch(&mut self, fresh: &mut dyn DynHhProtocol) -> Vec<(u64, f64)> {
+        let t = Instant::now();
+        self.finish_queries += 1;
+        if let Some((stamp, answer)) = &self.cached_answer {
+            if *stamp == self.checkpoints {
+                self.finish_cache_hits += 1;
+                let answer = answer.clone();
+                self.finish_total += t.elapsed();
+                return answer;
+            }
+        }
+        let folded = self.merged_durable_shard();
+        let had_snapshot = folded.is_some();
+        match folded {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        let answer = fresh.finish_with(&mut self.scratch);
+        if had_snapshot {
+            self.cached_answer = Some((self.checkpoints, answer.clone()));
+        }
+        self.finish_total += t.elapsed();
+        answer
+    }
+}
+
+impl<'a, 'p> PipelineSession<'a, DynOracleStream<'p>> {
+    /// Type-erased oracle [`finish_at_epoch`](PipelineSession::finish_at_epoch):
+    /// folds the merged durable view into `fresh` and finalizes it
+    /// through the session-owned scratch, so the caller can `estimate`.
+    pub fn finish_at_epoch(&mut self, fresh: &mut dyn DynOracle) {
+        let t = Instant::now();
+        self.finish_queries += 1;
+        match self.merged_durable_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finalize_with(&mut self.scratch);
+        self.finish_total += t.elapsed();
     }
 }
 
@@ -755,6 +894,13 @@ where
             checkpoints: 0,
             client_total: Duration::ZERO,
             wire_bytes: 0,
+            merged_bytes: None,
+            cached_answer: None,
+            scratch: FinishScratch::default(),
+            finish_queries: 0,
+            finish_total: Duration::ZERO,
+            fold_total: Duration::ZERO,
+            finish_cache_hits: 0,
             occupancy: &occupancy,
             max_occupancy: &max_occupancy,
             stall_nanos: &stall_nanos,

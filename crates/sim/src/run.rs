@@ -49,7 +49,11 @@
 //! 3. **merge** — the collector shards are combined in the order given
 //!    by [`MergeOrder`] (tree-wise by default) and folded into the
 //!    server;
-//! 4. **finish** — unchanged.
+//! 4. **finish** — the scratch-threaded parallel decode
+//!    ([`finish_with`](hh_core::traits::HeavyHitterProtocol::finish_with)),
+//!    honoring the plan's thread policy; the serial drivers force the
+//!    serial path (`FinishScratch::serial`). Thread count never changes
+//!    output.
 //!
 //! Open-ended, multi-epoch ingestion — with durable shard snapshots,
 //! crash recovery and mid-stream queries — lives in [`crate::stream`];
@@ -60,7 +64,7 @@ use crate::stream::{HhStream, OracleStream, StreamEngine, StreamIngest, StreamPl
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
 use hh_freq::wire::WireFrames;
-use hh_math::par::{merge_tree, par_chunk_map, par_map_owned};
+use hh_math::par::{merge_tree, par_chunk_map, par_map_owned, FinishScratch};
 use hh_math::rng::{client_rng, derive_seed};
 use std::time::{Duration, Instant};
 
@@ -171,7 +175,9 @@ pub fn run_heavy_hitter<P: HeavyHitterProtocol>(
         server_ingest += t1.elapsed();
     }
     let t2 = Instant::now();
-    let estimates = server.finish();
+    // Forced-serial decode: this driver is the timing reference the
+    // batched/distributed speedups are measured against.
+    let estimates = server.finish_with(&mut FinishScratch::serial());
     let server_finish = t2.elapsed();
     ProtocolRun {
         estimates,
@@ -208,7 +214,9 @@ where
     }
     let server_ingest = out.ingest_total + t1.elapsed();
     let t2 = Instant::now();
-    let estimates = server.finish();
+    // The finish phase honors the plan's thread policy, like the
+    // respond/absorb phases (output is thread-count-invariant).
+    let estimates = server.finish_with(&mut FinishScratch::with_threads(plan.threads));
     let server_finish = t2.elapsed();
     ProtocolRun {
         estimates,
@@ -480,9 +488,9 @@ where
     server.finish_shard(merged);
     let server_merge = stats.merge_total + t2.elapsed();
 
-    // Unchanged aggregation/decoding.
+    // Central aggregation/decoding, at the fleet plan's thread policy.
     let t3 = Instant::now();
-    let estimates = server.finish();
+    let estimates = server.finish_with(&mut FinishScratch::with_threads(plan.threads));
     let server_finish = t3.elapsed();
 
     DistributedRun {
@@ -543,7 +551,8 @@ pub fn run_oracle<O: FrequencyOracle>(
         server_build += t1.elapsed();
     }
     let t2 = Instant::now();
-    oracle.finalize();
+    // Forced-serial finalize: the serial timing reference.
+    oracle.finalize_with(&mut FinishScratch::serial());
     server_build += t2.elapsed();
     let t3 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
@@ -583,7 +592,7 @@ where
     if let Some(shard) = out.shard {
         oracle.finish_shard(shard);
     }
-    oracle.finalize();
+    oracle.finalize_with(&mut FinishScratch::with_threads(plan.threads));
     let server_build = out.ingest_total + t1.elapsed();
     let t3 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
@@ -654,7 +663,7 @@ where
 
     let t1 = Instant::now();
     oracle.finish_shard(merged);
-    oracle.finalize();
+    oracle.finalize_with(&mut FinishScratch::with_threads(plan.threads));
     let server_build = stats.ingest_total + stats.merge_total + t1.elapsed();
 
     let t2 = Instant::now();
@@ -710,7 +719,8 @@ pub fn run_dyn_heavy_hitter(
     server.finish_shard(shard);
     server_ingest += t1.elapsed();
     let t2 = Instant::now();
-    let estimates = server.finish();
+    // Forced-serial decode, like the typed serial reference.
+    let estimates = server.finish_with(&mut FinishScratch::serial());
     let server_finish = t2.elapsed();
     ProtocolRun {
         estimates,
@@ -741,7 +751,7 @@ pub fn run_dyn_heavy_hitter_batched(
     }
     let server_ingest = out.ingest_total + t1.elapsed();
     let t2 = Instant::now();
-    let estimates = server.finish();
+    let estimates = server.finish_with(&mut FinishScratch::with_threads(plan.threads));
     let server_finish = t2.elapsed();
     ProtocolRun {
         estimates,
@@ -773,7 +783,7 @@ pub fn run_dyn_heavy_hitter_distributed(
     let server_merge = stats.merge_total + t2.elapsed();
 
     let t3 = Instant::now();
-    let estimates = server.finish();
+    let estimates = server.finish_with(&mut FinishScratch::with_threads(plan.threads));
     let server_finish = t3.elapsed();
 
     DistributedRun {
@@ -821,7 +831,8 @@ pub fn run_dyn_oracle(
     }
     let t2 = Instant::now();
     oracle.finish_shard(shard);
-    oracle.finalize();
+    // Forced-serial finalize, like the typed serial reference.
+    oracle.finalize_with(&mut FinishScratch::serial());
     server_build += t2.elapsed();
     let t3 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
@@ -852,7 +863,7 @@ pub fn run_dyn_oracle_batched(
     if let Some(shard) = out.shard {
         oracle.finish_shard(shard);
     }
-    oracle.finalize();
+    oracle.finalize_with(&mut FinishScratch::with_threads(plan.threads));
     let server_build = out.ingest_total + t1.elapsed();
     let t3 = Instant::now();
     let answers = queries.iter().map(|&q| oracle.estimate(q)).collect();
@@ -883,7 +894,7 @@ pub fn run_dyn_oracle_distributed(
 
     let t1 = Instant::now();
     oracle.finish_shard(merged);
-    oracle.finalize();
+    oracle.finalize_with(&mut FinishScratch::with_threads(plan.threads));
     let server_build = stats.ingest_total + stats.merge_total + t1.elapsed();
 
     let t2 = Instant::now();

@@ -50,6 +50,7 @@
 //! in [`crate::pipeline`] and is pinned bit-for-bit against this
 //! engine.
 
+use crate::erased::{DynHhProtocol, DynHhStream, DynOracle, DynOracleStream};
 use crate::run::{DistPlan, MergeOrder};
 use hh_core::traits::HeavyHitterProtocol;
 use hh_freq::traits::FrequencyOracle;
@@ -509,6 +510,25 @@ pub struct StreamStats {
     /// full collector queues (the backpressure cost). Always zero for
     /// the lock-step [`StreamEngine`].
     pub producer_stall: Duration,
+    /// Mid-stream `finish_at_epoch` queries answered.
+    pub finish_queries: u64,
+    /// Total wall-clock time inside `finish_at_epoch` (fold + decode +
+    /// estimate sweep + sort).
+    pub finish_total: Duration,
+    /// Time spent *folding* the durable view into finish state: decoding
+    /// collector snapshots, merging them, and (re-)encoding the merged
+    /// aggregate. Paid once per checkpoint stamp, not once per query —
+    /// the incremental-finalization win.
+    pub fold_total: Duration,
+    /// `finish_at_epoch` queries answered from incrementally folded
+    /// state (a memoized heavy-hitter list or the cached merged durable
+    /// view) instead of a from-scratch decode + merge.
+    pub finish_cache_hits: u64,
+    /// Scratch-pool buffer handouts served by reuse (see
+    /// [`hh_math::par::FinishScratch::handout_counts`]).
+    pub scratch_reused: u64,
+    /// Scratch-pool buffer handouts that had to allocate fresh.
+    pub scratch_fresh: u64,
 }
 
 /// Outcome of one [`StreamEngine::checkpoint`].
@@ -555,6 +575,20 @@ pub struct StreamEngine<I: StreamIngest> {
     /// them. After the first checkpointed epoch, steady-state ingest
     /// reuses this capacity instead of allocating per chunk.
     pool: BufferPool,
+    /// Bumped whenever the durable view changes (every checkpoint).
+    /// Stamps the incremental finish caches below.
+    finish_stamp: u64,
+    /// The merged durable view, incrementally folded: per-collector
+    /// snapshots decoded, merged, and re-encoded once per stamp. Warm
+    /// `finish_at_epoch` queries decode this single artifact instead of
+    /// re-running the per-collector decode + merge tree.
+    merged_bytes: Option<(u64, Vec<u8>)>,
+    /// Memoized heavy-hitter answer per stamp (HH family only): repeated
+    /// queries at an unchanged checkpoint skip the decode entirely.
+    cached_answer: Option<(u64, Vec<(u64, f64)>)>,
+    /// Engine-owned decode scratch: thread plan plus reusable buffers,
+    /// so repeated mid-stream queries allocate nothing steady-state.
+    scratch: hh_math::par::FinishScratch,
     stats: StreamStats,
 }
 
@@ -580,6 +614,10 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             users: 0,
             next_chunk: 0,
             pool: BufferPool::new(),
+            finish_stamp: 0,
+            merged_bytes: None,
+            cached_answer: None,
+            scratch: hh_math::par::FinishScratch::default(),
             stats: StreamStats::default(),
         }
     }
@@ -747,6 +785,10 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
             }
         }
         let elapsed = t.elapsed();
+        // The durable view changed: stamp the incremental finish caches
+        // stale (the fold itself happens lazily at the next query, so
+        // steady-state checkpointing stays allocation-free).
+        self.finish_stamp += 1;
         self.stats.checkpoints += 1;
         self.stats.checkpoint_total += elapsed;
         self.stats.snapshot_bytes_last = self
@@ -831,6 +873,39 @@ impl<I: StreamIngest + Sync> StreamEngine<I> {
         }))
     }
 
+    /// [`StreamEngine::snapshot_shard`] through the incremental fold
+    /// cache: the first query after a checkpoint pays the per-collector
+    /// decode + merge once and re-encodes the merged aggregate (reusing
+    /// the previous stamp's buffer); subsequent queries at the same
+    /// stamp decode that single artifact. Values are bit-for-bit the
+    /// uncached [`StreamEngine::snapshot_shard`]'s because the snapshot
+    /// codec round-trips exactly.
+    fn merged_durable_shard(&mut self) -> Option<I::Shard> {
+        let warm = matches!(&self.merged_bytes, Some((stamp, _)) if *stamp == self.finish_stamp);
+        if warm {
+            self.stats.finish_cache_hits += 1;
+            let (_, bytes) = self.merged_bytes.as_ref().expect("warm cache");
+            return Some(
+                self.ingest
+                    .decode_shard(bytes)
+                    .expect("merged snapshot re-encoding round-trips"),
+            );
+        }
+        let t = Instant::now();
+        let merged = self.snapshot_shard()?;
+        let mut bytes = match self.merged_bytes.take() {
+            Some((_, mut b)) => {
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(self.ingest.shard_encoded_len(&merged)),
+        };
+        self.ingest.encode_shard_into(&merged, &mut bytes);
+        self.merged_bytes = Some((self.finish_stamp, bytes));
+        self.stats.fold_total += t.elapsed();
+        Some(merged)
+    }
+
     /// End the stream: recover any crashed collectors (replaying their
     /// spools), merge all live shards in the plan's order, and return
     /// the final aggregate with the run's accounting.
@@ -862,13 +937,34 @@ where
     /// new instance built with the same parameters and public-randomness
     /// seed as the streamed protocol.
     ///
+    /// Incremental: the expensive decode runs once per checkpoint stamp.
+    /// The first query after a checkpoint folds the durable view (decode
+    /// snapshots → merge → finish) and memoizes the answer; repeated
+    /// queries at an unchanged checkpoint return the memoized list — the
+    /// engine-owned [`hh_math::par::FinishScratch`] recycles the decode
+    /// buffers, so warm queries allocate nothing beyond the returned
+    /// `Vec`. Answers are bit-for-bit the from-scratch
+    /// `finish_shard` + `finish` result (`finish` is deterministic).
+    ///
     /// Panics when users have been ingested but no collector has
     /// checkpointed yet — an empty answer there would be
     /// indistinguishable from a genuinely empty stream. Call
     /// [`StreamEngine::checkpoint`] first (or set a
     /// [`StreamPlan::checkpoint_every`] cadence).
-    pub fn finish_at_epoch(&self, fresh: &mut P) -> Vec<(u64, f64)> {
-        match self.snapshot_shard() {
+    pub fn finish_at_epoch(&mut self, fresh: &mut P) -> Vec<(u64, f64)> {
+        let t = Instant::now();
+        self.stats.finish_queries += 1;
+        if let Some((stamp, answer)) = &self.cached_answer {
+            if *stamp == self.finish_stamp {
+                self.stats.finish_cache_hits += 1;
+                let answer = answer.clone();
+                self.stats.finish_total += t.elapsed();
+                return answer;
+            }
+        }
+        let folded = self.merged_durable_shard();
+        let had_snapshot = folded.is_some();
+        match folded {
             Some(shard) => fresh.finish_shard(shard),
             None => assert!(
                 self.users == 0,
@@ -877,7 +973,15 @@ where
                 self.users
             ),
         }
-        fresh.finish()
+        let answer = fresh.finish_with(&mut self.scratch);
+        if had_snapshot {
+            self.cached_answer = Some((self.finish_stamp, answer.clone()));
+        }
+        let (reused, fresh_bufs) = self.scratch.handout_counts();
+        self.stats.scratch_reused = reused;
+        self.stats.scratch_fresh = fresh_bufs;
+        self.stats.finish_total += t.elapsed();
+        answer
     }
 }
 
@@ -892,13 +996,22 @@ where
     /// `fresh` must be a new instance built with the same parameters and
     /// public-randomness seed as the streamed oracle.
     ///
+    /// Incremental: the per-collector decode + merge runs once per
+    /// checkpoint stamp; repeated queries at an unchanged checkpoint
+    /// decode the cached merged artifact instead (the oracle's state
+    /// lives in the caller's `fresh`, so the fold into it still runs,
+    /// through the engine-owned scratch). Resulting estimates are
+    /// bit-for-bit the from-scratch `finish_shard` + `finalize` result.
+    ///
     /// Panics when users have been ingested but no collector has
     /// checkpointed yet — zero estimates there would be
     /// indistinguishable from a genuinely empty stream. Call
     /// [`StreamEngine::checkpoint`] first (or set a
     /// [`StreamPlan::checkpoint_every`] cadence).
-    pub fn finish_at_epoch(&self, fresh: &mut O) {
-        match self.snapshot_shard() {
+    pub fn finish_at_epoch(&mut self, fresh: &mut O) {
+        let t = Instant::now();
+        self.stats.finish_queries += 1;
+        match self.merged_durable_shard() {
             Some(shard) => fresh.finish_shard(shard),
             None => assert!(
                 self.users == 0,
@@ -907,6 +1020,74 @@ where
                 self.users
             ),
         }
-        fresh.finalize();
+        fresh.finalize_with(&mut self.scratch);
+        let (reused, fresh_bufs) = self.scratch.handout_counts();
+        self.stats.scratch_reused = reused;
+        self.stats.scratch_fresh = fresh_bufs;
+        self.stats.finish_total += t.elapsed();
+    }
+}
+
+impl<'a> StreamEngine<DynHhStream<'a>> {
+    /// Type-erased [`finish_at_epoch`](StreamEngine::finish_at_epoch):
+    /// the same incremental mid-stream query over a registry-dispatched
+    /// protocol. `fresh` must be built from the same
+    /// [`ProtocolSpec`](crate::registry::ProtocolSpec) as the streamed
+    /// protocol.
+    pub fn finish_at_epoch(&mut self, fresh: &mut dyn DynHhProtocol) -> Vec<(u64, f64)> {
+        let t = Instant::now();
+        self.stats.finish_queries += 1;
+        if let Some((stamp, answer)) = &self.cached_answer {
+            if *stamp == self.finish_stamp {
+                self.stats.finish_cache_hits += 1;
+                let answer = answer.clone();
+                self.stats.finish_total += t.elapsed();
+                return answer;
+            }
+        }
+        let folded = self.merged_durable_shard();
+        let had_snapshot = folded.is_some();
+        match folded {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        let answer = fresh.finish_with(&mut self.scratch);
+        if had_snapshot {
+            self.cached_answer = Some((self.finish_stamp, answer.clone()));
+        }
+        let (reused, fresh_bufs) = self.scratch.handout_counts();
+        self.stats.scratch_reused = reused;
+        self.stats.scratch_fresh = fresh_bufs;
+        self.stats.finish_total += t.elapsed();
+        answer
+    }
+}
+
+impl<'a> StreamEngine<DynOracleStream<'a>> {
+    /// Type-erased oracle [`finish_at_epoch`](StreamEngine::finish_at_epoch):
+    /// folds the merged durable view into `fresh` and finalizes it
+    /// through the engine-owned scratch, so the caller can `estimate`.
+    pub fn finish_at_epoch(&mut self, fresh: &mut dyn DynOracle) {
+        let t = Instant::now();
+        self.stats.finish_queries += 1;
+        match self.merged_durable_shard() {
+            Some(shard) => fresh.finish_shard(shard),
+            None => assert!(
+                self.users == 0,
+                "finish_at_epoch with {} users ingested but no checkpoint to answer from — \
+                 call checkpoint() first (checkpoint_every = 0 never auto-checkpoints)",
+                self.users
+            ),
+        }
+        fresh.finalize_with(&mut self.scratch);
+        let (reused, fresh_bufs) = self.scratch.handout_counts();
+        self.stats.scratch_reused = reused;
+        self.stats.scratch_fresh = fresh_bufs;
+        self.stats.finish_total += t.elapsed();
     }
 }

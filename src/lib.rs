@@ -43,7 +43,7 @@ pub mod prelude {
     pub use hh_freq::hashtogram::{Hashtogram, HashtogramParams};
     pub use hh_freq::traits::{FrequencyOracle, LocalRandomizer, RandomizerInput};
     pub use hh_freq::wire::{FrameError, WireError, WireFrames, WireReport, WireShard};
-    pub use hh_math::{client_rng, derive_seed, seeded_rng};
+    pub use hh_math::{client_rng, derive_seed, seeded_rng, FinishScratch};
     pub use hh_sim::registry::ProtocolSpec;
     pub use hh_sim::{
         build_hh, build_oracle, run_heavy_hitter, run_heavy_hitter_batched,

@@ -104,6 +104,27 @@ fn steady_state_checkpoints_and_queries_do_not_grow_allocations() {
         "lock-step finish_at_epoch allocations grew across queries: {per_query:?}"
     );
 
+    // Cold queries with a warm FinishScratch: a checkpoint between
+    // queries invalidates the memoized answer, so each query re-runs the
+    // full decode (`finish_with`) — but through the engine's warm
+    // scratch, whose recycled buffers keep the per-query allocation
+    // count flat across checkpoint stamps.
+    let _ = engine.checkpoint();
+    let _ = engine.finish_at_epoch(&mut make()); // warm the scratch pool
+    let mut per_cold_query = Vec::new();
+    for _ in 0..4 {
+        let _ = engine.checkpoint(); // new stamp: next query must re-decode
+        let mut fresh = make();
+        let before = events();
+        let estimates = engine.finish_at_epoch(&mut fresh);
+        per_cold_query.push(events() - before);
+        assert!(!estimates.is_empty(), "vacuous cold query");
+    }
+    assert!(
+        per_cold_query.windows(2).all(|w| w[1] <= w[0]),
+        "warm-scratch cold finish_at_epoch allocations grew across stamps: {per_cold_query:?}"
+    );
+
     // ——— Pipelined session ———
     // Collector actors allocate deterministically too (threads are
     // quiescent between session calls — every command round-trip below
