@@ -78,13 +78,39 @@ pub trait SampleRange<T> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
 }
 
+/// Exactly uniform draw from `[0, span)` via Lemire's widening-multiply
+/// reduction (Lemire 2019, "Fast Random Integer Generation in an
+/// Interval").
+///
+/// The fast path is a single 64×64→128 multiply whose high half is the
+/// result — no 128-bit divide, unlike the modulo reduction this replaced,
+/// which also systematically over-weighted the first `2^64 mod span`
+/// values. The low half of the product detects draws that land in the
+/// truncated final block; only then is `2^64 mod span` computed and the
+/// word redrawn (probability `span / 2^64` at worst), making the output
+/// exactly uniform.
+#[inline]
+fn lemire_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0, "cannot sample empty range");
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        // 2^64 mod span, computed lazily: `span.wrapping_neg()` is
+        // `2^64 - span`, and `(2^64 - span) mod span == 2^64 mod span`.
+        let t = span.wrapping_neg() % span;
+        while (m as u64) < t {
+            m = (rng.next_u64() as u128) * (span as u128);
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for core::ops::Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let v = (rng.next_u64() as u128) % span;
+                let v = lemire_below(rng, span as u64);
                 (self.start as i128 + v as i128) as $t
             }
         }
@@ -93,7 +119,12 @@ macro_rules! impl_int_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let v = (rng.next_u64() as u128) % span;
+                let v = if span > u64::MAX as u128 {
+                    // Full 64-bit range: every word is already uniform.
+                    rng.next_u64()
+                } else {
+                    lemire_below(rng, span as u64)
+                };
                 (lo as i128 + v as i128) as $t
             }
         }
@@ -269,6 +300,46 @@ mod tests {
             seen[r.gen_range(0usize..7)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tight_non_power_of_two_range_is_uniform() {
+        // A span of 7 does not divide 2^64, so the old modulo reduction
+        // (and a rejection-less multiply) would over-weight low values by
+        // a (here immeasurable) 2^-61 — but the chi-square statistic
+        // documents the uniformity contract: 70_000 draws over 7 cells,
+        // df = 6, critical value 22.46 at p = 0.001.
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut counts = [0u64; 7];
+        let n = 70_000u64;
+        for _ in 0..n {
+            counts[r.gen_range(0u64..7) as usize] += 1;
+        }
+        let expect = n as f64 / 7.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        assert!(chi2 < 22.46, "chi-square {chi2} over bound: {counts:?}");
+    }
+
+    #[test]
+    fn huge_span_exercises_the_rejection_path() {
+        // span = 2^64 - 5 forces the slow branch (the product's low half
+        // is below span for almost every word), where 2^64 mod span = 5
+        // rejects only a 5/2^64 sliver. All draws must stay in range, and
+        // the full-span inclusive cases must take the no-reduction path.
+        let mut r = SmallRng::seed_from_u64(10);
+        let hi = u64::MAX - 5;
+        for _ in 0..1_000 {
+            assert!(r.gen_range(0u64..hi) < hi);
+            let _ = r.gen_range(0u64..=u64::MAX);
+            let v = r.gen_range(i64::MIN..=i64::MAX);
+            let _ = v;
+        }
     }
 
     #[test]

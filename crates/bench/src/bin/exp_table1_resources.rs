@@ -44,6 +44,16 @@
 //!   `StreamEngine` over the same epochs/checkpoints, with the final
 //!   shards checked bit-for-bit equal; with `--json` / `--json-out` the
 //!   records (including backpressure stats) land in the JSON document.
+//! * `--client-bench` — measure client-side sampling throughput
+//!   (users/sec) of the word-kernel client path (`respond_encode_batch`
+//!   riding the bit-parallel Bernoulli / one-draw GRR / divide-free
+//!   Lemire kernels) against the pre-kernel per-coin client (one `f64`
+//!   convert+compare per coin, modulo row picks, a full per-user RNG
+//!   construction — emulated in this binary; the library path no longer
+//!   exists), with the fused kernel bytes checked bit-for-bit against
+//!   the scalar kernel path over the same users; with `--json` /
+//!   `--json-out` the records land in the JSON document as `client`
+//!   rows.
 //! * `--finish-bench` — measure the server-side finish (decode)
 //!   wall-clock: the parallel scratch-threaded `finish_with` against
 //!   the forced-serial path over the four registry heavy-hitter
@@ -64,11 +74,15 @@
 
 use hh_bench::{banner, fmt_dur, json_array, JsonObject, Table};
 use hh_core::baselines::{ScanHeavyHitters, ScanParams};
-use hh_core::{ExpanderSketch, SketchParams};
+use hh_core::traits::HeavyHitterProtocol;
+use hh_core::{ExpanderSketch, SketchParams, SketchReport};
+use hh_freq::hashtogram::{Hashtogram, HashtogramReport};
 use hh_freq::krr::KrrOracle;
 use hh_freq::rappor::Rappor;
-use hh_freq::wire::{encode_reports, WireFrames, WireReport};
-use hh_math::rng::derive_seed;
+use hh_freq::traits::FrequencyOracle;
+use hh_freq::wire::{encode_reports, write_uint, WireFrames, WireReport};
+use hh_math::rng::{client_rng, derive_seed, seeded_rng};
+use hh_math::wht::hadamard_entry;
 use hh_math::FinishScratch;
 use hh_sim::registry::{build_hh, build_oracle, ProtocolSpec};
 use hh_sim::{
@@ -78,6 +92,7 @@ use hh_sim::{
     FinishPhase, HhStream, MaterializingIngest, OracleStream, PipelineConfig, ProtocolRun,
     StreamEngine, StreamIngest, StreamPlan, StreamWorkload, Workload,
 };
+use rand::Rng;
 use std::time::Instant;
 
 /// Which pipeline drives the table rows.
@@ -478,6 +493,103 @@ fn ingest_throughput<I: MaterializingIngest>(
     vec![record("legacy", legacy_secs), record("fused", fused_secs)]
 }
 
+/// One client-path throughput comparison: the word-kernel client
+/// (`respond_encode_batch` riding the bit-parallel Bernoulli, one-draw
+/// GRR and divide-free Lemire kernels over SplitMix per-user streams)
+/// against the pre-kernel per-coin client it replaced — one `f64`
+/// convert+compare per coin, a modulo per row pick, and a full RNG
+/// construction per user, emulated by the caller's `legacy` closure
+/// (the library path no longer exists).
+///
+/// The two paths run interleaved for `REPS` rounds each after one
+/// unmeasured warmup pair and the min wall-clock per path is recorded
+/// (see `ingest_throughput` for why). Correctness is pinned the only
+/// way that is meaningful after a sanctioned coin-stream change: the
+/// fused kernel bytes are checked bit-for-bit against the scalar kernel
+/// path (`respond` with `client_rng`) over the same users — one kernel,
+/// two entry points. The legacy emulation necessarily draws different
+/// streams, so only its wall-clock is recorded. Records land in the
+/// JSON document as `client` rows (users/sec).
+fn client_throughput(
+    name: &str,
+    users: usize,
+    legacy: impl Fn(&mut Vec<u8>),
+    kernel: impl Fn(&mut Vec<u8>),
+    kernel_serial: impl Fn(&mut Vec<u8>),
+) -> Vec<String> {
+    const REPS: usize = 5;
+    let mut legacy_buf = Vec::new();
+    let mut kernel_buf = Vec::new();
+    let mut serial_buf = Vec::new();
+    // Unmeasured warmup pair doubling as the bit-for-bit check.
+    legacy(&mut legacy_buf);
+    kernel(&mut kernel_buf);
+    kernel_serial(&mut serial_buf);
+    assert_eq!(
+        kernel_buf, serial_buf,
+        "{name}: fused kernel bytes diverged from the scalar kernel path"
+    );
+    let mut legacy_secs = f64::INFINITY;
+    let mut kernel_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        legacy_buf.clear();
+        let t = Instant::now();
+        legacy(&mut legacy_buf);
+        legacy_secs = legacy_secs.min(t.elapsed().as_secs_f64());
+        kernel_buf.clear();
+        let t = Instant::now();
+        kernel(&mut kernel_buf);
+        kernel_secs = kernel_secs.min(t.elapsed().as_secs_f64());
+    }
+    let n = users as f64;
+    println!(
+        "  {name:>16}: legacy {:>10.0} users/s | kernel {:>10.0} users/s | x{:.2}",
+        n / legacy_secs.max(1e-9),
+        n / kernel_secs.max(1e-9),
+        legacy_secs / kernel_secs.max(1e-9),
+    );
+    let record = |path: &str, secs: f64| {
+        JsonObject::new()
+            .str("protocol", name)
+            .str("path", path)
+            .int("n", users as u64)
+            .num("client_secs", secs)
+            .num("users_per_sec", n / secs.max(1e-9))
+            .build()
+    };
+    vec![record("legacy", legacy_secs), record("kernel", kernel_secs)]
+}
+
+/// The binary randomized-response keep rate at budget ε.
+fn rr_keep(eps: f64) -> f64 {
+    eps.exp() / (eps.exp() + 1.0)
+}
+
+/// The pre-kernel per-user Hashtogram draw: a modulo row pick plus one
+/// `f64` randomized-response coin — the cost model the word kernels
+/// replaced (the hash/sign work is shared with the kernel path, so the
+/// comparison isolates the coin cost).
+fn legacy_hashtogram_respond(
+    oracle: &Hashtogram,
+    group: u32,
+    x: u64,
+    keep: f64,
+    rng: &mut impl Rng,
+) -> HashtogramReport {
+    let ell = rng.gen::<u64>() % oracle.params().buckets;
+    let true_pm = i64::from(hadamard_entry(ell, oracle.bucket(group, x))) * oracle.sign(group, x);
+    let true_bit = true_pm > 0;
+    let sent = if rng.gen::<f64>() < keep {
+        true_bit
+    } else {
+        !true_bit
+    };
+    HashtogramReport {
+        ell,
+        bit: if sent { 1 } else { -1 },
+    }
+}
+
 /// One pipelined-vs-lock-step streaming throughput measurement over a
 /// registry-dispatched (type-erased) protocol: the same population,
 /// epoch schedule and checkpoint cadence driven end-to-end through
@@ -806,6 +918,7 @@ fn main() {
     let ingest_bench = args.iter().any(|a| a == "--ingest-bench");
     let pipeline_bench = args.iter().any(|a| a == "--pipeline");
     let finish_bench = args.iter().any(|a| a == "--finish-bench");
+    let client_bench = args.iter().any(|a| a == "--client-bench");
     let quick = args.iter().any(|a| a == "--quick");
     let json_out_value = args.iter().position(|a| a == "--json-out").map(|i| {
         let path = args
@@ -826,6 +939,7 @@ fn main() {
     let ingest_bench = ingest_bench || emit_json;
     let pipeline_bench = pipeline_bench || emit_json;
     let finish_bench = finish_bench || emit_json;
+    let client_bench = client_bench || emit_json;
     let json_out = json_out_value.unwrap_or_else(|| "BENCH_table1.json".to_string());
     assert!(
         !(serial && distributed),
@@ -1077,6 +1191,184 @@ fn main() {
             chunk,
             0x1D4,
         ));
+    }
+
+    let mut client_records = Vec::new();
+    if client_bench {
+        let n = if quick { 1usize << 14 } else { 1 << 20 };
+        let chunk = 1usize << 13;
+        println!(
+            "\n— client-path throughput at n = {n}: word-kernel sampling \
+             (bit-parallel RR / one-draw GRR / Lemire rows over SplitMix \
+             streams) vs the per-coin f64 client it replaced —\n"
+        );
+        let data = Workload::zipf(1u64 << bits, 1.2).generate(n, 191);
+
+        // RAPPOR is the headline: Θ(|X|) coins per user collapse to
+        // |X|/64 word draws. Same sizing rationale as the ingest row.
+        {
+            let rappor_n = n / 16;
+            let rappor_data: Vec<u64> = data[..rappor_n].iter().map(|&x| x % 256).collect();
+            let o = Rappor::new(256, eps);
+            let seed = 0x1E1u64;
+            let keep = o.keep_probability();
+            let bytes = 256usize / 8;
+            client_records.extend(client_throughput(
+                "rappor",
+                rappor_n,
+                |out| {
+                    for (i, &x) in rappor_data.iter().enumerate() {
+                        let mut rng = seeded_rng(derive_seed(seed, i as u64));
+                        let base = out.len();
+                        out.resize(base + bytes, 0);
+                        for j in 0..256u64 {
+                            let truth = j == x;
+                            let sent = if rng.gen::<f64>() < keep {
+                                truth
+                            } else {
+                                !truth
+                            };
+                            if sent {
+                                out[base + (j / 8) as usize] |= 1 << (j % 8);
+                            }
+                        }
+                    }
+                },
+                |out| {
+                    for (c, xs) in rappor_data.chunks(chunk).enumerate() {
+                        o.respond_encode_batch((c * chunk) as u64, xs, seed, out);
+                    }
+                },
+                |out| {
+                    for (i, &x) in rappor_data.iter().enumerate() {
+                        let rep = o.respond(i as u64, x, &mut client_rng(seed, i as u64));
+                        out.extend_from_slice(&rep);
+                    }
+                },
+            ));
+        }
+
+        // KRR: one GRR draw per user — 4x the population, as in the
+        // ingest rows, so the row measures the path and not the timer.
+        {
+            let k = 64u64;
+            let krr_data: Vec<u64> = data.iter().cycle().take(4 * n).map(|&x| x % k).collect();
+            let o = KrrOracle::new(k, eps);
+            let seed = 0x1E2u64;
+            let p_true = o.randomizer().kernel().p_keep();
+            client_records.extend(client_throughput(
+                "krr",
+                krr_data.len(),
+                |out| {
+                    for (i, &x) in krr_data.iter().enumerate() {
+                        let mut rng = seeded_rng(derive_seed(seed, i as u64));
+                        let v = if rng.gen::<f64>() < p_true {
+                            x
+                        } else {
+                            // Skip-truth lie draw, the pre-kernel idiom.
+                            let lie = rng.gen_range(0..k - 1);
+                            lie + u64::from(lie >= x)
+                        };
+                        write_uint(out, v);
+                    }
+                },
+                |out| {
+                    for (c, xs) in krr_data.chunks(chunk).enumerate() {
+                        o.respond_encode_batch((c * chunk) as u64, xs, seed, out);
+                    }
+                },
+                |out| {
+                    for (i, &x) in krr_data.iter().enumerate() {
+                        let v = o.respond(i as u64, x, &mut client_rng(seed, i as u64));
+                        write_uint(out, v);
+                    }
+                },
+            ));
+        }
+
+        // Scan delegates its client to one Hashtogram — row pick + one
+        // RR bit, the report shape every composite protocol shares.
+        {
+            let scan_domain = 1u64 << 16;
+            let scan_data: Vec<u64> = data.iter().map(|&x| x & (scan_domain - 1)).collect();
+            let s = ScanHeavyHitters::new(ScanParams::new(n as u64, scan_domain, eps, beta), 32);
+            let seed = 0x1E3u64;
+            let keep = rr_keep(s.oracle().params().eps);
+            client_records.extend(client_throughput(
+                "scan",
+                n,
+                |out| {
+                    let o = s.oracle();
+                    for (i, &x) in scan_data.iter().enumerate() {
+                        let mut rng = seeded_rng(derive_seed(seed, i as u64));
+                        let g = o.group_of(i as u64);
+                        legacy_hashtogram_respond(o, g, x, keep, &mut rng).encode_into(out);
+                    }
+                },
+                |out| {
+                    for (c, xs) in scan_data.chunks(chunk).enumerate() {
+                        s.respond_encode_batch((c * chunk) as u64, xs, seed, out);
+                    }
+                },
+                |out| {
+                    for (i, &x) in scan_data.iter().enumerate() {
+                        s.respond(i as u64, x, &mut client_rng(seed, i as u64))
+                            .encode_into(out);
+                    }
+                },
+            ));
+        }
+
+        // The expander sketch: two Hashtogram reports per user (inner
+        // cell + outer identity), each oracle at its own budget split.
+        {
+            let s = ExpanderSketch::new(SketchParams::optimal(n as u64, bits, eps, beta), 31);
+            let seed = 0x1E4u64;
+            let keep_inner = rr_keep(s.inner_oracle().params().eps);
+            let keep_outer = rr_keep(s.outer_oracle().params().eps);
+            client_records.extend(client_throughput(
+                "expander_sketch",
+                n,
+                |out| {
+                    for (i, &x) in data.iter().enumerate() {
+                        let mut rng = seeded_rng(derive_seed(seed, i as u64));
+                        let i = i as u64;
+                        let m = s.coord_of(i);
+                        let cell = s.cell_of(m, x);
+                        let inner = s.inner_oracle();
+                        let outer = s.outer_oracle();
+                        SketchReport {
+                            inner: legacy_hashtogram_respond(
+                                inner,
+                                inner.group_of(i),
+                                cell,
+                                keep_inner,
+                                &mut rng,
+                            ),
+                            outer: legacy_hashtogram_respond(
+                                outer,
+                                outer.group_of(i),
+                                x,
+                                keep_outer,
+                                &mut rng,
+                            ),
+                        }
+                        .encode_into(out);
+                    }
+                },
+                |out| {
+                    for (c, xs) in data.chunks(chunk).enumerate() {
+                        s.respond_encode_batch((c * chunk) as u64, xs, seed, out);
+                    }
+                },
+                |out| {
+                    for (i, &x) in data.iter().enumerate() {
+                        s.respond(i as u64, x, &mut client_rng(seed, i as u64))
+                            .encode_into(out);
+                    }
+                },
+            ));
+        }
     }
 
     let mut pipeline_records = Vec::new();
@@ -1341,13 +1633,14 @@ fn main() {
             .raw("merge_scaling", json_array(scaling))
             .raw("stream", json_array(stream_records))
             .raw("ingest", json_array(ingest_records))
+            .raw("client", json_array(client_records))
             .raw("pipeline", json_array(pipeline_records))
             .raw("finish", json_array(finish_records))
             .build();
         std::fs::write(&json_out, format!("{doc}\n"))
             .unwrap_or_else(|e| panic!("write {json_out}: {e}"));
         println!("\nwrote {json_out}");
-    } else if ingest_bench || pipeline_bench || finish_bench {
+    } else if ingest_bench || client_bench || pipeline_bench || finish_bench {
         // Without --json the tracked baseline document would be written
         // with its comparison arrays empty — never clobber it; the
         // measurements (and their bit-for-bit shard checks) above are

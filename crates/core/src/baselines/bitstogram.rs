@@ -30,7 +30,8 @@ use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash};
 use hh_math::par::{par_chunk_zip_map, par_map_indexed, planned_threads};
-use hh_math::rng::{client_rng, derive_seed};
+use hh_math::rng::derive_seed;
+use hh_math::sampler::ClientCoins;
 use rand::Rng;
 
 /// Configuration of the [`Bitstogram`] baseline.
@@ -280,9 +281,10 @@ impl Bitstogram {
     ) {
         let group_seed = self.assignment_seed();
         let num_groups = self.params.num_groups() as u64;
+        let coins = ClientCoins::new(client_seed);
         for (k, &x) in xs.iter().enumerate() {
             let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
+            let mut rng = coins.user(i);
             let group = Self::group_at(group_seed, i, num_groups);
             let cell = self.cell_of(group, x);
             emit(BitstogramReport {

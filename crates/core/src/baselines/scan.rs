@@ -77,6 +77,12 @@ impl ScanHeavyHitters {
     pub fn params(&self) -> &ScanParams {
         &self.params
     }
+
+    /// The underlying frequency oracle — exposed for audits and
+    /// client-path benchmarks.
+    pub fn oracle(&self) -> &Hashtogram {
+        &self.oracle
+    }
 }
 
 impl HeavyHitterProtocol for ScanHeavyHitters {

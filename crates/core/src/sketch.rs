@@ -37,7 +37,8 @@ use hh_freq::wire::{varint_len, write_varint, ShardReader};
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
 use hh_math::par::{par_chunk_zip_map, par_map_indexed, planned_threads};
-use hh_math::rng::{client_rng, derive_seed};
+use hh_math::rng::derive_seed;
+use hh_math::sampler::ClientCoins;
 use rand::Rng;
 
 /// The single message a user sends: her coordinate report and her final
@@ -177,6 +178,18 @@ impl ExpanderSketch {
         &self.params
     }
 
+    /// The prototype inner oracle (shared public randomness for all
+    /// coordinates) — exposed for audits and client-path benchmarks.
+    pub fn inner_oracle(&self) -> &Hashtogram {
+        &self.inner_proto
+    }
+
+    /// The outer (full-domain) oracle — exposed for audits and
+    /// client-path benchmarks.
+    pub fn outer_oracle(&self) -> &Hashtogram {
+        &self.outer
+    }
+
     /// The derivation seed of the public partition (hoistable by batch
     /// paths; one value per sketch instance).
     fn partition_seed(&self) -> u64 {
@@ -227,9 +240,10 @@ impl ExpanderSketch {
     ) {
         let part_seed = self.partition_seed();
         let num_coords = self.params.num_coords as u64;
+        let coins = ClientCoins::new(client_seed);
         for (k, &x) in xs.iter().enumerate() {
             let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
+            let mut rng = coins.user(i);
             let m = Self::coord_at(part_seed, i, num_coords);
             let cell = self.cell_of(m, x);
             let inner = self.inner_proto.respond(i, cell, &mut rng);

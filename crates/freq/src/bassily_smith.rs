@@ -26,7 +26,7 @@ use crate::wire::{
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, KWiseHash};
 use hh_math::par::{par_chunk_map, planned_threads};
-use hh_math::rng::client_rng;
+use hh_math::sampler::{ClientCoins, Uniform64};
 use rand::Rng;
 
 /// Bassily–Smith-style JL projection oracle.
@@ -37,6 +37,9 @@ pub struct BassilySmithOracle {
     /// Projection dimension `w` (rows of Φ).
     w: u64,
     rr: BinaryRandomizedResponse,
+    /// Hoisted row kernel drawing `j ~ U[w]`; `w` is arbitrary, so the
+    /// kernel keeps a precomputed rejection cutoff (divide-free draws).
+    row: Uniform64,
     /// Row-entry sign generator: Φ[j, x] = sign(h(j·|X| + x)); `k`-wise
     /// independence across columns within a row suffices for the
     /// concentration the analysis needs.
@@ -61,6 +64,7 @@ impl BassilySmithOracle {
             eps,
             w,
             rr: BinaryRandomizedResponse::new(eps),
+            row: Uniform64::new(w),
             sign: family.kwise(labels::BS_PROJECTION, 0, 20, 1 << 32),
             tallies: vec![0i64; w as usize],
             acc: Vec::new(),
@@ -80,6 +84,22 @@ impl BassilySmithOracle {
             1.0
         } else {
             -1.0
+        }
+    }
+
+    /// The per-user draw body shared by the scalar
+    /// [`FrequencyOracle::respond`] and the fused encode path: the
+    /// rejection-free row draw through the hoisted `row` kernel, then
+    /// one ε-RR bit through the binary word kernel. Both entry points
+    /// consume identical coin words.
+    fn respond_with<R: Rng + ?Sized>(&self, x: u64, rng: &mut R) -> BsReport {
+        assert!(x < self.domain);
+        let j = self.row.sample(rng);
+        let true_bit = u64::from(self.phi(j, x) > 0.0);
+        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
+        BsReport {
+            row: j,
+            bit: if sent == 1 { 1 } else { -1 },
         }
     }
 }
@@ -144,14 +164,7 @@ impl FrequencyOracle for BassilySmithOracle {
     type Shard = BsShard;
 
     fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> BsReport {
-        assert!(x < self.domain);
-        let j = rng.gen_range(0..self.w);
-        let true_bit = u64::from(self.phi(j, x) > 0.0);
-        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
-        BsReport {
-            row: j,
-            bit: if sent == 1 { 1 } else { -1 },
-        }
+        self.respond_with(x, rng)
     }
 
     fn respond_encode_batch(
@@ -161,19 +174,17 @@ impl FrequencyOracle for BassilySmithOracle {
         client_seed: u64,
         out: &mut Vec<u8>,
     ) -> Vec<u32> {
-        // Fused: pack `row·2 + bit` straight into the wire buffer, same
-        // per-user draws (row, then RR coin) as the default respond path.
+        // Fused: pack `row·2 + bit` straight into the wire buffer —
+        // `respond_with` is the same draw body the scalar path runs,
+        // coin streams included, with the stream deriver hoisted.
+        let coins = ClientCoins::new(client_seed);
         xs.iter()
             .enumerate()
             .map(|(k, &x)| {
-                assert!(x < self.domain);
-                let i = start_index + k as u64;
-                let mut rng = client_rng(client_seed, i);
-                let j = rng.gen_range(0..self.w);
-                let true_bit = u64::from(self.phi(j, x) > 0.0);
-                let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
+                let mut rng = coins.user(start_index + k as u64);
+                let rep = self.respond_with(x, &mut rng);
                 let before = out.len();
-                write_uint(out, pack_row_bit(j, if sent == 1 { 1 } else { -1 }));
+                write_uint(out, pack_row_bit(rep.row, rep.bit));
                 (out.len() - before) as u32
             })
             .collect()

@@ -36,7 +36,8 @@ use crate::wire::{
 use hh_hash::family::labels;
 use hh_hash::{HashFamily, PairwiseHash, SignHash};
 use hh_math::par::{par_map_owned, FinishScratch};
-use hh_math::rng::{client_rng, derive_seed};
+use hh_math::rng::derive_seed;
+use hh_math::sampler::{ClientCoins, Uniform64};
 use hh_math::stats::median_in_place;
 use hh_math::wht::{fwht, fwht_threaded, hadamard_entry};
 use rand::Rng;
@@ -235,6 +236,9 @@ pub struct Hashtogram {
     bucket_hashes: Vec<PairwiseHash>,
     sign_hashes: Vec<SignHash>,
     rr: BinaryRandomizedResponse,
+    /// Hoisted row kernel drawing `ℓ ~ U[W]`; `W` is a power of two, so
+    /// the draw is the top bits of one coin word and never rejects.
+    row: Uniform64,
     /// Per-group ±1 report tallies over Hadamard rows (before finalize).
     ///
     /// Integers, not debiased floats: integer addition is associative, so
@@ -272,6 +276,7 @@ impl Hashtogram {
             .map(|r| family.sign(labels::HASHTOGRAM_BUCKET + 1000, r))
             .collect();
         let rr = BinaryRandomizedResponse::new(params.eps);
+        let row = Uniform64::new(params.buckets);
         let tallies = vec![vec![0i64; params.buckets as usize]; params.groups];
         let group_counts = vec![0; params.groups];
         Self {
@@ -280,6 +285,7 @@ impl Hashtogram {
             bucket_hashes,
             sign_hashes,
             rr,
+            row,
             tallies,
             acc: Vec::new(),
             group_counts,
@@ -358,22 +364,32 @@ impl Hashtogram {
     ) {
         let assign_seed = self.assignment_seed();
         let groups = self.params.groups as u64;
-        let buckets = self.params.buckets;
+        let coins = ClientCoins::new(client_seed);
         for (k, &x) in xs.iter().enumerate() {
-            assert!(x < self.params.domain, "input {x} outside domain");
             let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
+            let mut rng = coins.user(i);
             let group = Self::group_at(assign_seed, i, groups);
-            let b = self.bucket(group, x);
-            let s = self.sign(group, x);
-            let ell = rng.gen_range(0..buckets);
-            let true_pm = i64::from(hadamard_entry(ell, b)) * s;
-            let true_bit = u64::from(true_pm > 0);
-            let sent = self.rr.sample(RandomizerInput::Value(true_bit), &mut rng);
-            emit(HashtogramReport {
-                ell,
-                bit: if sent == 1 { 1 } else { -1 },
-            });
+            emit(self.respond_with(group, x, &mut rng));
+        }
+    }
+
+    /// The per-user draw body shared by the scalar
+    /// [`FrequencyOracle::respond`] and [`Hashtogram::respond_each`]:
+    /// one coin word for the Hadamard row (via the hoisted `row` kernel;
+    /// `W` is a power of two, so the draw never rejects) and one ε-RR
+    /// bit through the binary word kernel. Both entry points consume
+    /// identical coin words, so serial and fused runs agree bit for bit.
+    fn respond_with<R: Rng + ?Sized>(&self, group: u32, x: u64, rng: &mut R) -> HashtogramReport {
+        assert!(x < self.params.domain, "input {x} outside domain");
+        let b = self.bucket(group, x);
+        let s = self.sign(group, x);
+        let ell = self.row.sample(rng);
+        let true_pm = i64::from(hadamard_entry(ell, b)) * s;
+        let true_bit = u64::from(true_pm > 0);
+        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
+        HashtogramReport {
+            ell,
+            bit: if sent == 1 { 1 } else { -1 },
         }
     }
 
@@ -447,18 +463,7 @@ impl FrequencyOracle for Hashtogram {
     type Shard = HashtogramShard;
 
     fn respond<R: Rng + ?Sized>(&self, user_index: u64, x: u64, rng: &mut R) -> HashtogramReport {
-        assert!(x < self.params.domain, "input {x} outside domain");
-        let group = self.group_of(user_index);
-        let b = self.bucket(group, x);
-        let s = self.sign(group, x);
-        let ell = rng.gen_range(0..self.params.buckets);
-        let true_pm = i64::from(hadamard_entry(ell, b)) * s;
-        let true_bit = u64::from(true_pm > 0);
-        let sent = self.rr.sample(RandomizerInput::Value(true_bit), rng);
-        HashtogramReport {
-            ell,
-            bit: if sent == 1 { 1 } else { -1 },
-        }
+        self.respond_with(self.group_of(user_index), x, rng)
     }
 
     fn respond_batch(

@@ -12,7 +12,7 @@ use crate::wire::{
     count_run_len, read_count_run, read_uint, varint_len, write_count_run, write_uint,
     write_varint, FrameError, ShardReader, WireError, WireFrames, WireShard,
 };
-use hh_math::rng::client_rng;
+use hh_math::sampler::ClientCoins;
 use rand::Rng;
 
 /// GRR-based frequency oracle over `[k]`.
@@ -89,13 +89,16 @@ impl FrequencyOracle for KrrOracle {
         out: &mut Vec<u8>,
     ) -> Vec<u32> {
         // Fused: sample each GRR output straight into the wire buffer,
-        // same per-user coin streams as the default respond path.
+        // same per-user coin streams and keep-vs-lie kernel as the
+        // scalar respond path (hoisted out of the per-user loop).
+        let coins = ClientCoins::new(client_seed);
+        let kernel = self.grr.kernel();
         xs.iter()
             .enumerate()
             .map(|(k, &x)| {
-                let i = start_index + k as u64;
-                let mut rng = client_rng(client_seed, i);
-                let v = self.grr.sample(RandomizerInput::Value(x), &mut rng);
+                assert!(x < self.k, "input {x} outside [k]");
+                let mut rng = coins.user(start_index + k as u64);
+                let v = kernel.sample(x, &mut rng);
                 let before = out.len();
                 write_uint(out, v);
                 (out.len() - before) as u32

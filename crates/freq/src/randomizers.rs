@@ -7,6 +7,7 @@
 //! privacy parameters in tests.
 
 use crate::traits::{LocalRandomizer, RandomizerInput};
+use hh_math::sampler::{Bernoulli, GrrSampler, Uniform64};
 use rand::Rng;
 
 /// Binary randomized response (Warner): keep the bit w.p. `e^ε/(e^ε+1)`.
@@ -16,21 +17,30 @@ use rand::Rng;
 pub struct BinaryRandomizedResponse {
     eps: f64,
     keep: f64,
+    coin: Bernoulli,
 }
 
 impl BinaryRandomizedResponse {
     /// ε-DP binary randomized response.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0, "eps must be positive");
+        let keep = eps.exp() / (eps.exp() + 1.0);
         Self {
             eps,
-            keep: eps.exp() / (eps.exp() + 1.0),
+            keep,
+            coin: Bernoulli::new(keep),
         }
     }
 
     /// Probability of transmitting the true bit.
     pub fn keep_probability(&self) -> f64 {
         self.keep
+    }
+
+    /// The word-level keep coin — the single sampling kernel every call
+    /// site (scalar, batched, fused) draws through.
+    pub fn keep_coin(&self) -> Bernoulli {
+        self.coin
     }
 
     /// The unbiasing factor `c_ε = (e^ε+1)/(e^ε−1)`: `c_ε·(±1 response)`
@@ -47,27 +57,22 @@ impl LocalRandomizer for BinaryRandomizedResponse {
 
     fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
         match x {
-            RandomizerInput::Value(v) => {
-                let bit = v & 1;
-                if rng.gen::<f64>() < self.keep {
-                    bit
-                } else {
-                    1 - bit
-                }
-            }
-            RandomizerInput::Null => rng.gen_range(0..2),
+            // One word: threshold-compared biased coin (the kernel).
+            RandomizerInput::Value(v) => (v & 1) ^ u64::from(!self.coin.sample(rng)),
+            // One word: a fair bit from the top of the word.
+            RandomizerInput::Null => rng.next_u64() >> 63,
         }
     }
 
     fn sample_batch<R: Rng + ?Sized>(&self, xs: &[RandomizerInput], rng: &mut R) -> Vec<u64> {
-        // Branch-light bulk path: one uniform draw per input, flip by
-        // comparison. Draw order matches repeated `sample` calls, so the
-        // output stream is identical to the default implementation.
+        // Branch-light bulk path through the same kernel; both paths
+        // consume exactly one word per input, so the output stream is
+        // identical to the default implementation.
         let mut out = Vec::with_capacity(xs.len());
         for &x in xs {
             out.push(match x {
-                RandomizerInput::Value(v) => (v & 1) ^ u64::from(rng.gen::<f64>() >= self.keep),
-                RandomizerInput::Null => rng.gen_range(0..2),
+                RandomizerInput::Value(v) => (v & 1) ^ u64::from(!self.coin.sample(rng)),
+                RandomizerInput::Null => rng.next_u64() >> 63,
             });
         }
         out
@@ -102,6 +107,8 @@ pub struct GeneralizedRandomizedResponse {
     eps: f64,
     p_true: f64,
     p_other: f64,
+    sampler: GrrSampler,
+    uniform: Uniform64,
 }
 
 impl GeneralizedRandomizedResponse {
@@ -110,17 +117,25 @@ impl GeneralizedRandomizedResponse {
         assert!(k >= 2, "domain must have at least 2 elements");
         assert!(eps > 0.0);
         let e = eps.exp();
+        let p_true = e / (e + k as f64 - 1.0);
         Self {
             k,
             eps,
-            p_true: e / (e + k as f64 - 1.0),
+            p_true,
             p_other: 1.0 / (e + k as f64 - 1.0),
+            sampler: GrrSampler::new(k, p_true),
+            uniform: Uniform64::new(k),
         }
     }
 
     /// Unbiased count estimator helpers: `(count − n·p_other) / (p_true − p_other)`.
     pub fn debias(&self, count: f64, n: f64) -> f64 {
         (count - n * self.p_other) / (self.p_true - self.p_other)
+    }
+
+    /// The one-word keep-vs-lie kernel every call site draws through.
+    pub fn kernel(&self) -> GrrSampler {
+        self.sampler
     }
 }
 
@@ -133,19 +148,10 @@ impl LocalRandomizer for GeneralizedRandomizedResponse {
         match x {
             RandomizerInput::Value(v) => {
                 assert!(v < self.k, "input {v} outside [k]");
-                if rng.gen::<f64>() < self.p_true {
-                    v
-                } else {
-                    // Uniform over the other k−1 values.
-                    let r = rng.gen_range(0..self.k - 1);
-                    if r >= v {
-                        r + 1
-                    } else {
-                        r
-                    }
-                }
+                // One word decides keep-vs-lie and the lie value.
+                self.sampler.sample(v, rng)
             }
-            RandomizerInput::Null => rng.gen_range(0..self.k),
+            RandomizerInput::Null => self.uniform.sample(rng),
         }
     }
 
@@ -177,6 +183,7 @@ impl LocalRandomizer for GeneralizedRandomizedResponse {
 #[derive(Debug, Clone)]
 pub struct HadamardResponse {
     w: u64,
+    row: Uniform64,
     rr: BinaryRandomizedResponse,
 }
 
@@ -186,6 +193,9 @@ impl HadamardResponse {
         assert!(w.is_power_of_two(), "W must be a power of two");
         Self {
             w,
+            // Power-of-two span: the widening multiply keeps the top
+            // log2(W) bits of one word, never rejecting.
+            row: Uniform64::new(w),
             rr: BinaryRandomizedResponse::new(eps),
         }
     }
@@ -211,7 +221,7 @@ impl LocalRandomizer for HadamardResponse {
     }
 
     fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
-        let ell = rng.gen_range(0..self.w);
+        let ell = self.row.sample(rng);
         match x {
             RandomizerInput::Value(v) => {
                 assert!(v < self.w, "bucket {v} outside [W]");
@@ -219,7 +229,7 @@ impl LocalRandomizer for HadamardResponse {
                 let bit = self.rr.sample(RandomizerInput::Value(true_bit), rng);
                 2 * ell + bit
             }
-            RandomizerInput::Null => 2 * ell + rng.gen_range(0..2u64),
+            RandomizerInput::Null => 2 * ell + (rng.next_u64() >> 63),
         }
     }
 
@@ -252,6 +262,7 @@ impl LocalRandomizer for HadamardResponse {
 pub struct RevealingRandomizer {
     grr: GeneralizedRandomizedResponse,
     delta: f64,
+    reveal: Bernoulli,
     k: u64,
 }
 
@@ -262,6 +273,7 @@ impl RevealingRandomizer {
         Self {
             grr: GeneralizedRandomizedResponse::new(k, eps),
             delta,
+            reveal: Bernoulli::new(delta),
             k,
         }
     }
@@ -275,7 +287,7 @@ impl LocalRandomizer for RevealingRandomizer {
     fn sample<R: Rng + ?Sized>(&self, x: RandomizerInput, rng: &mut R) -> u64 {
         match x {
             RandomizerInput::Value(v) => {
-                if rng.gen::<f64>() < self.delta {
+                if self.reveal.sample(rng) {
                     self.k + v
                 } else {
                     self.grr.sample(x, rng)

@@ -14,7 +14,7 @@ use crate::wire::{
     count_run_len, read_count_run, varint_len, write_count_run, write_varint, FrameError,
     ShardReader, WireError, WireFrames, WireShard,
 };
-use hh_math::rng::client_rng;
+use hh_math::sampler::{Bernoulli, ClientCoins};
 use rand::Rng;
 
 /// Basic RAPPOR over a (small) domain.
@@ -24,6 +24,8 @@ pub struct Rappor {
     eps: f64,
     /// Pr[bit transmitted truthfully].
     keep: f64,
+    /// Word-level kernel flipping each bit with probability `1 - keep`.
+    flip: Bernoulli,
     /// Accumulated ones per position.
     ones: Vec<u64>,
     total: u64,
@@ -38,18 +40,58 @@ impl Rappor {
         assert!(domain <= 1 << 22, "one-hot RAPPOR beyond 2^22 is pointless");
         assert!(eps > 0.0);
         let half = eps / 2.0;
+        let keep = half.exp() / (half.exp() + 1.0);
         Self {
             domain,
             eps,
-            keep: half.exp() / (half.exp() + 1.0),
+            keep,
+            flip: Bernoulli::new(1.0 - keep),
             ones: vec![0; domain as usize],
             total: 0,
             finalized: false,
         }
     }
 
+    /// Pr\[bit transmitted truthfully\] (`e^{ε/2}/(e^{ε/2}+1)`).
+    pub fn keep_probability(&self) -> f64 {
+        self.keep
+    }
+
     fn q(&self) -> f64 {
         1.0 - self.keep
+    }
+
+    /// Sample the perturbed bitvector of a user holding `x` into `out`
+    /// (exactly `domain.div_ceil(8)` bytes) — the one flip loop both
+    /// [`FrequencyOracle::respond`] and the fused
+    /// [`FrequencyOracle::respond_encode_batch`] run.
+    ///
+    /// Per 64 positions the report is `truth_word XOR flip_mask`, with
+    /// the flip mask drawn by the bit-parallel Bernoulli kernel at flip
+    /// probability `1 - keep` — a handful of words per 64 positions
+    /// instead of one `f64` draw per position.
+    fn respond_into<R: Rng + ?Sized>(&self, x: u64, rng: &mut R, out: &mut [u8]) {
+        assert!(x < self.domain);
+        debug_assert_eq!(out.len(), (self.domain as usize).div_ceil(8));
+        let words = (self.domain as usize).div_ceil(64);
+        for w in 0..words {
+            let lo = (w as u64) * 64;
+            let truth = if (lo..lo + 64).contains(&x) {
+                1u64 << (x - lo)
+            } else {
+                0
+            };
+            let mut sent = truth ^ self.flip.sample_word(rng);
+            let valid = (self.domain - lo).min(64);
+            if valid < 64 {
+                // Positions beyond the domain stay zero on the wire.
+                sent &= (1u64 << valid) - 1;
+            }
+            let bytes = sent.to_le_bytes();
+            let start = w * 8;
+            let nb = (out.len() - start).min(8);
+            out[start..start + nb].copy_from_slice(&bytes[..nb]);
+        }
     }
 }
 
@@ -88,19 +130,8 @@ impl FrequencyOracle for Rappor {
     type Shard = RapporShard;
 
     fn respond<R: Rng + ?Sized>(&self, _user_index: u64, x: u64, rng: &mut R) -> Vec<u8> {
-        assert!(x < self.domain);
         let mut out = vec![0u8; (self.domain as usize).div_ceil(8)];
-        for j in 0..self.domain {
-            let true_bit = j == x;
-            let sent = if rng.gen::<f64>() < self.keep {
-                true_bit
-            } else {
-                !true_bit
-            };
-            if sent {
-                out[(j / 8) as usize] |= 1 << (j % 8);
-            }
-        }
+        self.respond_into(x, rng, &mut out);
         out
     }
 
@@ -111,30 +142,18 @@ impl FrequencyOracle for Rappor {
         client_seed: u64,
         out: &mut Vec<u8>,
     ) -> Vec<u32> {
-        // Fused: flip bits straight into the wire buffer — the report
+        // Fused: flip words straight into the wire buffer — the report
         // *is* its wire format, so this skips one dense bitvector
-        // allocation per user (the dominant client-side cost of the
-        // one-hot baseline). Draw order per user matches `respond`
-        // exactly: one coin per domain position.
+        // allocation per user, and `respond_into` is the same kernel
+        // loop `respond` runs, word streams included.
+        let coins = ClientCoins::new(client_seed);
         let len = (self.domain as usize).div_ceil(8);
         let mut lens = Vec::with_capacity(xs.len());
         for (k, &x) in xs.iter().enumerate() {
-            assert!(x < self.domain);
-            let i = start_index + k as u64;
-            let mut rng = client_rng(client_seed, i);
+            let mut rng = coins.user(start_index + k as u64);
             let base = out.len();
             out.resize(base + len, 0);
-            for j in 0..self.domain {
-                let true_bit = j == x;
-                let sent = if rng.gen::<f64>() < self.keep {
-                    true_bit
-                } else {
-                    !true_bit
-                };
-                if sent {
-                    out[base + (j / 8) as usize] |= 1 << (j % 8);
-                }
-            }
+            self.respond_into(x, &mut rng, &mut out[base..]);
             lens.push(len as u32);
         }
         lens

@@ -234,6 +234,11 @@ impl Zipf {
         self.n
     }
 
+    /// The exponent `s` (for tabulated fast paths that rebuild the pmf).
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
     fn inv_envelope_cdf(&self, u: f64) -> f64 {
         // Inverse of the envelope cdf built from the density 1 on [0,1] and
         // x^{-s} on [1, n].

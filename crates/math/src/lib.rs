@@ -24,6 +24,9 @@
 //! * [`stats`] — summary statistics and Monte-Carlo confidence intervals.
 //! * [`rng`] — deterministic seed derivation for protocol public randomness
 //!   and the per-user client coin streams of the batch pipeline.
+//! * [`sampler`] — word-level client sampling kernels: bit-parallel
+//!   Bernoulli, one-draw generalized randomized response, divide-free
+//!   uniform range reduction, and the per-user coin stream deriver.
 //! * [`par`] — deterministic parallel chunk mapping (the batched drivers'
 //!   execution substrate).
 
@@ -34,9 +37,11 @@ pub mod info;
 pub mod par;
 pub mod poisson;
 pub mod rng;
+pub mod sampler;
 pub mod special;
 pub mod stats;
 pub mod wht;
 
 pub use par::{par_chunk_map, par_map_indexed, FinishScratch};
 pub use rng::{client_rng, derive_seed, seeded_rng};
+pub use sampler::{Bernoulli, ClientCoins, ClientRng, GrrSampler, Uniform64};

@@ -6,13 +6,21 @@
 //! from that seed with a SplitMix64 hop, so adding components never
 //! perturbs existing streams and all runs are exactly reproducible.
 
+use crate::sampler::{ClientCoins, ClientRng};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// The SplitMix64 sequence increment (Weyl constant).
+pub(crate) const SPLITMIX_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The label pre-multiplier of [`derive_seed`] (an odd constant so the
+/// multiply is a bijection on labels).
+pub(crate) const LABEL_MUL: u64 = 0xA24B_AED4_963E_E407;
 
 /// SplitMix64 finalizer — a high-quality 64-bit mixer.
 #[inline]
 pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(SPLITMIX_GAMMA);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -23,7 +31,7 @@ pub fn splitmix64(mut z: u64) -> u64 {
 /// Labels are small integers or hashed strings; derivation is collision
 /// resistant enough for distinct small labels (full 64-bit mixing).
 pub fn derive_seed(parent: u64, label: u64) -> u64 {
-    splitmix64(parent ^ splitmix64(label.wrapping_mul(0xA24B_AED4_963E_E407)))
+    splitmix64(parent ^ splitmix64(label.wrapping_mul(LABEL_MUL)))
 }
 
 /// A fast, seedable RNG for simulations (not cryptographic — the privacy
@@ -40,8 +48,13 @@ pub fn seeded_rng(seed: u64) -> SmallRng {
 /// the order other users are processed. This is what makes
 /// `run_heavy_hitter_batched` bit-for-bit equivalent to the serial runner
 /// at any parallelism.
-pub fn client_rng(client_seed: u64, user_index: u64) -> SmallRng {
-    seeded_rng(derive_seed(client_seed, user_index))
+///
+/// The stream is SplitMix64 from `derive_seed(client_seed, user_index)`
+/// (see [`crate::sampler::ClientRng`]); batch encoders amortize the
+/// derivation over user runs with [`crate::sampler::ClientCoins`], of
+/// which this function is the single-user entry point.
+pub fn client_rng(client_seed: u64, user_index: u64) -> ClientRng {
+    ClientCoins::new(client_seed).user(user_index)
 }
 
 #[cfg(test)]

@@ -1,0 +1,462 @@
+//! Word-level client sampling kernels — the single canonical coin path
+//! of every protocol's client algorithm.
+//!
+//! The client side of an LDP protocol is pure coin flipping: biased bits
+//! (randomized response), uniform indices (row/bucket picks), and a
+//! categorical keep-vs-lie draw (generalized randomized response). Before
+//! these kernels, each coin cost one `f64` conversion and compare, or a
+//! 128-bit modulo, per flip. The kernels below work directly on the raw
+//! `u64` words of the underlying generator:
+//!
+//! * [`Bernoulli`] — a fixed-point threshold compare for single biased
+//!   bits, and [`Bernoulli::sample_word`], which produces **64
+//!   independent biased bits from a handful of words** by lazily
+//!   combining fair-coin words against the binary expansion of `p`;
+//! * [`GrrSampler`] — one word decides *both* keep-vs-lie and the lie
+//!   value for generalized randomized response;
+//! * [`Uniform64`] — exactly uniform range reduction with a
+//!   widening multiply (Lemire) whose hot path has no divide;
+//! * [`ClientCoins`] / [`ClientRng`] — the per-user coin streams of the
+//!   batch execution contract, derived in bulk with SplitMix64 hops
+//!   instead of a full xoshiro256++ construction per user.
+//!
+//! # One draw per 64 bits
+//!
+//! [`Bernoulli::sample_word`] compares 64 uniform reals against `p` in
+//! parallel, bit-plane by bit-plane. Round `r` draws one fair word `w`
+//! whose lane `j` is the `r`-th most significant bit of lane `j`'s
+//! uniform `u_j`; a lane is decided the first time its bit differs from
+//! the matching bit of `p`'s binary expansion (`u_j < p` iff the first
+//! differing bit has `u_j = 0`, `p = 1`). Each round decides half the
+//! remaining lanes in expectation, so all 64 lanes finish after
+//! `log2(64) + O(1) ≈ 8` words — one word of randomness per ~8 biased
+//! bits, versus one word *per bit* for the scalar `f64` path — and the
+//! result is exact: lane `j` is 1 with probability exactly
+//! `⌊p·2^64⌉ / 2^64`.
+//!
+//! # Stream contract
+//!
+//! Every kernel consumes whole words via [`RngCore::next_u64`] and
+//! nothing else, so the serial per-user path (`respond` with
+//! [`crate::rng::client_rng`]) and the fused batch path
+//! (`respond_encode_batch`) run the *same* kernel over the *same* words —
+//! one implementation, bit-for-bit equal outputs. The number of words a
+//! kernel consumes is a deterministic function of the stream values, so
+//! equivalence holds across chunking, threading, and merge order.
+
+use crate::rng::{splitmix64, LABEL_MUL, SPLITMIX_GAMMA};
+use rand::RngCore;
+
+/// A Bernoulli sampler with fixed-point parameter `⌊p·2^64⌉ / 2^64`.
+///
+/// Probabilities are quantized to multiples of `2^-64` (so `p = 1.0` is
+/// realized as `1 - 2^-64`); every workspace probability is an `f64` with
+/// at most 53 significant bits, so the quantization error is below any
+/// statistical resolution and the realized probability is *exact* — the
+/// `sampler_statistics` integration tests pin protocol marginals against
+/// [`Bernoulli::p`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bernoulli {
+    threshold: u64,
+}
+
+impl Bernoulli {
+    /// Sampler with `P(true) = ⌊p·2^64⌉ / 2^64`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability: {p}");
+        let scaled = (p * 2f64.powi(64)).round();
+        let threshold = if scaled >= 2f64.powi(64) {
+            u64::MAX
+        } else {
+            scaled as u64
+        };
+        Self { threshold }
+    }
+
+    /// The exact realized probability, `threshold / 2^64`.
+    pub fn p(&self) -> f64 {
+        self.threshold as f64 * 2f64.powi(-64)
+    }
+
+    /// The fixed-point threshold (`P(true) = threshold / 2^64`).
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// One biased bit: a single word compared against the threshold.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() < self.threshold
+    }
+
+    /// 64 independent biased bits in one word (see the module docs for
+    /// the bit-plane construction and its ~8-words-per-call cost).
+    ///
+    /// Consumes one word per round; rounds stop as soon as every lane is
+    /// decided or the remaining bits of the threshold's binary expansion
+    /// are all zero (undecided lanes then resolve to 0, since their
+    /// uniform is `>= p`). The consumption count is a deterministic
+    /// function of the drawn words, preserving the stream contract.
+    #[inline]
+    pub fn sample_word<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut result = 0u64;
+        let mut undecided = !0u64;
+        let mut t = self.threshold;
+        while undecided != 0 && t != 0 {
+            let w = rng.next_u64();
+            if t >> 63 != 0 {
+                // Expansion bit 1: lanes with a 0 bit are decided true.
+                result |= undecided & !w;
+                undecided &= w;
+            } else {
+                // Expansion bit 0: lanes with a 1 bit are decided false.
+                undecided &= !w;
+            }
+            t <<= 1;
+        }
+        result
+    }
+}
+
+/// Exactly uniform draws from `[0, span)` — Lemire's widening-multiply
+/// reduction with the `2^64 mod span` rejection bound hoisted to
+/// construction, so the per-draw hot path is one 64×64→128 multiply and
+/// one compare (no divide of any width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uniform64 {
+    span: u64,
+    reject_below: u64,
+}
+
+impl Uniform64 {
+    /// Sampler over `[0, span)`.
+    ///
+    /// # Panics
+    /// If `span == 0`.
+    pub fn new(span: u64) -> Self {
+        assert!(span > 0, "cannot sample an empty range");
+        Self {
+            span,
+            // 2^64 mod span: a word whose widening product has low half
+            // below this lands in the truncated final block and is
+            // redrawn (probability at most span / 2^64).
+            reject_below: span.wrapping_neg() % span,
+        }
+    }
+
+    /// The exclusive upper bound.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// One exactly uniform draw.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let m = (rng.next_u64() as u128) * (self.span as u128);
+            if (m as u64) >= self.reject_below {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Generalized randomized response in one word: the draw decides
+/// keep-vs-lie *and* the lie value.
+///
+/// The widening product `w · (k-1)` yields the lie candidate in its high
+/// half (a uniform index into the `k-1` non-truth values) and a uniform
+/// fixed-point fraction in its low half, which is compared against
+/// `⌊p_true·2^64⌉` for the keep decision. The two halves are
+/// independent up to a total-variation error below `k/2^64` (each lie
+/// value's word count is off by at most one), which is beyond any
+/// statistical resolution for every feasible `k`; the statistical
+/// conformance tests pin the keep/lie split against the analytic
+/// probabilities. This replaces an `f64` convert+compare *plus* a
+/// 128-bit-modulo `gen_range` per report with one multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrrSampler {
+    k: u64,
+    keep_threshold: u64,
+}
+
+impl GrrSampler {
+    /// Sampler over a `k`-value domain keeping the truth with
+    /// probability `p_true` (quantized to `2^-64`), lying uniformly
+    /// otherwise.
+    ///
+    /// # Panics
+    /// If `k == 0` or `p_true` is not in `[0, 1]`.
+    pub fn new(k: u64, p_true: f64) -> Self {
+        assert!(k > 0, "domain must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&p_true),
+            "p_true must be a probability: {p_true}"
+        );
+        let scaled = (p_true * 2f64.powi(64)).round();
+        let keep_threshold = if scaled >= 2f64.powi(64) {
+            u64::MAX
+        } else {
+            scaled as u64
+        };
+        Self { k, keep_threshold }
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The exact realized keep probability.
+    pub fn p_keep(&self) -> f64 {
+        self.keep_threshold as f64 * 2f64.powi(-64)
+    }
+
+    /// One response for a user whose true value is `truth` (`< k`).
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, truth: u64, rng: &mut R) -> u64 {
+        debug_assert!(truth < self.k);
+        if self.k == 1 {
+            return truth;
+        }
+        let m = (rng.next_u64() as u128) * ((self.k - 1) as u128);
+        if (m as u64) < self.keep_threshold {
+            truth
+        } else {
+            // High half: uniform over the k-1 non-truth values, encoded
+            // by skipping the truth.
+            let r = (m >> 64) as u64;
+            if r >= truth {
+                r + 1
+            } else {
+                r
+            }
+        }
+    }
+}
+
+/// The canonical per-user client coin stream: SplitMix64 from the
+/// derived state `derive_seed(client_seed, user_index)`.
+///
+/// SplitMix64 is a full-period 64-bit generator (Steele–Lea–Flood) whose
+/// construction is two mixes of the seed material — versus four mixes
+/// plus 256-bit state setup for the previous xoshiro256++ streams — so
+/// batch encoders pay almost nothing per user. Constructed via
+/// [`crate::rng::client_rng`] or [`ClientCoins::user`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRng {
+    state: u64,
+}
+
+impl ClientRng {
+    /// Resume a stream from a raw state word (as produced by
+    /// [`ClientCoins::fill_states`]).
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for ClientRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state);
+        self.state = self.state.wrapping_add(SPLITMIX_GAMMA);
+        out
+    }
+}
+
+/// Block deriver for per-user coin streams: turns one `client_seed` into
+/// the streams of any contiguous user range without re-deriving shared
+/// material per user.
+///
+/// `ClientCoins::new(seed).user(i)` is *the* definition of user `i`'s
+/// coins ([`crate::rng::client_rng`] delegates here), so every execution
+/// mode — serial, batched, distributed, pipelined — reads identical
+/// words for identical users regardless of chunking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientCoins {
+    client_seed: u64,
+}
+
+impl ClientCoins {
+    /// Deriver for one run's client seed.
+    pub fn new(client_seed: u64) -> Self {
+        Self { client_seed }
+    }
+
+    /// User `user_index`'s coin stream.
+    #[inline]
+    pub fn user(&self, user_index: u64) -> ClientRng {
+        ClientRng {
+            state: splitmix64(self.client_seed ^ splitmix64(user_index.wrapping_mul(LABEL_MUL))),
+        }
+    }
+
+    /// Fill `out[j]` with the initial stream state of user
+    /// `start_index + j` — the batched SplitMix hop: the label multiply
+    /// is strength-reduced to an addition across the run, and the two
+    /// mixes per user are the only remaining per-user work.
+    pub fn fill_states(&self, start_index: u64, out: &mut [u64]) {
+        let mut label = start_index.wrapping_mul(LABEL_MUL);
+        for slot in out {
+            *slot = splitmix64(self.client_seed ^ splitmix64(label));
+            label = label.wrapping_add(LABEL_MUL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{client_rng, derive_seed, seeded_rng};
+    use rand::Rng;
+
+    #[test]
+    fn threshold_sample_matches_probability() {
+        let b = Bernoulli::new(0.3);
+        let mut rng = seeded_rng(1);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| b.sample(&mut rng)).count();
+        assert!((hits as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn word_sampler_matches_probability_per_lane() {
+        let b = Bernoulli::new(0.7);
+        let mut rng = seeded_rng(2);
+        let mut per_lane = [0u64; 64];
+        let reps = 20_000;
+        for _ in 0..reps {
+            let w = b.sample_word(&mut rng);
+            for (j, c) in per_lane.iter_mut().enumerate() {
+                *c += (w >> j) & 1;
+            }
+        }
+        for (j, &c) in per_lane.iter().enumerate() {
+            let f = c as f64 / reps as f64;
+            assert!((f - 0.7).abs() < 0.03, "lane {j}: {f}");
+        }
+    }
+
+    #[test]
+    fn word_sampler_degenerate_probabilities() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(Bernoulli::new(0.0).sample_word(&mut rng), 0);
+        // p = 1 quantizes to 1 - 2^-64: all-ones words up to the
+        // astronomically unlikely 64-deep tie.
+        assert_eq!(Bernoulli::new(1.0).sample_word(&mut rng), !0u64);
+        assert!(!Bernoulli::new(0.0).sample(&mut rng));
+        assert!(Bernoulli::new(1.0).sample(&mut rng));
+    }
+
+    #[test]
+    fn word_sampler_uses_few_words() {
+        struct Counting<R> {
+            inner: R,
+            calls: u64,
+        }
+        impl<R: RngCore> RngCore for Counting<R> {
+            fn next_u64(&mut self) -> u64 {
+                self.calls += 1;
+                self.inner.next_u64()
+            }
+        }
+        let b = Bernoulli::new(0.5f64.exp() / (0.5f64.exp() + 1.0));
+        let mut rng = Counting {
+            inner: seeded_rng(4),
+            calls: 0,
+        };
+        let reps = 5_000u64;
+        for _ in 0..reps {
+            let _ = b.sample_word(&mut rng);
+        }
+        let per_word = rng.calls as f64 / reps as f64;
+        // ~8 expected; the bound just pins the order of magnitude.
+        assert!(per_word < 16.0, "words per 64-bit sample: {per_word}");
+    }
+
+    #[test]
+    fn uniform64_is_in_range_and_covers() {
+        let u = Uniform64::new(7);
+        let mut rng = seeded_rng(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // span 1 never consults the word distribution's value.
+        let one = Uniform64::new(1);
+        assert_eq!(one.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn grr_keeps_and_lies_at_the_right_rates() {
+        let k = 16u64;
+        let eps = 1.0f64;
+        let p_true = eps.exp() / (eps.exp() + (k - 1) as f64);
+        let g = GrrSampler::new(k, p_true);
+        let mut rng = seeded_rng(6);
+        let truth = 5u64;
+        let n = 200_000;
+        let mut counts = vec![0u64; k as usize];
+        for _ in 0..n {
+            counts[g.sample(truth, &mut rng) as usize] += 1;
+        }
+        let kept = counts[truth as usize] as f64 / n as f64;
+        assert!((kept - p_true).abs() < 0.01, "keep rate {kept} vs {p_true}");
+        let p_other = (1.0 - p_true) / (k - 1) as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            if v as u64 != truth {
+                let f = c as f64 / n as f64;
+                assert!((f - p_other).abs() < 0.01, "lie {v}: {f} vs {p_other}");
+            }
+        }
+    }
+
+    #[test]
+    fn grr_k1_is_the_identity() {
+        let g = GrrSampler::new(1, 0.25);
+        let mut rng = seeded_rng(7);
+        assert_eq!(g.sample(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn client_coins_matches_client_rng() {
+        let coins = ClientCoins::new(0xABCD);
+        for i in [0u64, 1, 2, 1 << 40] {
+            let mut a = coins.user(i);
+            let mut b = client_rng(0xABCD, i);
+            for _ in 0..8 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn fill_states_matches_derive_seed() {
+        let coins = ClientCoins::new(97);
+        let mut states = [0u64; 33];
+        let start = (1u64 << 50) - 3;
+        coins.fill_states(start, &mut states);
+        for (j, &s) in states.iter().enumerate() {
+            assert_eq!(s, derive_seed(97, start + j as u64), "user {j}");
+            let mut via_state = ClientRng::from_state(s);
+            let mut via_user = coins.user(start + j as u64);
+            assert_eq!(via_state.next_u64(), via_user.next_u64());
+        }
+    }
+
+    #[test]
+    fn client_streams_are_well_distributed() {
+        // Smoke: per-user SplitMix64 streams should look uniform enough
+        // for the f64 path too.
+        let mut rng = client_rng(11, 42);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -12,8 +12,9 @@
 //! counts may jitter — the shapes a live telemetry pipeline actually
 //! sees between checkpoints.
 
-use hh_math::dist::Zipf;
+use hh_math::dist::{AliasTable, Zipf};
 use hh_math::rng::{derive_seed, seeded_rng};
+use hh_math::sampler::Bernoulli;
 use rand::Rng;
 
 /// A reproducible workload over a `u64` domain.
@@ -94,37 +95,49 @@ impl Workload {
     }
 
     /// Generate `n` user inputs, reproducibly.
+    ///
+    /// Skewed kinds precompute their sampling plan once per call: Zipf
+    /// heads tabulate into an alias table when the batch amortizes the
+    /// build (O(1) table lookups instead of `powf` rejection rounds) and
+    /// planted mixtures compare one raw coin word against precomputed
+    /// cumulative thresholds (no per-draw `f64` scan). The draws change
+    /// relative to the per-draw code they replace, but every generator
+    /// stays a pure function of `(self, n, seed)`.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
         let mut rng = seeded_rng(seed);
         match &self.kind {
             Kind::Uniform => (0..n).map(|_| rng.gen_range(0..self.domain)).collect(),
             Kind::Zipf { exponent } => {
                 let z = Zipf::new(self.domain, *exponent);
-                (0..n).map(|_| z.sample(&mut rng)).collect()
+                match zipf_alias(&z, n) {
+                    Some(table) => (0..n).map(|_| table.sample(&mut rng) as u64).collect(),
+                    None => (0..n).map(|_| z.sample(&mut rng)).collect(),
+                }
             }
-            Kind::Planted { heavy } => (0..n)
-                .map(|_| {
-                    let u: f64 = rng.gen();
-                    let mut acc = 0.0;
-                    for &(x, f) in heavy {
-                        acc += f;
-                        if u < acc {
-                            return x;
-                        }
-                    }
-                    rng.gen_range(0..self.domain)
-                })
-                .collect(),
+            Kind::Planted { heavy } => {
+                let cdf = PlantedCdf::new(heavy);
+                (0..n)
+                    .map(|_| {
+                        cdf.sample(&mut rng)
+                            .unwrap_or_else(|| rng.gen_range(0..self.domain))
+                    })
+                    .collect()
+            }
             Kind::UrlTelemetry {
                 popular,
                 popular_mass,
                 exponent,
             } => {
                 let z = Zipf::new(*popular, *exponent);
+                let table = zipf_alias(&z, n);
+                let head = Bernoulli::new(*popular_mass);
                 (0..n)
                     .map(|_| {
-                        if rng.gen::<f64>() < *popular_mass {
-                            z.sample(&mut rng)
+                        if head.sample(&mut rng) {
+                            match &table {
+                                Some(t) => t.sample(&mut rng) as u64,
+                                None => z.sample(&mut rng),
+                            }
                         } else {
                             rng.gen_range(0..self.domain)
                         }
@@ -181,6 +194,55 @@ impl Workload {
                 out
             }
         }
+    }
+}
+
+/// Tabulate a Zipf head into an alias table when the domain is small
+/// enough to hold and the batch is large enough to amortize the O(domain)
+/// build (one `powf` per outcome — roughly what a handful of rejection
+/// draws cost). Huge domains (e.g. 2^40 "URLs") keep the rejection
+/// sampler, whose cost is domain-independent.
+fn zipf_alias(z: &Zipf, n: usize) -> Option<AliasTable> {
+    let d = z.domain();
+    if d <= 1 << 20 && n as u64 >= d / 8 {
+        let s = z.exponent();
+        let weights: Vec<f64> = (1..=d).map(|j| (j as f64).powf(-s)).collect();
+        Some(AliasTable::new(&weights))
+    } else {
+        None
+    }
+}
+
+/// Precomputed cumulative thresholds of a planted-heavy mixture: one raw
+/// coin word decides which heavy (or the tail) a draw lands on, replacing
+/// the per-draw `f64` cumulative scan. Thresholds reuse the
+/// [`Bernoulli`] kernel's fixed-point rounding, so each heavy's realized
+/// mass is within 2⁻⁶⁴ of its requested probability.
+struct PlantedCdf {
+    /// `thresholds[i]` = scaled cumulative mass of heavies `0..=i`.
+    thresholds: Vec<u64>,
+    values: Vec<u64>,
+}
+
+impl PlantedCdf {
+    fn new(heavy: &[(u64, f64)]) -> Self {
+        let mut acc = 0.0;
+        let mut thresholds = Vec::with_capacity(heavy.len());
+        let mut values = Vec::with_capacity(heavy.len());
+        for &(x, f) in heavy {
+            acc += f;
+            thresholds.push(Bernoulli::new(acc).threshold());
+            values.push(x);
+        }
+        Self { thresholds, values }
+    }
+
+    /// One draw: `Some(heavy)` or `None` for the uniform tail.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        let w = rng.next_u64();
+        let idx = self.thresholds.partition_point(|&t| t <= w);
+        self.values.get(idx).copied()
     }
 }
 

@@ -1,0 +1,222 @@
+//! Distributional conformance of the word-level client sampling kernels.
+//!
+//! The kernels in `hh_math::sampler` replace the per-coin `f64` draws of
+//! the client paths; these tests pin every flip probability they realize
+//! against the *analytic* LDP marginals — RAPPOR's per-bit flip rate,
+//! generalized randomized response's keep/lie split, the binary-RR bit
+//! rate of the Hadamard-response reports (the bit kernel Hashtogram,
+//! Bitstogram, Scan and the expander sketch all ride), and the uniform
+//! row draw — plus a property test checking the bit-parallel Bernoulli
+//! word kernel against a bit-at-a-time reference on the same coin words.
+
+use ldp_heavy_hitters::freq::krr::KrrOracle;
+use ldp_heavy_hitters::freq::rappor::Rappor;
+use ldp_heavy_hitters::math::sampler::Uniform64;
+use ldp_heavy_hitters::math::wht::hadamard_entry;
+use ldp_heavy_hitters::prelude::*;
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (counts and probabilities in matching order).
+fn chi_square(counts: &[u64], probs: &[f64], total: u64) -> f64 {
+    assert_eq!(counts.len(), probs.len());
+    counts
+        .iter()
+        .zip(probs)
+        .map(|(&c, &p)| {
+            let e = p * total as f64;
+            (c as f64 - e) * (c as f64 - e) / e
+        })
+        .sum()
+}
+
+/// Half-width of a `z`-sigma binomial confidence interval on a rate.
+fn binomial_ci(p: f64, n: u64, z: f64) -> f64 {
+    z * (p * (1.0 - p) / n as f64).sqrt()
+}
+
+#[test]
+fn rappor_per_bit_flip_rate_is_analytic() {
+    let domain = 64u64;
+    let eps = 1.0f64;
+    let oracle = Rappor::new(domain, eps);
+    // Analytic per-bit keep rate: e^{ε/2}/(e^{ε/2} + 1) (sensitivity-2
+    // one-hot flipping splits the budget over the two differing bits).
+    let keep = (eps / 2.0).exp() / ((eps / 2.0).exp() + 1.0);
+    assert!((oracle.keep_probability() - keep).abs() < 1e-15);
+    let q = 1.0 - keep;
+
+    let x = 13u64;
+    let n = 30_000u64;
+    let mut rng = seeded_rng(0xF11F);
+    let mut flipped = 0u64;
+    for i in 0..n {
+        let rep = oracle.respond(i, x, &mut rng);
+        for j in 0..domain {
+            let sent = rep[(j / 8) as usize] >> (j % 8) & 1;
+            let truth = u64::from(j == x) as u8;
+            flipped += u64::from(sent != truth);
+        }
+    }
+    let trials = n * domain;
+    let rate = flipped as f64 / trials as f64;
+    let tol = binomial_ci(q, trials, 5.0);
+    assert!(
+        (rate - q).abs() < tol,
+        "per-bit flip rate {rate} vs analytic {q} (±{tol})"
+    );
+}
+
+#[test]
+fn grr_keep_lie_split_is_analytic() {
+    let k = 16u64;
+    let eps = 1.2f64;
+    let oracle = KrrOracle::new(k, eps);
+    // Analytic GRR marginals: truth with e^ε/(e^ε + k − 1), each lie
+    // with 1/(e^ε + k − 1).
+    let denom = eps.exp() + (k - 1) as f64;
+    let p_true = eps.exp() / denom;
+    let p_lie = 1.0 / denom;
+    assert!((oracle.randomizer().kernel().p_keep() - p_true).abs() < 1e-15);
+
+    let truth = 5u64;
+    let n = 200_000u64;
+    let mut rng = seeded_rng(0x96B);
+    let mut counts = vec![0u64; k as usize];
+    for i in 0..n {
+        counts[oracle.respond(i, truth, &mut rng) as usize] += 1;
+    }
+    let probs: Vec<f64> = (0..k)
+        .map(|v| if v == truth { p_true } else { p_lie })
+        .collect();
+    let stat = chi_square(&counts, &probs, n);
+    // chi² with 15 degrees of freedom: P(stat > 37.7) ≈ 0.001.
+    assert!(stat < 45.0, "GRR keep/lie chi-square {stat}");
+    let kept = counts[truth as usize] as f64 / n as f64;
+    let tol = binomial_ci(p_true, n, 5.0);
+    assert!(
+        (kept - p_true).abs() < tol,
+        "keep rate {kept} vs analytic {p_true} (±{tol})"
+    );
+}
+
+#[test]
+fn hadamard_report_bit_rr_rate_is_analytic() {
+    // The one ε-RR bit of a Hadamard-response report — the bit kernel
+    // every composite protocol (Bitstogram's and the sketch's inner and
+    // outer halves, Scan) routes through Hashtogram. The true bit is
+    // recomputable from public randomness, so the keep rate is
+    // observable exactly.
+    let eps = 1.0f64;
+    let keep = eps.exp() / (eps.exp() + 1.0);
+    let params = HashtogramParams::hashed(1 << 14, 1 << 10, eps, 0.1);
+    let oracle = Hashtogram::new(params, 0xA11CE);
+
+    let x = 77u64;
+    let n = 120_000u64;
+    let mut rng = seeded_rng(0xB17);
+    let mut kept_count = 0u64;
+    for i in 0..n {
+        let rep = oracle.respond(i, x, &mut rng);
+        let g = oracle.group_of(i);
+        let true_pm = i64::from(hadamard_entry(rep.ell, oracle.bucket(g, x))) * oracle.sign(g, x);
+        let true_bit: i8 = if true_pm > 0 { 1 } else { -1 };
+        kept_count += u64::from(rep.bit == true_bit);
+    }
+    let rate = kept_count as f64 / n as f64;
+    let tol = binomial_ci(keep, n, 5.0);
+    assert!(
+        (rate - keep).abs() < tol,
+        "RR bit keep rate {rate} vs analytic {keep} (±{tol})"
+    );
+}
+
+#[test]
+fn uniform_row_draw_is_uniform_on_awkward_span() {
+    // Non-power-of-two span: the Lemire rejection cutoff must leave the
+    // draw exactly uniform (the pre-kernel `u128 %` path was biased).
+    let span = 11u64;
+    let u = Uniform64::new(span);
+    let mut rng = client_rng(0xD1CE, 0);
+    let n = 110_000u64;
+    let mut counts = vec![0u64; span as usize];
+    for _ in 0..n {
+        counts[u.sample(&mut rng) as usize] += 1;
+    }
+    let probs = vec![1.0 / span as f64; span as usize];
+    let stat = chi_square(&counts, &probs, n);
+    // chi² with 10 degrees of freedom: P(stat > 29.6) ≈ 0.001.
+    assert!(stat < 35.0, "uniform row chi-square {stat}");
+}
+
+mod word_kernel_reference {
+    //! The bit-parallel Bernoulli kernel against a bit-at-a-time
+    //! reference on identical coin words: lane `j` compares the binary
+    //! expansion of its uniform (bit `i` = bit `j` of word `i`) against
+    //! the threshold's expansion, MSB first; the lane is 1 exactly when
+    //! the first differing position has the threshold bit set.
+
+    use ldp_heavy_hitters::math::sampler::Bernoulli;
+    use ldp_heavy_hitters::prelude::*;
+    use proptest::prelude::*;
+    use rand::{Rng, RngCore};
+
+    /// Replays a recorded word sequence; panics if the kernel reads past
+    /// the recording (it must consume at most 64 words).
+    struct Replay<'a> {
+        words: &'a [u64],
+        pos: usize,
+    }
+
+    impl RngCore for Replay<'_> {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.pos];
+            self.pos += 1;
+            w
+        }
+    }
+
+    fn reference(threshold: u64, words: &[u64]) -> u64 {
+        let mut out = 0u64;
+        for lane in 0..64 {
+            for (i, word) in words.iter().enumerate().take(64) {
+                // Remaining threshold bits all zero: the lane's uniform
+                // cannot still drop below it — decided 0.
+                if threshold << i == 0 {
+                    break;
+                }
+                let tb = (threshold >> (63 - i)) & 1;
+                let b = (word >> lane) & 1;
+                if b != tb {
+                    out |= tb << lane;
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn word_kernel_matches_bit_at_a_time_reference(
+            raw in 0u64..u64::MAX,
+            word_seed in 0u64..u64::MAX,
+        ) {
+            // p with exactly the f64's 53 significand bits, so the
+            // constructed threshold is the exact scaled value.
+            let p = (raw >> 11) as f64 * 2f64.powi(-53);
+            let b = Bernoulli::new(p);
+            prop_assert_eq!(b.threshold(), (raw >> 11) << 11);
+
+            let mut src = seeded_rng(word_seed);
+            let words: Vec<u64> = (0..64).map(|_| src.gen()).collect();
+            let mut replay = Replay { words: &words, pos: 0 };
+            let got = b.sample_word(&mut replay);
+            prop_assert_eq!(got, reference(b.threshold(), &words));
+            // The kernel never reads more rounds than the threshold has
+            // significant bits.
+            prop_assert!(replay.pos <= 64 - b.threshold().trailing_zeros() as usize);
+        }
+    }
+}
